@@ -1,0 +1,105 @@
+"""Ablation: greedy step counts vs the König optimum across density.
+
+Mechanism behind Table 11's crossover: below ~50% density GS finishes in
+fewer steps than the fixed N-1 pairings (and stays near the provable
+optimum from :mod:`repro.schedules.coloring`); above it, its unaligned
+choices exceed N-1 steps, handing the win back to BS/PS.
+
+Also reports the step-optimal coloring schedule's *time*: step-optimal
+is not time-optimal — the coloring ignores locality and sizes — which
+is why the paper's heuristics remain interesting.
+"""
+
+import pytest
+
+from repro.analysis.compare import ShapeCheck, summarize
+from repro.analysis.tables import format_table
+from repro.machine import MachineConfig
+from repro.schedules import (
+    CommPattern,
+    balanced_schedule,
+    coloring_schedule,
+    execute_schedule,
+    greedy_schedule,
+    optimal_step_count,
+    pairwise_schedule,
+)
+
+NPROCS = 32
+NBYTES = 256
+DENSITIES = (0.10, 0.25, 0.50, 0.75, 0.90)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_greedy_vs_optimal_steps(benchmark, emit):
+    cfg = MachineConfig(NPROCS)
+
+    def sweep():
+        rows = []
+        for d in DENSITIES:
+            pat = CommPattern.synthetic(NPROCS, d, NBYTES, seed=42)
+            gs = greedy_schedule(pat)
+            ps = pairwise_schedule(pat)
+            bs = balanced_schedule(pat)
+            opt = coloring_schedule(pat)
+            t_gs = execute_schedule(gs, cfg).time
+            t_opt = execute_schedule(opt, cfg).time
+            rows.append(
+                (
+                    d,
+                    optimal_step_count(pat),
+                    gs.nsteps,
+                    ps.nsteps,
+                    bs.nsteps,
+                    t_gs,
+                    t_opt,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = format_table(
+        [
+            "density",
+            "optimal steps",
+            "GS steps",
+            "PS steps",
+            "BS steps",
+            "GS time (ms)",
+            "OPT time (ms)",
+        ],
+        [
+            [f"{d:.0%}", o, g, p, b, tg * 1e3, to * 1e3]
+            for d, o, g, p, b, tg, to in rows
+        ],
+        title=f"Greedy vs optimal scheduling ({NPROCS} nodes, {NBYTES}B)",
+    )
+
+    sparse = [r for r in rows if r[0] < 0.5]
+    dense = [r for r in rows if r[0] >= 0.75]
+    checks = [
+        ShapeCheck(
+            "GS within 20% of optimal steps when sparse",
+            all(g <= 1.2 * o + 1 for _, o, g, *_ in sparse),
+            "; ".join(f"{d:.0%}: {g} vs {o}" for d, o, g, *_ in sparse),
+        ),
+        ShapeCheck(
+            "GS exceeds N-1 steps when dense",
+            any(g > NPROCS - 1 for _, _, g, *_ in dense),
+            "; ".join(f"{d:.0%}: {g}" for d, _, g, *_ in dense),
+        ),
+        ShapeCheck(
+            "fixed pairings never exceed N-1 steps",
+            all(r[3] <= NPROCS - 1 and r[4] <= NPROCS - 1 for r in rows),
+            "PS/BS step counts bounded by N-1",
+        ),
+        ShapeCheck(
+            "step-optimal is not always time-optimal",
+            any(to > tg for *_r, tg, to in rows),
+            "coloring ignores locality/sizes",
+        ),
+    ]
+    emit("ablation_greedy", table + "\n\n" + summarize(checks))
+    benchmark.extra_info["densities"] = list(DENSITIES)
+    assert all(c.passed for c in checks)

@@ -1,0 +1,54 @@
+"""Figure 10: broadcast time vs message size on 32 nodes.
+
+LIB vs REB vs the CMMD system broadcast.  Shape claims checked:
+
+* LIB is far worse than REB (N-1 sequential sends vs lg N waves);
+* the system broadcast wins for small messages;
+* REB overtakes the system broadcast beyond ~1 KB.
+"""
+
+import pytest
+
+from repro.analysis import check_ratio_at_least, crossover_x, summarize
+from repro.analysis.compare import ShapeCheck
+from repro.analysis.experiments import FIG10_SIZES, broadcast_time, fig10_data
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_broadcast(benchmark, emit):
+    fig = benchmark.pedantic(lambda: fig10_data(nprocs=32), rounds=1, iterations=1)
+
+    checks = [
+        check_ratio_at_least(
+            "LIB >> REB at 1KB",
+            broadcast_time("lib", 32, 1024),
+            broadcast_time("reb", 32, 1024),
+            3.0,
+        ),
+        ShapeCheck(
+            "system wins small",
+            broadcast_time("system", 32, 64) < broadcast_time("reb", 32, 64),
+            "64B: system vs REB",
+        ),
+        ShapeCheck(
+            "REB wins large",
+            broadcast_time("reb", 32, 8192) < broadcast_time("system", 32, 8192),
+            "8KB: REB vs system",
+        ),
+    ]
+    sizes = list(FIG10_SIZES)
+    reb = [broadcast_time("reb", 32, s) for s in sizes]
+    sysb = [broadcast_time("system", 32, s) for s in sizes]
+    x = crossover_x(sizes, sysb, reb)
+    checks.append(
+        ShapeCheck(
+            "crossover near 1KB",
+            x is not None and 256 <= x <= 4096,
+            f"measured crossover at {x:.0f} B (paper: ~1 KB)" if x else "no crossover",
+        )
+    )
+
+    text = fig.render() + "\n\n" + fig.to_csv() + "\n" + summarize(checks)
+    emit("fig10_broadcast_msgsize", text)
+    benchmark.extra_info["crossover_bytes"] = round(x) if x else None
+    assert all(c.passed for c in checks)

@@ -1,0 +1,68 @@
+"""Figure 11: recursive vs system broadcast across machine sizes.
+
+Shape claims checked:
+
+* the system broadcast curve is flat in machine size (one curve
+  suffices, as in the paper);
+* REB cost grows with machine size (lg N store-and-forward hops);
+* for large messages REB still beats the system broadcast on 32 nodes,
+  while on very large partitions the system broadcast's flatness keeps
+  it competitive longer (the paper's crossover moves from ~1 KB at 32
+  nodes to ~2 KB at 256; our model reproduces the same direction of
+  motion).
+"""
+
+import pytest
+
+from repro.analysis import summarize
+from repro.analysis.compare import ShapeCheck, crossover_x
+from repro.analysis.experiments import broadcast_time, fig11_data
+
+from conftest import MACHINES
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_broadcast_scaling(benchmark, emit):
+    fig = benchmark.pedantic(
+        lambda: fig11_data(machines=MACHINES), rounds=1, iterations=1
+    )
+
+    small, big = MACHINES[0], MACHINES[-1]
+    sys_small = broadcast_time("system", small, 2048)
+    sys_big = broadcast_time("system", big, 2048)
+    checks = [
+        ShapeCheck(
+            "system broadcast flat",
+            abs(sys_big - sys_small) / sys_small < 0.05,
+            f"{sys_small * 1e3:.3f} ms @{small} vs {sys_big * 1e3:.3f} ms @{big}",
+        ),
+        ShapeCheck(
+            "REB grows with machine",
+            broadcast_time("reb", big, 2048) > broadcast_time("reb", small, 2048),
+            "2KB REB cost vs machine size",
+        ),
+    ]
+    # Crossover moves right as machines grow.
+    sizes = [256, 512, 1024, 2048, 4096, 8192, 16384]
+    crossings = {}
+    for n in (small, big):
+        reb = [broadcast_time("reb", n, s) for s in sizes]
+        sysb = [broadcast_time("system", n, s) for s in sizes]
+        crossings[n] = crossover_x(sizes, sysb, reb)
+    if crossings[small] is not None:
+        later = crossings[big] is None or crossings[big] > crossings[small]
+        checks.append(
+            ShapeCheck(
+                "crossover moves right with machine size",
+                later,
+                f"{crossings[small]:.0f} B @{small} -> "
+                + (f"{crossings[big]:.0f} B" if crossings[big] else ">16 KB")
+                + f" @{big}",
+            )
+        )
+
+    text = fig.render() + "\n\n" + fig.to_csv() + "\n" + summarize(checks)
+    emit("fig11_broadcast_scaling", text)
+    benchmark.extra_info["crossover_small"] = crossings.get(small)
+    benchmark.extra_info["crossover_big"] = crossings.get(big)
+    assert all(c.passed for c in checks)

@@ -1,0 +1,55 @@
+"""Figure 5: complete-exchange time vs message size on 32 nodes.
+
+Paper claims reproduced in shape:
+
+* LEX is far worse than PEX/REX/BEX at every size (synchronous sends
+  serialize at the single receiver per step);
+* at small sizes PEX, REX, BEX are close (REX ahead at 0 bytes);
+* at large sizes PEX beats REX, and BEX beats PEX.
+"""
+
+import pytest
+
+from repro.analysis import check_order, check_ratio_at_least, summarize
+from repro.analysis.experiments import FIG5_SIZES, exchange_time, fig5_data
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_exchange_vs_message_size(benchmark, emit):
+    fig = benchmark.pedantic(
+        lambda: fig5_data(sizes=FIG5_SIZES, nprocs=32), rounds=1, iterations=1
+    )
+
+    checks = [
+        check_ratio_at_least(
+            "LEX >> PEX at 256B",
+            exchange_time("linear", 32, 256),
+            exchange_time("pairwise", 32, 256),
+            4.0,
+        ),
+        check_order(
+            "REX best at 0B",
+            {a: exchange_time(a, 32, 0) for a in ("pairwise", "recursive", "balanced")},
+            "recursive",
+        ),
+        check_order(
+            "BEX best at 1920B",
+            {a: exchange_time(a, 32, 1920) for a in ("pairwise", "recursive", "balanced")},
+            "balanced",
+            tolerance=0.05,
+        ),
+        check_ratio_at_least(
+            "PEX beats REX at 2048B",
+            exchange_time("recursive", 32, 2048),
+            exchange_time("pairwise", 32, 2048),
+            1.3,
+        ),
+    ]
+    text = fig.render() + "\n\n" + fig.to_csv() + "\n" + summarize(checks)
+    emit("fig5_exchange_msgsize", text)
+
+    for alg in ("linear", "pairwise", "recursive", "balanced"):
+        benchmark.extra_info[f"{alg}_256B_ms"] = round(
+            exchange_time(alg, 32, 256) * 1e3, 3
+        )
+    assert all(c.passed for c in checks)

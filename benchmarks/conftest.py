@@ -1,0 +1,51 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's exhibits, prints the
+paper-vs-measured comparison, saves it under ``results/``, and attaches
+the key numbers to pytest-benchmark's ``extra_info``.  Host wall time of
+the regeneration is what pytest-benchmark measures (a single round — the
+simulated 1992 milliseconds inside are the scientific payload, carried
+in extra_info and the results files).
+
+Scale control: set ``REPRO_BENCH_SCALE=small`` to shrink machine sweeps
+for a quick pass; the default regenerates the paper's full grids (up to
+256 simulated nodes; the first uncached run takes tens of minutes, after
+which results replay from ``.sim_cache``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+SMALL = os.environ.get("REPRO_BENCH_SCALE", "full") == "small"
+
+#: Machine sweep used by the figure benchmarks.
+MACHINES = (16, 32) if SMALL else (16, 32, 64, 128, 256)
+#: Machine sizes used by Table 5.
+FFT_MACHINES = (32,) if SMALL else (32, 256)
+FFT_ARRAYS = (256, 512) if SMALL else (256, 512, 1024, 2048)
+
+
+def save_result(name: str, text: str) -> Path:
+    """Write one exhibit's rendered output under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print an exhibit through captured stdout AND persist it."""
+
+    def _emit(name: str, text: str) -> None:
+        path = save_result(name, text)
+        with capsys.disabled():
+            print(f"\n{text}\n[saved to {path}]")
+
+    return _emit

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Inspector/executor runtime over the simulated CM-5 (Section 4's context).
+
+The paper's irregular scheduling lives inside a PARTI/CHAOS-style
+runtime: a solver declares which *global* array elements it reads; the
+runtime inspects the references once, builds the ``Pattern`` matrix and
+a schedule, and every iteration replays it.  This example runs the whole
+pipeline on a sparse matrix-vector product:
+
+1. build a random sparse matrix, distribute its rows in blocks,
+2. the inspector turns each rank's column references into a plan,
+3. the executor gathers ghost vector entries through the simulator,
+4. each rank computes its rows of ``y = A x``; the assembled result is
+   checked against the sequential product,
+5. the same plan is replayed under each scheduling algorithm to show
+   the paper's rankings emerging from raw index sets.
+
+Run:  python examples/parti_runtime.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cmmd import run_spmd
+from repro.machine import MachineConfig
+from repro.runtime import Distribution, build_plan, gather_ops
+from repro.schedules import algorithm_names
+
+N = 256
+NPROCS = 16
+DENSITY = 0.03
+
+
+def make_matrix() -> sp.csr_matrix:
+    rng = np.random.default_rng(11)
+    a = sp.random(N, N, density=DENSITY, random_state=rng, format="csr")
+    return a + sp.identity(N, format="csr")
+
+
+def main() -> None:
+    a = make_matrix()
+    dist = Distribution.block(N, NPROCS)
+    x = np.random.default_rng(1).standard_normal(N)
+
+    # --- inspector: rank r reads the column indices of its rows -------
+    requests = []
+    for r in range(NPROCS):
+        rows = dist.owned[r]
+        cols = a[rows].indices
+        requests.append(cols)
+    plan = build_plan(dist, requests, algorithm="greedy")
+    print("inspector:", plan.describe())
+
+    # --- executor: distributed y = A x --------------------------------
+    segments = dist.scatter_array(x)
+
+    def spmv_program(comm):
+        resolved = yield from gather_ops(comm, plan, segments[comm.rank])
+        rows = dist.owned[comm.rank]
+        sub = a[rows]
+        x_full = np.zeros(N)
+        for g, v in resolved.items():
+            x_full[g] = v
+        y_local = sub @ x_full
+        yield comm.compute(2.0 * sub.nnz)
+        return y_local
+
+    cfg = MachineConfig(NPROCS)
+    sim = run_spmd(cfg, spmv_program)
+    y = dist.gather_array(list(sim.results))
+    ok = np.allclose(y, a @ x)
+    print(f"executor: distributed SpMV correct={ok}, "
+          f"simulated {sim.makespan * 1e3:.3f} ms/iteration")
+
+    # --- replay the same plan under every scheduler --------------------
+    print("\nreplaying the plan under each scheduler (comm only):")
+    from repro.schedules import execute_schedule, schedule_irregular
+
+    for alg in algorithm_names():
+        sched = schedule_irregular(plan.pattern, alg)
+        t = execute_schedule(sched, cfg).time_ms
+        print(f"  {alg:9s} {sched.nsteps:3d} steps  {t:7.3f} ms")
+    print(
+        "\nThe schedule is computed once and reused every iteration —\n"
+        "Section 4.5's amortization argument, as library code."
+    )
+
+
+if __name__ == "__main__":
+    main()

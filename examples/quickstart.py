@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a complete exchange on a simulated CM-5.
+
+Builds the paper's four complete-exchange schedules on a 32-node
+partition, prints the 8-processor schedule tables the paper shows
+(Tables 1-4), executes each algorithm on the machine model, and reports
+who wins at a few message sizes — Figure 5 in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.machine import MachineConfig
+from repro.schedules import (
+    analyze,
+    balanced_exchange,
+    execute_schedule,
+    linear_exchange,
+    pairwise_exchange,
+    recursive_exchange,
+)
+
+ALGORITHMS = {
+    "LEX (linear)": linear_exchange,
+    "PEX (pairwise)": pairwise_exchange,
+    "REX (recursive)": recursive_exchange,
+    "BEX (balanced)": balanced_exchange,
+}
+
+
+def show_paper_tables() -> None:
+    print("The paper's 8-processor schedules (Tables 1-4):\n")
+    for build in (linear_exchange, pairwise_exchange, recursive_exchange, balanced_exchange):
+        print(build(8, 1).render_table())
+        print()
+
+
+def race(nprocs: int, nbytes: int) -> None:
+    cfg = MachineConfig(nprocs)
+    print(f"Complete exchange of {nbytes} B/pair on {nprocs} nodes:")
+    results = {}
+    for name, build in ALGORITHMS.items():
+        sched = build(nprocs, nbytes)
+        res = execute_schedule(sched, cfg)
+        results[name] = res.time_ms
+        m = analyze(sched, cfg)
+        print(
+            f"  {name:16s} {res.time_ms:9.3f} ms"
+            f"   ({sched.nsteps:3d} steps, {m.n_global_total:4d} global msgs)"
+        )
+    winner = min(results, key=results.get)
+    print(f"  -> fastest: {winner}\n")
+
+
+def main() -> None:
+    show_paper_tables()
+    for nbytes in (0, 256, 1920):
+        race(32, nbytes)
+    print(
+        "Things to notice (the paper's Figure 5):\n"
+        "  * LEX is far slower everywhere — synchronous sends serialize\n"
+        "    at the one receiver per step;\n"
+        "  * at 0 bytes REX wins: lg N steps and nothing to reshuffle;\n"
+        "  * at large sizes BEX edges out PEX by spreading root-of-tree\n"
+        "    traffic across all N-1 steps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Shift communication and a distributed Jacobi sweep.
+
+"Shift" is the third regular pattern the paper names (Section 3) —
+nearest-neighbour permutation traffic.  This example races ring shifts
+of different strides on the fat tree (stride determines how high in the
+tree the messages climb), then runs a distributed Jacobi relaxation
+whose halo exchange *is* a pair of shifts, verifying it against the
+sequential solver.
+
+Run:  python examples/stencil_shift.py
+"""
+
+import numpy as np
+
+from repro.apps import DistributedJacobi, jacobi_reference
+from repro.machine import MachineConfig
+from repro.schedules import analyze, execute_schedule, shift_schedule
+
+
+def shift_race() -> None:
+    print("=== ring shifts of different strides, 32 nodes, 4 KB ===")
+    cfg = MachineConfig(32)
+    print(f"  {'stride':>7s} {'time (us)':>10s} {'global msgs':>12s}")
+    for stride in (1, 2, 4, 8, 16):
+        sched = shift_schedule(32, stride, 4096)
+        res = execute_schedule(sched, cfg)
+        m = analyze(sched, cfg)
+        print(
+            f"  {stride:>7d} {res.time * 1e6:>10.1f} {m.n_global_total:>12d}"
+        )
+    print(
+        "  Stride 1 keeps 3 of every 4 messages inside a cluster; large\n"
+        "  strides push everything through the upper tree — the same\n"
+        "  locality effect BEX exploits for the complete exchange."
+    )
+
+
+def jacobi_demo() -> None:
+    print("\n=== distributed Jacobi (halo exchange = two shifts) ===")
+    rng = np.random.default_rng(0)
+    grid = rng.random((64, 64))
+    grid[0, :] = 1.0  # hot boundary
+    cfg = MachineConfig(8)
+    dj = DistributedJacobi(cfg, grid)
+    out, t = dj.run(25)
+    ref = jacobi_reference(grid, 25)
+    print(
+        f"  25 sweeps of a 64x64 grid over 8 nodes: "
+        f"matches sequential: {np.array_equal(out, ref)}, "
+        f"simulated {t * 1e3:.2f} ms"
+    )
+
+
+if __name__ == "__main__":
+    shift_race()
+    jacobi_demo()

@@ -1,0 +1,65 @@
+"""repro — reproduction of Ponnusamy, Thakur, Choudhary & Fox (SC 1992),
+"Scheduling Regular and Irregular Communication Patterns on the CM-5".
+
+The package models a CM-5 partition (fat-tree data network, control
+network, synchronous CMMD messaging), implements the paper's four
+complete-exchange algorithms (LEX, PEX, REX, BEX), two broadcast
+algorithms (LIB, REB), four irregular-pattern schedulers (LS, PS, BS,
+GS), and the applications used to evaluate them (2-D FFT, conjugate
+gradient, unstructured-mesh Euler), plus the benchmark harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import MachineConfig, CommPattern
+>>> from repro.schedules import pairwise_exchange, execute_schedule
+>>> cfg = MachineConfig(32)
+>>> sched = pairwise_exchange(32, 256)
+>>> result = execute_schedule(sched, cfg)
+>>> result.time > 0
+True
+"""
+
+from .machine import (
+    CM5Params,
+    DEFAULT_PARAMS,
+    MachineConfig,
+    wire_bytes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CM5Params",
+    "DEFAULT_PARAMS",
+    "MachineConfig",
+    "wire_bytes",
+    "CommPattern",
+    "Schedule",
+    "run_spmd",
+    "Comm",
+    "execute_schedule",
+    "__version__",
+]
+
+
+_LAZY = {
+    "CommPattern": ("repro.schedules.pattern", "CommPattern"),
+    "Schedule": ("repro.schedules.schedule", "Schedule"),
+    "run_spmd": ("repro.cmmd.program", "run_spmd"),
+    "Comm": ("repro.cmmd.api", "Comm"),
+    "execute_schedule": ("repro.schedules.executor", "execute_schedule"),
+}
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` light and avoid import cycles.
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

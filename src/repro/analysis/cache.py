@@ -1,0 +1,79 @@
+"""Result cache for expensive simulation sweeps.
+
+A 256-node complete exchange costs minutes of host time; the figure
+benchmarks sweep dozens of such points, and pytest-benchmark wants to
+call the target more than once.  ``SimCache`` memoizes scalar results
+keyed by a stable description, in memory and optionally on disk
+(JSON under ``.sim_cache/``), so regenerating all tables and figures is
+an incremental operation.
+
+Keys must be fully self-describing (algorithm, nprocs, message size,
+every non-default parameter, seed) — two runs with the same key are by
+construction identical because the simulator is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+__all__ = ["SimCache", "default_cache"]
+
+
+class SimCache:
+    """Thread-safe memo of float results with optional disk persistence."""
+
+    def __init__(self, path: Optional[Path] = None):
+        self._mem: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._path = Path(path) if path is not None else None
+        if self._path is not None and self._path.exists():
+            try:
+                self._mem.update(json.loads(self._path.read_text()))
+            except (json.JSONDecodeError, OSError):
+                # A corrupt cache is silently rebuilt.
+                self._mem = {}
+
+    def get_or_compute(self, key: str, fn: Callable[[], float]) -> float:
+        with self._lock:
+            if key in self._mem:
+                return self._mem[key]
+        value = float(fn())
+        with self._lock:
+            self._mem[key] = value
+            self._flush()
+        return value
+
+    def _flush(self) -> None:
+        if self._path is None:
+            return
+        tmp = self._path.with_suffix(".tmp")
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(self._mem, indent=0, sort_keys=True))
+        os.replace(tmp, self._path)
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._mem.clear()
+            if self._path is not None and self._path.exists():
+                self._path.unlink()
+
+
+_DEFAULT: Optional[SimCache] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_cache() -> SimCache:
+    """Process-wide cache persisted under the working tree."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            root = Path(os.environ.get("REPRO_CACHE_DIR", ".sim_cache"))
+            _DEFAULT = SimCache(root / "results.json")
+        return _DEFAULT

@@ -1,0 +1,130 @@
+"""Calibration: how the software constants in ``CM5Params`` were chosen.
+
+The paper publishes the hardware constants (88 us latency, 20-byte
+packets, 20/10/5 MB/s level bandwidths) but not the software scalars the
+model also needs (send/receive CPU overheads, memcpy rate, contention
+coefficients).  This module re-derives them by fitting the model to the
+paper's *anchor measurements*:
+
+* Table 11's ``pairwise`` column pins the per-step cost of a pairwise
+  exchange (overheads + wire) at 256 and 512 bytes;
+* Table 11's ``linear`` column pins the receiver service time (the
+  serialized-receive pathology);
+* the 88 us zero-byte latency pins the overhead sum.
+
+``fit()`` evaluates a coarse grid around the defaults and reports the
+parameters minimizing the mean absolute log-error over the anchors —
+the values frozen into :data:`DEFAULT_PARAMS` come from exactly this
+procedure (see EXPERIMENTS.md).  The fit is deliberately coarse: the
+goal is documented provenance, not decimal places.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..machine.params import CM5Params, DEFAULT_PARAMS, MachineConfig
+from ..schedules.executor import execute_schedule
+from ..schedules.irregular import schedule_irregular
+from ..schedules.pattern import CommPattern
+from .paper_data import TABLE11_SYNTHETIC_MS
+
+__all__ = ["Anchor", "CalibrationResult", "anchors_from_table11", "evaluate", "fit"]
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One paper measurement the model should land near."""
+
+    label: str
+    algorithm: str  # irregular scheduler name
+    density: float
+    nbytes: int
+    paper_ms: float
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    params: CM5Params
+    mean_abs_log_error: float
+    per_anchor: Dict[str, Tuple[float, float]]  # label -> (model ms, paper ms)
+
+    def report(self) -> str:
+        lines = [
+            f"mean |log2(model/paper)| = {self.mean_abs_log_error:.3f}",
+            f"{'anchor':28s} {'model ms':>10s} {'paper ms':>10s} {'ratio':>7s}",
+        ]
+        for label, (model, paper) in sorted(self.per_anchor.items()):
+            lines.append(
+                f"{label:28s} {model:10.3f} {paper:10.3f} {model / paper:7.2f}"
+            )
+        return "\n".join(lines)
+
+
+def anchors_from_table11(
+    algorithms: Sequence[str] = ("pairwise", "linear"),
+    densities: Sequence[float] = (0.25, 0.50, 0.75),
+    sizes: Sequence[int] = (256,),
+) -> List[Anchor]:
+    """The default anchor set (6 points; cheap enough to grid-search)."""
+    anchors = []
+    for (d, s), row in TABLE11_SYNTHETIC_MS.items():
+        if d in densities and s in sizes:
+            for alg in algorithms:
+                anchors.append(Anchor(f"{alg}@{d:.0%}/{s}B", alg, d, s, row[alg]))
+    return anchors
+
+
+def evaluate(
+    params: CM5Params,
+    anchors: Sequence[Anchor],
+    nprocs: int = 32,
+    seed: int = 42,
+) -> CalibrationResult:
+    """Model-vs-paper error of one parameter set over the anchors."""
+    cfg = MachineConfig(nprocs, params)
+    per: Dict[str, Tuple[float, float]] = {}
+    err = 0.0
+    for a in anchors:
+        pattern = CommPattern.synthetic(nprocs, a.density, a.nbytes, seed=seed)
+        sched = schedule_irregular(pattern, a.algorithm)
+        model_ms = execute_schedule(sched, cfg).time * 1e3
+        per[a.label] = (model_ms, a.paper_ms)
+        err += abs(math.log2(model_ms / a.paper_ms))
+    return CalibrationResult(params, err / max(len(anchors), 1), per)
+
+
+def fit(
+    anchors: Optional[Sequence[Anchor]] = None,
+    recv_overheads: Sequence[float] = (45e-6, 55e-6, 65e-6),
+    send_overheads: Sequence[float] = (20e-6, 30e-6, 40e-6),
+    contentions: Sequence[float] = (0.06, 0.12, 0.20),
+    base: Optional[CM5Params] = None,
+) -> CalibrationResult:
+    """Coarse grid search over the three most influential constants.
+
+    The 88 us zero-byte latency is preserved by adjusting
+    ``wire_latency`` to absorb the overhead changes (clamped at 0).
+    """
+    anchors = list(anchors) if anchors is not None else anchors_from_table11()
+    base = base or DEFAULT_PARAMS
+    best: Optional[CalibrationResult] = None
+    target_zero = base.zero_byte_latency
+    for ro in recv_overheads:
+        for so in send_overheads:
+            wire = max(target_zero - ro - so, 0.0)
+            for c in contentions:
+                params = replace(
+                    base,
+                    recv_overhead=ro,
+                    send_overhead=so,
+                    wire_latency=wire,
+                    switch_contention=c,
+                )
+                result = evaluate(params, anchors)
+                if best is None or result.mean_abs_log_error < best.mean_abs_log_error:
+                    best = result
+    assert best is not None
+    return best

@@ -1,0 +1,120 @@
+"""Shape checks: does a measured result tell the paper's story?
+
+The reproduction does not chase absolute 1992 microseconds — it checks
+*orderings* (who wins), *factors* (by roughly how much), and
+*crossovers* (where the winner changes).  Each check returns a
+:class:`ShapeCheck` so benchmarks can both print and assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "ShapeCheck",
+    "check_order",
+    "check_ratio_at_least",
+    "check_within_factor",
+    "crossover_x",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """Outcome of one qualitative comparison."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+def check_order(
+    name: str,
+    values: Dict[str, float],
+    expected_best: str,
+    tolerance: float = 0.0,
+) -> ShapeCheck:
+    """Check that ``expected_best`` has the (near-)smallest value.
+
+    ``tolerance`` allows the expected winner to trail the actual best by
+    that relative margin — the paper's own near-ties (PS vs BS) motivate
+    a small slack.
+    """
+    if expected_best not in values:
+        raise KeyError(f"{expected_best!r} not among {sorted(values)}")
+    best = min(values, key=lambda k: values[k])
+    passed = values[expected_best] <= values[best] * (1.0 + tolerance)
+    ordered = sorted(values.items(), key=lambda kv: kv[1])
+    detail = "  ".join(f"{k}={v:.3g}" for k, v in ordered)
+    return ShapeCheck(name, passed, f"expected {expected_best} best; {detail}")
+
+
+def check_ratio_at_least(
+    name: str,
+    slow: float,
+    fast: float,
+    factor: float,
+) -> ShapeCheck:
+    """Check ``slow >= factor * fast`` (e.g. LEX at least 3x PEX)."""
+    if fast <= 0:
+        raise ValueError("fast value must be positive")
+    ratio = slow / fast
+    return ShapeCheck(
+        name,
+        ratio >= factor,
+        f"ratio={ratio:.2f} (required >= {factor:.2f})",
+    )
+
+
+def check_within_factor(
+    name: str,
+    measured: float,
+    reference: float,
+    factor: float,
+) -> ShapeCheck:
+    """Check measured and reference agree within a multiplicative factor."""
+    if measured <= 0 or reference <= 0:
+        raise ValueError("values must be positive")
+    ratio = max(measured / reference, reference / measured)
+    return ShapeCheck(
+        name,
+        ratio <= factor,
+        f"measured={measured:.3g} paper={reference:.3g} "
+        f"off by {ratio:.2f}x (allowed {factor:.2f}x)",
+    )
+
+
+def crossover_x(
+    xs: Sequence[float], ya: Sequence[float], yb: Sequence[float]
+) -> Optional[float]:
+    """First x where curve *a* stops being below curve *b* (or vice versa).
+
+    Returns the interpolated crossing point, or None if one curve
+    dominates throughout.  Used for the broadcast REB-vs-system and the
+    exchange REX-vs-PEX crossovers.
+    """
+    if not (len(xs) == len(ya) == len(yb)):
+        raise ValueError("mismatched series lengths")
+    diffs = [a - b for a, b in zip(ya, yb)]
+    for i in range(1, len(diffs)):
+        if diffs[i - 1] == 0:
+            return float(xs[i - 1])
+        if diffs[i - 1] * diffs[i] < 0:
+            # Linear interpolation of the sign change.
+            t = abs(diffs[i - 1]) / (abs(diffs[i - 1]) + abs(diffs[i]))
+            return float(xs[i - 1] + t * (xs[i] - xs[i - 1]))
+    return None
+
+
+def summarize(checks: List[ShapeCheck]) -> str:
+    """Multi-line report; callers typically print and assert all passed."""
+    lines = [str(c) for c in checks]
+    n_pass = sum(c.passed for c in checks)
+    lines.append(f"--- {n_pass}/{len(checks)} shape checks passed")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Series rendering for the paper's figures: ASCII plots + CSV.
+
+The benchmark harness regenerates each figure as (a) the numeric series
+(also dumped as CSV for external plotting) and (b) a quick ASCII chart
+so crossovers are visible directly in terminal output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Series", "FigureData", "ascii_plot"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labeled curve: parallel x/y arrays."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x vs {len(self.y)} y"
+            )
+
+
+@dataclass
+class FigureData:
+    """A figure: several series over a shared x axis meaning."""
+
+    name: str
+    xlabel: str
+    ylabel: str
+    series: List[Series] = field(default_factory=list)
+
+    def add(self, label: str, x: Sequence[float], y: Sequence[float]) -> None:
+        self.series.append(Series(label, list(x), list(y)))
+
+    def to_csv(self) -> str:
+        """Long-format CSV: series,x,y."""
+        lines = [f"series,{self.xlabel},{self.ylabel}"]
+        for s in self.series:
+            for xv, yv in zip(s.x, s.y):
+                lines.append(f"{s.label},{xv:g},{yv:.9g}")
+        return "\n".join(lines) + "\n"
+
+    def render(self, width: int = 68, height: int = 18, logy: bool = True) -> str:
+        return ascii_plot(self, width=width, height=height, logy=logy)
+
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_plot(
+    fig: FigureData, width: int = 68, height: int = 18, logy: bool = True
+) -> str:
+    """Render the figure as a character grid with a legend.
+
+    ``logy`` plots log10(y) — the natural scale for timing curves whose
+    algorithms differ by orders of magnitude (LEX vs the rest).
+    """
+    pts: List["tuple[float, float, str]"] = []
+    for i, s in enumerate(fig.series):
+        mark = _MARKS[i % len(_MARKS)]
+        for xv, yv in zip(s.x, s.y):
+            if yv <= 0 and logy:
+                continue
+            pts.append((float(xv), float(yv), mark))
+    if not pts:
+        return f"[{fig.name}: no data]"
+
+    xs = [p[0] for p in pts]
+    ys = [math.log10(p[1]) if logy else p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (xv, yv, mark), ylog in zip(pts, ys):
+        col = int((xv - x0) / xspan * (width - 1))
+        row = int((ylog - y0) / yspan * (height - 1))
+        grid[height - 1 - row][col] = mark
+
+    lines = [f"{fig.name}   ({fig.ylabel}{' [log]' if logy else ''} vs {fig.xlabel})"]
+    top = 10 ** y1 if logy else y1
+    bottom = 10 ** y0 if logy else y0
+    lines.append(f"{top:10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{bottom:10.3g} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x0:<10g}" + " " * max(0, width - 20) + f"{x1:>10g}"
+    )
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]}={s.label}" for i, s in enumerate(fig.series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

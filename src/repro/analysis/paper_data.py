@@ -1,0 +1,102 @@
+"""The paper's published numbers, transcribed for side-by-side reporting.
+
+Everything the evaluation section states numerically lives here:
+Table 5 (2-D FFT), Table 11 (synthetic irregular patterns), Table 12
+(real irregular patterns), and the qualitative claims of Figures 5-8,
+10 and 11 encoded as machine-checkable orderings.
+
+Units follow the paper: Table 5 in seconds, Tables 11-12 in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "TABLE5_FFT_SECONDS",
+    "TABLE11_SYNTHETIC_MS",
+    "TABLE12_REAL_MS",
+    "TABLE12_STATS",
+    "FIGURE_CLAIMS",
+    "IRREGULAR_ORDER",
+    "EXCHANGE_ORDER",
+]
+
+#: Algorithm column order used by every irregular table.
+IRREGULAR_ORDER: Tuple[str, ...] = ("linear", "pairwise", "balanced", "greedy")
+#: Algorithm column order used by the FFT table.
+EXCHANGE_ORDER: Tuple[str, ...] = ("linear", "pairwise", "recursive", "balanced")
+
+#: Table 5 — 2-D FFT wall time in seconds:
+#: (nprocs, array size) -> {algorithm: seconds}.
+TABLE5_FFT_SECONDS: Dict[Tuple[int, int], Dict[str, float]] = {
+    (32, 256): {"linear": 0.215, "pairwise": 0.152, "recursive": 0.112, "balanced": 0.114},
+    (32, 512): {"linear": 0.845, "pairwise": 0.470, "recursive": 0.467, "balanced": 0.470},
+    (32, 1024): {"linear": 3.135, "pairwise": 2.007, "recursive": 2.480, "balanced": 2.005},
+    (32, 2048): {"linear": 14.780, "pairwise": 9.032, "recursive": 9.245, "balanced": 8.509},
+    (256, 256): {"linear": 4.340, "pairwise": 0.076, "recursive": 0.077, "balanced": 0.076},
+    (256, 512): {"linear": 4.750, "pairwise": 0.120, "recursive": 0.120, "balanced": 0.120},
+    (256, 1024): {"linear": 5.968, "pairwise": 0.314, "recursive": 0.313, "balanced": 0.312},
+    (256, 2048): {"linear": 18.087, "pairwise": 1.738, "recursive": 2.160, "balanced": 1.668},
+}
+
+#: Table 11 — synthetic irregular patterns on 32 processors,
+#: milliseconds: (density, message bytes) -> {algorithm: ms}.
+TABLE11_SYNTHETIC_MS: Dict[Tuple[float, int], Dict[str, float]] = {
+    (0.10, 256): {"linear": 4.723, "pairwise": 1.766, "balanced": 1.933, "greedy": 1.597},
+    (0.10, 512): {"linear": 6.116, "pairwise": 2.275, "balanced": 2.494, "greedy": 2.044},
+    (0.25, 256): {"linear": 11.67, "pairwise": 3.977, "balanced": 3.724, "greedy": 3.266},
+    (0.25, 512): {"linear": 15.34, "pairwise": 5.193, "balanced": 4.861, "greedy": 4.192},
+    (0.50, 256): {"linear": 29.01, "pairwise": 6.324, "balanced": 6.034, "greedy": 6.009},
+    (0.50, 512): {"linear": 38.27, "pairwise": 8.360, "balanced": 8.013, "greedy": 7.934},
+    (0.75, 256): {"linear": 50.14, "pairwise": 7.882, "balanced": 7.856, "greedy": 9.241},
+    (0.75, 512): {"linear": 66.63, "pairwise": 10.52, "balanced": 10.50, "greedy": 12.29},
+}
+
+#: Table 12 — real application patterns on 32 processors, milliseconds:
+#: workload -> {algorithm: ms}.
+TABLE12_REAL_MS: Dict[str, Dict[str, float]] = {
+    "cg16k": {"linear": 8.046, "pairwise": 6.623, "balanced": 7.188, "greedy": 5.799},
+    "euler545": {"linear": 25.87, "pairwise": 7.374, "balanced": 7.386, "greedy": 5.656},
+    "euler2k": {"linear": 48.88, "pairwise": 15.04, "balanced": 15.07, "greedy": 12.30},
+    "euler3k": {"linear": 50.78, "pairwise": 19.98, "balanced": 17.57, "greedy": 14.34},
+    "euler9k": {"linear": 77.13, "pairwise": 21.91, "balanced": 20.19, "greedy": 17.01},
+}
+
+#: Table 12 header statistics: workload -> (density %, mean bytes/op).
+TABLE12_STATS: Dict[str, Tuple[float, float]] = {
+    "cg16k": (9.0, 643.0),
+    "euler545": (37.0, 85.0),
+    "euler2k": (44.0, 226.0),
+    "euler3k": (29.0, 612.0),
+    "euler9k": (44.0, 505.0),
+}
+
+
+@dataclass(frozen=True)
+class FigureClaim:
+    """One qualitative statement from the paper, checkable against runs."""
+
+    figure: str
+    claim: str
+
+
+FIGURE_CLAIMS: List[FigureClaim] = [
+    FigureClaim("fig5", "LEX is far worse than PEX/REX/BEX at every message size on 32 nodes"),
+    FigureClaim("fig5", "for small message sizes PEX, REX and BEX are close on 32 nodes"),
+    FigureClaim("fig5", "for large message sizes PEX is much better than REX"),
+    FigureClaim("fig5", "for large message sizes BEX is better than PEX"),
+    FigureClaim("fig6", "at 0 bytes REX is best at every machine size (lg N steps, no reshuffle)"),
+    FigureClaim("fig6", "at 256 bytes PEX beats REX on small machines"),
+    FigureClaim("fig78", "at 512/1920 bytes on small machines BEX and PEX beat REX"),
+    FigureClaim("fig10", "LIB is far worse than REB"),
+    FigureClaim("fig10", "REB beats the system broadcast beyond ~1 KB on 32 nodes"),
+    FigureClaim("fig10", "the system broadcast beats REB for small messages"),
+    FigureClaim("fig11", "system broadcast time is nearly independent of machine size"),
+    FigureClaim("table11", "LS is worst at every density (synchronous-send serialization)"),
+    FigureClaim("table11", "GS is best below 50% density"),
+    FigureClaim("table11", "GS loses to PS/BS above 50% density"),
+    FigureClaim("table12", "GS is best on every real workload (densities below 50%)"),
+]

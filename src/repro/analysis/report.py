@@ -1,0 +1,309 @@
+"""EXPERIMENTS.md generator: paper-vs-measured for every exhibit.
+
+``build_experiments_markdown`` regenerates every table and figure
+(cache-backed, so a warm run is instant), renders the side-by-side
+numbers, re-evaluates the shape checks, and appends the known-deviation
+notes.  The repository's EXPERIMENTS.md is produced by exactly this
+function (``cm5-repro report``), so the document can never drift from
+what the code measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..machine.params import DEFAULT_PARAMS
+from . import paper_data
+from .compare import ShapeCheck, check_order, check_ratio_at_least, crossover_x
+from .experiments import (
+    broadcast_time,
+    exchange_time,
+    fig5_data,
+    fig678_data,
+    fig10_data,
+    table5_data,
+    table11_data,
+    table12_data,
+)
+from .tables import format_comparison
+
+__all__ = ["build_experiments_markdown"]
+
+_DEVIATION_NOTES = """\
+## Known deviations and their reasons
+
+1. **REX at large machine sizes for >=256-byte messages.**  Figures 6-8
+   claim REX eventually beats PEX/BEX as the machine grows; our model
+   has REX clearly winning only the 0-byte case (every machine size),
+   while at 256-1920 bytes REX stays behind at 256 nodes.  The byte
+   accounting is unforgiving: REX retransmits every payload lg(N)/2
+   times through the same bottleneck levels and pays pack/unpack for
+   each hop, which at the paper's own published constants (5 MB/s
+   through the root, ~n*N/2-byte messages) costs more than PEX's extra
+   per-message overheads.  Notably the paper's own Table 5 agrees with
+   *us* rather than with its Figures 6-8 narrative: at 256 processors /
+   512-byte blocks it reports REX slower than PEX (2.160 s vs 1.738 s),
+   and our Table 5 reproduction shows the same ordering.
+2. **BEX's margin over PEX is small and size-dependent.**  We reproduce
+   BEX < PEX for large messages (~2 KB at every machine size, and in
+   the Table 5 FFT's large arrays), but at 256-512 bytes PEX keeps a
+   few-percent edge where Figure 6's text says BEX is best.  The
+   paper's own Table 11 shows PS/BS within 0.3% of each other, so an
+   effect of this size sitting inside the model's noise floor is
+   consistent with the publication.
+3. **Broadcast crossover positions.**  On 32 nodes REB overtakes the
+   system broadcast between 512 B and 2 KB (paper: "more than 1K byte")
+   — reproduced.  At 256 nodes the paper reports a 2 KB crossover; in
+   our model REB's lg(N) store-and-forward hops keep it behind the
+   (machine-size-independent) control network until ~16 KB.  Both
+   models agree the crossover moves right with machine size.
+4. **Table 12 absolute times are 2-4x below the paper's.**  Our
+   synthesized meshes reproduce the paper's density/bytes *statistics*
+   (documented per-workload in the benchmark output), but the original
+   NASA patterns evidently carried more traffic per iteration than the
+   statistics alone imply.  Rankings (greedy best, linear worst) are
+   reproduced on every workload.
+5. **Calibration provenance.**  Hardware constants are the paper's
+   (88 us latency, 20-byte packets, 20/10/5 MB/s levels).  Software
+   constants were fit against Table 11 anchors (see
+   `repro.analysis.calibrate`); the frozen defaults give Table 11's
+   pairwise column within ~10% absolute.
+"""
+
+
+def _fmt_params() -> str:
+    p = DEFAULT_PARAMS
+    return (
+        f"send_overhead={p.send_overhead * 1e6:.0f}us, "
+        f"recv_overhead={p.recv_overhead * 1e6:.0f}us, "
+        f"wire_latency={p.wire_latency * 1e6:.0f}us, "
+        f"levels={p.bw_level1 / 1e6:.0f}/{p.bw_level2 / 1e6:.0f}/"
+        f"{p.bw_level3 / 1e6:.0f} MB/s, "
+        f"memcpy={p.memcpy_bandwidth / 1e6:.0f} MB/s, "
+        f"contention={p.switch_contention} (cap {p.contention_cap}), "
+        f"jitter={p.routing_jitter}, "
+        f"ctrl_bcast={p.control_broadcast_bandwidth / 1e6:.2f} MB/s, "
+        f"node={p.node_flops / 1e6:.1f} MFLOPS"
+    )
+
+
+def _checks_block(checks: List[ShapeCheck]) -> str:
+    lines = [f"- {'PASS' if c.passed else 'FAIL'} — {c.name}: {c.detail}" for c in checks]
+    n = sum(c.passed for c in checks)
+    lines.append(f"- **{n}/{len(checks)} shape checks passed**")
+    return "\n".join(lines)
+
+
+def _fig5_section() -> str:
+    sizes = (0, 256, 512, 1920)
+    rows = {
+        s: {a: exchange_time(a, 32, s) * 1e3 for a in paper_data.EXCHANGE_ORDER}
+        for s in sizes
+    }
+    table = format_comparison(
+        "Figure 5 (complete exchange, 32 nodes, ms)",
+        paper_data.EXCHANGE_ORDER,
+        [(f"{s}B", rows[s], None) for s in sizes],
+    )
+    checks = [
+        check_ratio_at_least("LEX >> PEX @256B", rows[256]["linear"], rows[256]["pairwise"], 4.0),
+        check_order("REX best @0B", {k: v for k, v in rows[0].items() if k != "linear"}, "recursive"),
+        check_order("BEX best @1920B", {k: v for k, v in rows[1920].items() if k != "linear"}, "balanced", tolerance=0.05),
+    ]
+    return f"```\n{table}\n```\n\n{_checks_block(checks)}"
+
+
+def _fig678_section() -> str:
+    out = []
+    for nbytes in (0, 256, 512, 1920):
+        fig = fig678_data(nbytes)
+        out.append(f"**{nbytes}-byte messages** (ms by machine size):\n\n```\n{fig.to_csv()}```")
+    checks = []
+    for n in (16, 64, 256):
+        checks.append(
+            check_order(
+                f"REX best @0B N={n}",
+                {a: exchange_time(a, n, 0) for a in ("pairwise", "recursive", "balanced")},
+                "recursive",
+            )
+        )
+    checks.append(
+        check_order(
+            "BEX best @1920B N=256",
+            {a: exchange_time(a, 256, 1920) for a in ("pairwise", "balanced")},
+            "balanced",
+            tolerance=0.05,
+        )
+    )
+    return "\n\n".join(out) + "\n\n" + _checks_block(checks)
+
+
+def _table5_section() -> str:
+    data = table5_data()
+    blocks = [
+        (f"P={p} {n}x{n}", row, paper_data.TABLE5_FFT_SECONDS.get((p, n)))
+        for (p, n), row in sorted(data.items())
+    ]
+    table = format_comparison(
+        "Table 5 (2-D FFT, seconds)", paper_data.EXCHANGE_ORDER, blocks, unit="s"
+    )
+    checks = []
+    for (p, n), row in sorted(data.items()):
+        checks.append(
+            check_ratio_at_least(
+                f"linear worst P={p} n={n}",
+                row["linear"],
+                min(v for k, v in row.items() if k != "linear"),
+                1.0,
+            )
+        )
+    return f"```\n{table}\n```\n\n{_checks_block(checks)}"
+
+
+def _broadcast_section() -> str:
+    sizes = [256, 512, 1024, 2048, 4096, 8192]
+    reb = [broadcast_time("reb", 32, s) for s in sizes]
+    sysb = [broadcast_time("system", 32, s) for s in sizes]
+    lib1k = broadcast_time("lib", 32, 1024)
+    x32 = crossover_x(sizes, sysb, reb)
+    checks = [
+        check_ratio_at_least("LIB >> REB @1KB", lib1k, broadcast_time("reb", 32, 1024), 3.0),
+        ShapeCheck(
+            "crossover on 32 nodes",
+            x32 is not None and 256 <= x32 <= 4096,
+            f"REB overtakes the system broadcast at ~{x32:.0f} B (paper: >1 KB)"
+            if x32
+            else "no crossover found",
+        ),
+        ShapeCheck(
+            "system broadcast flat in machine size",
+            abs(broadcast_time("system", 256, 2048) - broadcast_time("system", 32, 2048))
+            / broadcast_time("system", 32, 2048)
+            < 0.05,
+            "32 vs 256 nodes within 5%",
+        ),
+    ]
+    fig = fig10_data(nprocs=32)
+    return f"```\n{fig.to_csv()}```\n\n{_checks_block(checks)}"
+
+
+def _table11_section() -> str:
+    data = table11_data()
+    blocks = []
+    checks = []
+    for (d, s), row in sorted(data.items()):
+        ms = {k: v * 1e3 for k, v in row.items()}
+        blocks.append((f"{d:.0%} {s}B", ms, paper_data.TABLE11_SYNTHETIC_MS.get((d, s))))
+        if d < 0.5:
+            checks.append(check_order(f"greedy near-best {d:.0%}/{s}B", ms, "greedy", tolerance=0.12))
+        checks.append(
+            check_ratio_at_least(
+                f"linear worst {d:.0%}/{s}B",
+                ms["linear"],
+                max(v for k, v in ms.items() if k != "linear"),
+                1.0,
+            )
+        )
+    table = format_comparison(
+        "Table 11 (synthetic irregular patterns, 32 nodes, ms)",
+        paper_data.IRREGULAR_ORDER,
+        blocks,
+    )
+    return f"```\n{table}\n```\n\n{_checks_block(checks)}"
+
+
+def _table12_section() -> str:
+    data, loads = table12_data()
+    blocks = []
+    checks = []
+    for name, row in data.items():
+        ms = {k: v * 1e3 for k, v in row.items()}
+        blocks.append((name, ms, paper_data.TABLE12_REAL_MS.get(name)))
+        checks.append(check_order(f"greedy near-best on {name}", ms, "greedy", tolerance=0.15))
+    table = format_comparison(
+        "Table 12 (real application patterns, 32 nodes, ms)",
+        paper_data.IRREGULAR_ORDER,
+        blocks,
+    )
+    stats = "\n".join(f"- {wl.describe()}" for wl in loads.values())
+    return f"```\n{table}\n```\n\nWorkload statistics:\n\n{stats}\n\n{_checks_block(checks)}"
+
+
+def _schedule_tables_section() -> str:
+    from ..schedules import (
+        balanced_schedule,
+        greedy_schedule,
+        linear_schedule,
+        paper_pattern_P,
+        pairwise_schedule,
+    )
+
+    P = paper_pattern_P()
+    counts = {
+        "LS (Table 7)": (linear_schedule(P).nsteps, 8),
+        "PS (Table 8)": (pairwise_schedule(P).nsteps, 6),
+        "BS (Table 9)": (balanced_schedule(P).nsteps, 7),
+        "GS (Table 10)": (greedy_schedule(P).nsteps, 6),
+    }
+    lines = [
+        "Tables 1-4 (LEX/PEX/REX/BEX schedules) and Tables 7-10 (LS/PS/BS/GS",
+        "schedules of the example pattern 'P', Table 6) are reproduced",
+        "*entry for entry* — see `tests/schedules/test_exchange_algorithms.py`",
+        "and `tests/schedules/test_irregular.py` (GS matches every cell of",
+        "Table 10, including the step-5 subtlety where 7->1 must wait for",
+        "step 6's exchange).  Step counts on pattern 'P':",
+        "",
+    ]
+    for name, (ours, paper) in counts.items():
+        mark = "ok" if ours == paper else "MISMATCH"
+        lines.append(f"- {name}: measured {ours} steps, paper {paper} ({mark})")
+    return "\n".join(lines)
+
+
+def build_experiments_markdown() -> str:
+    """Assemble the full EXPERIMENTS.md content from live measurements."""
+    parts = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Generated by `cm5-repro report` from the same cache-backed",
+        "measurement functions the benchmarks use; regenerate any entry",
+        "with `pytest benchmarks/ --benchmark-only` or `cm5-repro <exhibit>`.",
+        "",
+        f"Calibrated model: {_fmt_params()}.",
+        "",
+        "Units: milliseconds unless stated; paper rows transcribed from the",
+        "publication.  The reproduction's contract is *shape* (orderings,",
+        "factors, crossovers); absolute agreement is reported where the",
+        "paper publishes numbers.",
+        "",
+        "## Tables 1-4 and 6-10 — the example schedules",
+        "",
+        _schedule_tables_section(),
+        "",
+        "## Figure 5 — complete exchange vs message size (32 nodes)",
+        "",
+        _fig5_section(),
+        "",
+        "## Figures 6-8 — complete exchange vs machine size",
+        "",
+        _fig678_section(),
+        "",
+        "## Table 5 — 2-D FFT",
+        "",
+        _table5_section(),
+        "",
+        "## Figures 10-11 — broadcast",
+        "",
+        _broadcast_section(),
+        "",
+        "## Table 11 — synthetic irregular patterns",
+        "",
+        _table11_section(),
+        "",
+        "## Table 12 — real application patterns",
+        "",
+        _table12_section(),
+        "",
+        _DEVIATION_NOTES,
+    ]
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,82 @@
+"""Parameter sensitivity: how calibration constants move the results.
+
+A reproduction built on a calibrated model owes the reader an answer to
+"how much does conclusion X depend on constant Y?".  This module sweeps
+one :class:`CM5Params` field over a multiplicative range, re-evaluates a
+caller-supplied metric, and reports the local elasticity
+(d log metric / d log param at the calibrated point).
+
+Used by the ablation benchmarks and handy interactively::
+
+    from repro.analysis.sensitivity import sweep_parameter
+    res = sweep_parameter(
+        "switch_contention",
+        lambda p: exchange_time("pairwise", 32, 1024, params=p)
+                  - exchange_time("balanced", 32, 1024, params=p),
+    )
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..machine.params import CM5Params, DEFAULT_PARAMS
+
+__all__ = ["SensitivityResult", "sweep_parameter"]
+
+Metric = Callable[[CM5Params], float]
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Outcome of one parameter sweep."""
+
+    field: str
+    points: Tuple[Tuple[float, float], ...]  # (param value, metric value)
+    elasticity: Optional[float]  # d ln(metric)/d ln(param) near default
+
+    def table(self) -> str:
+        lines = [f"sensitivity of metric to {self.field}"]
+        for v, m in self.points:
+            lines.append(f"  {v:12.6g} -> {m:12.6g}")
+        if self.elasticity is not None:
+            lines.append(f"  elasticity at default: {self.elasticity:+.3f}")
+        return "\n".join(lines)
+
+
+def sweep_parameter(
+    field: str,
+    metric: Metric,
+    factors: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0),
+    base: Optional[CM5Params] = None,
+) -> SensitivityResult:
+    """Evaluate ``metric`` with ``field`` scaled by each factor.
+
+    The elasticity is estimated from the two factors bracketing 1.0
+    (requires positive metric values there; otherwise None).
+    """
+    base = base or DEFAULT_PARAMS
+    center = getattr(base, field)
+    if not isinstance(center, float):
+        raise TypeError(f"{field!r} is not a float parameter")
+    if center == 0:
+        raise ValueError(f"{field!r} is zero at the base point; nothing to scale")
+    points: List[Tuple[float, float]] = []
+    for f in factors:
+        params = replace(base, **{field: center * f})
+        points.append((center * f, float(metric(params))))
+
+    elasticity: Optional[float] = None
+    below = [(v, m) for v, m in points if v < center and m > 0]
+    above = [(v, m) for v, m in points if v > center and m > 0]
+    if below and above:
+        v0, m0 = below[-1]
+        v1, m1 = above[0]
+        elasticity = (math.log(m1) - math.log(m0)) / (
+            math.log(v1) - math.log(v0)
+        )
+    return SensitivityResult(
+        field=field, points=tuple(points), elasticity=elasticity
+    )

@@ -1,0 +1,84 @@
+"""Plain-text table rendering for benchmark output and the CLI.
+
+Every benchmark prints the paper's rows next to the measured rows using
+these helpers, so a single glance shows whether the shape holds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "paired_rows", "format_comparison"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 1:
+            return f"{cell:.3f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def paired_rows(
+    label: str,
+    measured: Dict[str, float],
+    paper: Optional[Dict[str, float]],
+    order: Sequence[str],
+) -> List[List[object]]:
+    """Two table rows: measured values and the paper's, aligned by column."""
+    rows: List[List[object]] = [
+        [label, "measured"] + [measured.get(k, float("nan")) for k in order]
+    ]
+    if paper is not None:
+        rows.append(
+            [label, "paper"] + [paper.get(k, float("nan")) for k in order]
+        )
+    return rows
+
+
+def format_comparison(
+    title: str,
+    order: Sequence[str],
+    blocks: Sequence["tuple[str, Dict[str, float], Optional[Dict[str, float]]]"],
+    unit: str = "ms",
+) -> str:
+    """A full paper-vs-measured table.
+
+    ``blocks`` is a sequence of ``(row label, measured, paper-or-None)``.
+    """
+    headers = ["case", "source"] + [f"{k} ({unit})" for k in order]
+    rows: List[List[object]] = []
+    for label, measured, paper in blocks:
+        rows.extend(paired_rows(label, measured, paper, order))
+    return format_table(headers, rows, title=title)

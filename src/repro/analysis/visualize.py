@@ -1,0 +1,87 @@
+"""ASCII visualization: fat-tree topology and message-traffic Gantt.
+
+Terminal-friendly views used by the examples and handy when debugging a
+new schedule:
+
+* :func:`render_fat_tree` — the partition's levels, switch counts and
+  link capacities (the 20/10/5 MB/s profile made visible);
+* :func:`render_message_gantt` — one lane per rank, showing when each
+  rank's incoming transfers were in flight, built from a
+  :class:`repro.sim.trace.Trace`.  LEX's serialized receiver shows up as
+  one solid lane while everyone else idles; PEX shows dense synchronized
+  stripes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..machine.fattree import fat_tree_for
+from ..machine.params import FAT_TREE_ARITY, MachineConfig
+from ..sim.trace import Trace
+
+__all__ = ["render_fat_tree", "render_message_gantt"]
+
+
+def render_fat_tree(config: MachineConfig) -> str:
+    """Multi-line summary of the partition's fat tree."""
+    tree = fat_tree_for(config)
+    lines = [
+        f"CM-5 partition: {config.nprocs} nodes, "
+        f"{config.levels} fat-tree level(s)"
+    ]
+    for level in range(config.levels, 0, -1):
+        subtree = FAT_TREE_ARITY ** (level - 1)
+        n_links = -(-config.nprocs // subtree)
+        cap = tree.capacity(("up", level, 0))
+        per_node = cap / subtree
+        what = "node injection links" if level == 1 else f"level-{level} up/down links"
+        lines.append(
+            f"  level {level}: {n_links:3d} {what:24s} "
+            f"{cap / 1e6:6.0f} MB/s each ({per_node / 1e6:.0f} MB/s per node)"
+        )
+    lines.append(
+        "  per-node bandwidth profile: "
+        + " / ".join(
+            f"{config.params.level_bandwidth(l) / 1e6:.0f}"
+            for l in range(1, max(config.levels, 3) + 1)
+        )
+        + " MB/s by route level"
+    )
+    return "\n".join(lines)
+
+
+def render_message_gantt(
+    trace: Trace,
+    nprocs: int,
+    width: int = 72,
+    until: Optional[float] = None,
+) -> str:
+    """One text lane per rank: ``#`` while a transfer into it is in flight.
+
+    ``until`` clips the time axis (defaults to the last delivery).
+    Lanes render receiver-side occupancy — the quantity that serializes
+    the linear algorithms.
+    """
+    if not trace.messages:
+        return "(no messages traced)"
+    t_end = until if until is not None else max(m.delivered_at for m in trace.messages)
+    if t_end <= 0:
+        return "(empty time range)"
+    lanes: List[List[str]] = [[" "] * width for _ in range(nprocs)]
+    for m in trace.messages:
+        if m.dst >= nprocs:
+            continue
+        a = int(min(m.matched_at, t_end) / t_end * (width - 1))
+        b = int(min(m.delivered_at, t_end) / t_end * (width - 1))
+        for col in range(a, max(b, a) + 1):
+            lanes[m.dst][col] = "#"
+    digits = len(str(nprocs - 1))
+    lines = [
+        f"receiver occupancy over {t_end * 1e3:.3f} ms "
+        f"({len(trace.messages)} messages)"
+    ]
+    for rank, lane in enumerate(lanes):
+        lines.append(f"  r{rank:0{digits}d} |{''.join(lane)}|")
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Two-dimensional FFT over a row-distributed array (paper Table 5).
+
+The paper's structure: the 2-D array is distributed along rows; each
+processor (1) runs 1-D FFTs on its local rows, (2) participates in a
+complete exchange (the distributed transpose), (3) runs 1-D FFTs on the
+new rows.  Which complete-exchange algorithm is plugged into step (2) is
+exactly what Table 5 compares across array sizes and machine sizes.
+
+Two entry points:
+
+* :func:`fft2d_time` — the *timing* reproduction: charges modeled 1-D
+  FFT compute (``5 n lg n`` flops per length-``n`` transform at the
+  calibrated node rate), pack/scatter memcpy, and runs the chosen
+  exchange schedule on the simulated machine.  This is what the Table 5
+  benchmark sweeps.
+* :func:`distributed_fft2d` — the *functional* reproduction: actually
+  moves NumPy blocks through the simulator (pairwise exchange) and
+  returns the numerically-correct 2-D FFT, validated against
+  ``numpy.fft.fft2`` in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cmmd.api import Comm
+from ..cmmd.program import run_spmd
+from ..machine.params import MachineConfig
+from ..schedules.executor import schedule_program
+from ..schedules.pex import pairwise_exchange
+from .transpose import (
+    EXCHANGE_ALGORITHMS,
+    block_bytes,
+    local_transpose_blocks,
+    transpose_schedule,
+)
+
+__all__ = ["FFT2DTiming", "fft2d_time", "distributed_fft2d", "fft_flops"]
+
+#: Working element: single-precision complex, the era's FFT precision.
+ELEM_BYTES = 8
+
+
+def fft_flops(n: int) -> float:
+    """Real floating-point operations of one length-``n`` complex FFT."""
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"FFT length must be a power of two >= 2, got {n}")
+    return 5.0 * n * math.log2(n)
+
+
+@dataclass(frozen=True)
+class FFT2DTiming:
+    """Breakdown of one simulated 2-D FFT."""
+
+    n: int
+    nprocs: int
+    algorithm: str
+    total_time: float
+    compute_time: float  # modeled local FFT time (both phases, per node)
+    shuffle_time: float  # modeled pack/scatter memcpy (per node)
+
+    @property
+    def comm_time(self) -> float:
+        """Everything that is not local compute or local shuffling."""
+        return self.total_time - self.compute_time - self.shuffle_time
+
+
+def _timing_program(comm: Comm, n: int, algorithm: str) -> "object":
+    nprocs = comm.size
+    rows_local = n // nprocs
+    phase_flops = rows_local * fft_flops(n)
+    local_bytes = rows_local * n * ELEM_BYTES
+    schedule = transpose_schedule(n, nprocs, algorithm, ELEM_BYTES)
+
+    yield comm.compute(phase_flops)  # 1-D FFTs on local rows
+    yield comm.memcpy(local_bytes)  # gather per-destination blocks
+    yield from schedule_program(comm, schedule)  # the complete exchange
+    yield comm.memcpy(local_bytes)  # scatter/transpose received blocks
+    yield comm.compute(phase_flops)  # 1-D FFTs on transposed rows
+
+
+def fft2d_time(
+    n: int,
+    config: MachineConfig,
+    algorithm: str = "pairwise",
+    seed: int = 0,
+) -> FFT2DTiming:
+    """Simulated wall time of a distributed ``n x n`` 2-D FFT (Table 5)."""
+    if algorithm not in EXCHANGE_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"choose from {sorted(EXCHANGE_ALGORITHMS)}"
+        )
+    nprocs = config.nprocs
+    if n % nprocs:
+        raise ValueError(f"array size {n} not divisible by {nprocs} processors")
+    sim = run_spmd(config, _timing_program, n, algorithm, seed=seed)
+    rows_local = n // nprocs
+    params = config.params
+    compute = 2 * params.compute_time(rows_local * fft_flops(n))
+    shuffle = 2 * params.memcpy_time(rows_local * n * ELEM_BYTES)
+    return FFT2DTiming(
+        n=n,
+        nprocs=nprocs,
+        algorithm=algorithm,
+        total_time=sim.makespan,
+        compute_time=compute,
+        shuffle_time=shuffle,
+    )
+
+
+def _functional_program(comm: Comm, blocks_by_rank: "list[np.ndarray]") -> "object":
+    """Row-block 2-D FFT moving real data (pairwise exchange)."""
+    nprocs = comm.size
+    rank = comm.rank
+    rows = np.fft.fft(blocks_by_rank[rank], axis=1)  # phase 1: FFT rows
+    n = rows.shape[1]
+    blk = n // nprocs
+    yield comm.compute(rows.shape[0] * fft_flops(n))
+
+    # Carve the off-diagonal blocks and run the payload-carrying exchange.
+    schedule = pairwise_exchange(nprocs, block_bytes(n, nprocs, ELEM_BYTES))
+    outbox: Dict[int, np.ndarray] = {
+        dst: rows[:, dst * blk : (dst + 1) * blk].copy()
+        for dst in range(nprocs)
+        if dst != rank
+    }
+    inbox: Dict[int, np.ndarray] = {}
+    yield comm.memcpy(rows.nbytes)
+    yield from schedule_program(comm, schedule, outbox=outbox, inbox=inbox)
+    received = [inbox.get(src) for src in range(nprocs)]
+    transposed = local_transpose_blocks(rows, nprocs, received, rank)
+    yield comm.memcpy(rows.nbytes)
+
+    out = np.fft.fft(transposed, axis=1)  # phase 2: FFT the columns
+    yield comm.compute(rows.shape[0] * fft_flops(n))
+    return out
+
+
+def distributed_fft2d(
+    array: np.ndarray, config: MachineConfig, seed: int = 0
+) -> "tuple[np.ndarray, float]":
+    """Compute ``fft2(array)`` through the simulator; return (result, time).
+
+    The result equals ``numpy.fft.fft2(array).T``-untangled — i.e. the
+    true 2-D FFT — reassembled from the per-rank row blocks.  Note the
+    classic transpose-method output ordering: after the second FFT phase
+    the data is the *transpose* of ``fft2``; we transpose back during
+    reassembly so callers see the standard layout.
+    """
+    n = array.shape[0]
+    nprocs = config.nprocs
+    if array.ndim != 2 or array.shape[1] != n:
+        raise ValueError(f"array must be square, got {array.shape}")
+    if n % nprocs:
+        raise ValueError(f"size {n} not divisible by {nprocs}")
+    blk = n // nprocs
+    blocks = [array[r * blk : (r + 1) * blk, :] for r in range(nprocs)]
+    sim = run_spmd(config, _functional_program, blocks, seed=seed)
+    stacked = np.vstack(sim.results)  # transpose-of-fft2 layout
+    return stacked.T, sim.makespan

@@ -1,0 +1,105 @@
+"""Halo (ghost-vertex) analysis: from a partitioned mesh to a ``Pattern``.
+
+A distributed mesh solver needs, on each iteration, the values of every
+off-processor vertex adjacent to one of its own (the *ghost* or *halo*
+vertices).  Capturing who owes whom how many bytes yields exactly the
+paper's ``Pattern[i][j]`` matrix: irregular, input-dependent, and fixed
+across iterations — so it is scheduled once at runtime and the schedule
+is reused (Section 4.5).
+
+``halo_pattern`` reports bytes for ``words_per_vertex`` values of
+``word_bytes`` each per ghost vertex; the CG solver exchanges one double
+per vertex, a multi-variable Euler solver can exchange several (the
+paper's Table 12 byte statistics are consistent with one 8-byte word per
+ghost vertex, which is the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..schedules.pattern import CommPattern
+from .mesh import UnstructuredMesh
+
+__all__ = ["HaloExchange", "build_halo", "halo_pattern"]
+
+
+@dataclass(frozen=True)
+class HaloExchange:
+    """Ghost-vertex bookkeeping for one partitioned mesh.
+
+    ``send_lists[i][j]`` is the sorted array of vertex ids owned by
+    processor *i* whose values processor *j* needs; symmetric adjacency
+    means ``recv_lists[i][j] == send_lists[j][i]``.
+    """
+
+    nprocs: int
+    labels: np.ndarray
+    send_lists: Tuple[Dict[int, np.ndarray], ...]
+
+    def recv_list(self, rank: int, src: int) -> np.ndarray:
+        """Vertices owned by ``src`` that ``rank`` needs as ghosts."""
+        return self.send_lists[src].get(rank, np.zeros(0, dtype=np.int64))
+
+    def pattern(self, word_bytes: int = 8, words_per_vertex: int = 1) -> CommPattern:
+        """The communication pattern in bytes."""
+        if word_bytes <= 0 or words_per_vertex <= 0:
+            raise ValueError("word_bytes and words_per_vertex must be positive")
+        m = np.zeros((self.nprocs, self.nprocs), dtype=np.int64)
+        for src, targets in enumerate(self.send_lists):
+            for dst, verts in targets.items():
+                m[src, dst] = len(verts) * word_bytes * words_per_vertex
+        return CommPattern(m)
+
+    @property
+    def total_ghost_vertices(self) -> int:
+        return sum(
+            len(v) for targets in self.send_lists for v in targets.values()
+        )
+
+
+def build_halo(
+    mesh: UnstructuredMesh, labels: np.ndarray, nprocs: int
+) -> HaloExchange:
+    """Compute per-processor ghost-vertex send lists from edge adjacency."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (mesh.n_vertices,):
+        raise ValueError(
+            f"labels must have shape ({mesh.n_vertices},), got {labels.shape}"
+        )
+    if labels.min() < 0 or labels.max() >= nprocs:
+        raise ValueError(f"labels must lie in [0, {nprocs})")
+    # For each cross-partition edge (u, v): owner(u) must send u to
+    # owner(v) and vice versa.
+    sends: List[Dict[int, Set[int]]] = [dict() for _ in range(nprocs)]
+    e = mesh.edges
+    lu = labels[e[:, 0]]
+    lv = labels[e[:, 1]]
+    cross = lu != lv
+    for u, v, a, b in zip(
+        e[cross, 0].tolist(), e[cross, 1].tolist(), lu[cross].tolist(), lv[cross].tolist()
+    ):
+        sends[a].setdefault(b, set()).add(u)
+        sends[b].setdefault(a, set()).add(v)
+    frozen = tuple(
+        {
+            dst: np.array(sorted(verts), dtype=np.int64)
+            for dst, verts in targets.items()
+        }
+        for targets in sends
+    )
+    return HaloExchange(nprocs=nprocs, labels=labels, send_lists=frozen)
+
+
+def halo_pattern(
+    mesh: UnstructuredMesh,
+    labels: np.ndarray,
+    nprocs: int,
+    word_bytes: int = 8,
+    words_per_vertex: int = 1,
+) -> CommPattern:
+    """One-call convenience: partition labels -> byte pattern."""
+    return build_halo(mesh, labels, nprocs).pattern(word_bytes, words_per_vertex)

@@ -1,0 +1,85 @@
+"""The paper's Table 12 workloads, packaged end-to-end.
+
+``paper_workload(name)`` runs the full irregular pipeline — synthesize
+the stand-in mesh, partition it with recursive coordinate bisection,
+extract the halo-exchange pattern — and returns everything a benchmark
+or example needs, including the paper's published pattern statistics for
+side-by-side reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..schedules.pattern import CommPattern
+from .halo import HaloExchange, build_halo
+from .mesh import PAPER_MESHES, UnstructuredMesh, paper_mesh
+from .partition import rcb_partition
+
+__all__ = ["Workload", "paper_workload", "PAPER_TABLE12_STATS", "workload_names"]
+
+#: Table 12's header statistics: name -> (density %, mean bytes per op).
+PAPER_TABLE12_STATS: Dict[str, Tuple[float, float]] = {
+    "cg16k": (9.0, 643.0),
+    "euler545": (37.0, 85.0),
+    "euler2k": (44.0, 226.0),
+    "euler3k": (29.0, 612.0),
+    "euler9k": (44.0, 505.0),
+}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A partitioned mesh plus its communication pattern."""
+
+    name: str
+    mesh: UnstructuredMesh
+    labels: np.ndarray
+    halo: HaloExchange
+    pattern: CommPattern
+    paper_density_percent: float
+    paper_avg_bytes: float
+
+    def describe(self) -> str:
+        s = self.pattern.stats()
+        return (
+            f"{self.name}: {self.mesh.n_vertices} vertices "
+            f"({self.mesh.dim}-D), ours {s.density_percent:.1f}% / "
+            f"{s.avg_bytes_per_op:.0f} B per op, paper "
+            f"{self.paper_density_percent:.0f}% / {self.paper_avg_bytes:.0f} B"
+        )
+
+
+def workload_names() -> "list[str]":
+    """Table 12 column order."""
+    return ["cg16k", "euler545", "euler2k", "euler3k", "euler9k"]
+
+
+def paper_workload(name: str, nprocs: int = 32) -> Workload:
+    """Mesh -> RCB partition -> halo pattern for one Table 12 workload.
+
+    The paper measures all of Table 12 on 32 processors; other
+    ``nprocs`` are accepted for scaling studies.
+    """
+    if name not in PAPER_MESHES:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(PAPER_MESHES)}"
+        )
+    _n, _dim, _stretch, _seed, words = PAPER_MESHES[name]
+    mesh = paper_mesh(name)
+    labels = rcb_partition(mesh.points, nprocs)
+    halo = build_halo(mesh, labels, nprocs)
+    pattern = halo.pattern(word_bytes=8, words_per_vertex=words)
+    density, avg_bytes = PAPER_TABLE12_STATS[name]
+    return Workload(
+        name=name,
+        mesh=mesh,
+        labels=labels,
+        halo=halo,
+        pattern=pattern,
+        paper_density_percent=density,
+        paper_avg_bytes=avg_bytes,
+    )

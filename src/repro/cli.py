@@ -1,0 +1,294 @@
+"""Command-line interface: regenerate any of the paper's exhibits.
+
+Usage::
+
+    python -m repro <experiment> [--quick] [--csv DIR]
+    cm5-repro table11
+
+Experiments: ``schedules`` (Tables 1-4, 6-10), ``fig5``, ``fig6``,
+``fig7``, ``fig8``, ``table5``, ``fig10``, ``fig11``, ``table11``,
+``table12``, ``calibrate``, ``all``.  ``--quick`` shrinks sweeps to
+small machines for a fast smoke run; ``--csv DIR`` additionally writes
+figure data as CSV files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis import paper_data
+from .analysis.experiments import (
+    fig5_data,
+    fig678_data,
+    fig10_data,
+    fig11_data,
+    table5_data,
+    table11_data,
+    table12_data,
+)
+from .analysis.figures import FigureData
+from .analysis.tables import format_comparison, format_table
+from .schedules import (
+    balanced_exchange,
+    balanced_schedule,
+    greedy_schedule,
+    linear_exchange,
+    linear_schedule,
+    paper_pattern_P,
+    pairwise_exchange,
+    pairwise_schedule,
+    recursive_exchange,
+)
+
+__all__ = ["main"]
+
+
+def _emit_figure(fig: FigureData, csv_dir: Optional[Path]) -> None:
+    print(fig.render())
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+        slug = fig.name.split(":")[0].strip().lower().replace(" ", "_")
+        path = csv_dir / f"{slug}.csv"
+        path.write_text(fig.to_csv())
+        print(f"[csv written to {path}]")
+
+
+def cmd_schedules(args: argparse.Namespace) -> None:
+    """Tables 1-4 and 6-10: the 8-processor example schedules."""
+    for sched in (
+        linear_exchange(8, 1),
+        pairwise_exchange(8, 1),
+        recursive_exchange(8, 1),
+        balanced_exchange(8, 1),
+    ):
+        print(sched.render_table())
+        print()
+    pattern = paper_pattern_P()
+    print("Pattern 'P' (Table 6):")
+    print(pattern.matrix)
+    print()
+    for builder in (linear_schedule, pairwise_schedule, balanced_schedule, greedy_schedule):
+        print(builder(pattern).render_table())
+        print()
+
+
+def cmd_fig5(args: argparse.Namespace) -> None:
+    nprocs = 8 if args.quick else 32
+    sizes = (0, 256, 1024) if args.quick else None
+    fig = fig5_data(sizes=sizes or fig5_sizes_default(), nprocs=nprocs)
+    _emit_figure(fig, args.csv)
+
+
+def fig5_sizes_default():
+    from .analysis.experiments import FIG5_SIZES
+
+    return FIG5_SIZES
+
+
+def _fig678(args: argparse.Namespace, nbytes_list: List[int]) -> None:
+    machines = (4, 8, 16) if args.quick else None
+    for nbytes in nbytes_list:
+        kwargs = {} if machines is None else {"machines": machines}
+        fig = fig678_data(nbytes, **kwargs)
+        _emit_figure(fig, args.csv)
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    _fig678(args, [0, 256])
+
+
+def cmd_fig7(args: argparse.Namespace) -> None:
+    _fig678(args, [512])
+
+
+def cmd_fig8(args: argparse.Namespace) -> None:
+    _fig678(args, [1920])
+
+
+def cmd_table5(args: argparse.Namespace) -> None:
+    machines = (8,) if args.quick else (32, 256)
+    arrays = (256, 512) if args.quick else (256, 512, 1024, 2048)
+    data = table5_data(machine_sizes=machines, array_sizes=arrays)
+    blocks = []
+    for (p, n), row in sorted(data.items()):
+        paper = paper_data.TABLE5_FFT_SECONDS.get((p, n))
+        blocks.append((f"P={p} {n}x{n}", row, paper))
+    print(
+        format_comparison(
+            "Table 5: 2-D FFT (seconds)",
+            paper_data.EXCHANGE_ORDER,
+            blocks,
+            unit="s",
+        )
+    )
+
+
+def cmd_fig10(args: argparse.Namespace) -> None:
+    nprocs = 8 if args.quick else 32
+    fig = fig10_data(nprocs=nprocs)
+    _emit_figure(fig, args.csv)
+
+
+def cmd_fig11(args: argparse.Namespace) -> None:
+    machines = (4, 8, 16) if args.quick else None
+    kwargs = {} if machines is None else {"machines": machines}
+    fig = fig11_data(**kwargs)
+    _emit_figure(fig, args.csv)
+
+
+def cmd_table11(args: argparse.Namespace) -> None:
+    nprocs = 8 if args.quick else 32
+    data = table11_data(nprocs=nprocs)
+    blocks = []
+    for (d, s), row in sorted(data.items()):
+        paper = (
+            paper_data.TABLE11_SYNTHETIC_MS.get((d, s))
+            if nprocs == 32
+            else None
+        )
+        measured_ms = {k: v * 1e3 for k, v in row.items()}
+        blocks.append((f"{d:.0%} {s}B", measured_ms, paper))
+    print(
+        format_comparison(
+            f"Table 11: synthetic irregular patterns on {nprocs} processors (ms)",
+            paper_data.IRREGULAR_ORDER,
+            blocks,
+        )
+    )
+
+
+def cmd_table12(args: argparse.Namespace) -> None:
+    nprocs = 8 if args.quick else 32
+    times, loads = table12_data(nprocs=nprocs)
+    blocks = []
+    for name, row in times.items():
+        paper = paper_data.TABLE12_REAL_MS.get(name) if nprocs == 32 else None
+        measured_ms = {k: v * 1e3 for k, v in row.items()}
+        blocks.append((name, measured_ms, paper))
+    print(
+        format_comparison(
+            f"Table 12: real application patterns on {nprocs} processors (ms)",
+            paper_data.IRREGULAR_ORDER,
+            blocks,
+        )
+    )
+    print()
+    for name, wl in loads.items():
+        print(" ", wl.describe())
+
+
+def cmd_gantt(args: argparse.Namespace) -> None:
+    """Receiver-occupancy Gantt of LEX vs PEX — the pathology, visually."""
+    from .analysis.visualize import render_message_gantt
+    from .machine import CM5Params, MachineConfig
+    from .schedules import execute_schedule, linear_exchange, pairwise_exchange
+
+    n = 8 if args.quick else 16
+    cfg = MachineConfig(n, CM5Params(routing_jitter=0.0))
+    for build, label in ((linear_exchange, "LEX"), (pairwise_exchange, "PEX")):
+        res = execute_schedule(build(n, 256), cfg, trace=True)
+        print(f"{label}: {res.time_ms:.3f} ms")
+        print(render_message_gantt(res.sim.trace, n, width=64))
+        print()
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    """Regenerate EXPERIMENTS.md from live (cache-backed) measurements."""
+    from .analysis.report import build_experiments_markdown
+
+    text = build_experiments_markdown()
+    out = Path("EXPERIMENTS.md")
+    out.write_text(text)
+    print(f"wrote {out} ({len(text.splitlines())} lines)")
+
+
+def cmd_topology(args: argparse.Namespace) -> None:
+    from .analysis.visualize import render_fat_tree
+    from .machine import MachineConfig
+
+    sizes = (8, 16) if args.quick else (32, 256)
+    for n in sizes:
+        print(render_fat_tree(MachineConfig(n)))
+        print()
+
+
+def cmd_calibrate(args: argparse.Namespace) -> None:
+    from .analysis.calibrate import fit
+
+    if args.quick:
+        from .analysis.calibrate import anchors_from_table11
+
+        result = fit(
+            anchors=anchors_from_table11(densities=(0.50,)),
+            recv_overheads=(55e-6,),
+            send_overheads=(30e-6,),
+            contentions=(0.12,),
+        )
+    else:
+        result = fit()
+    print(result.report())
+    print("best parameters:", result.params)
+
+
+COMMANDS = {
+    "schedules": cmd_schedules,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "table5": cmd_table5,
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
+    "table11": cmd_table11,
+    "table12": cmd_table12,
+    "topology": cmd_topology,
+    "gantt": cmd_gantt,
+    "report": cmd_report,
+    "calibrate": cmd_calibrate,
+}
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    for name, fn in COMMANDS.items():
+        if name == "report":
+            continue  # report writes EXPERIMENTS.md; run it explicitly
+        print(f"\n===== {name} =====")
+        fn(args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cm5-repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which exhibit to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink sweeps to small machines (smoke run)",
+    )
+    parser.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write figure data as CSV under DIR",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        cmd_all(args)
+    else:
+        COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

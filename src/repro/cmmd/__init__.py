@@ -1,0 +1,29 @@
+"""CMMD-flavoured SPMD layer over the simulator.
+
+* :class:`Comm` — per-rank communication handle,
+* :func:`run_spmd` / :func:`run_programs` — the ``mpiexec`` equivalent,
+* user-level collective idioms (:func:`broadcast_recursive`, ...).
+"""
+
+from .api import Comm
+from .collectives import (
+    allgather_ring,
+    alltoall_pairwise,
+    broadcast_linear,
+    broadcast_recursive,
+    gather_linear,
+    scatter_linear,
+)
+from .program import run_programs, run_spmd
+
+__all__ = [
+    "Comm",
+    "run_spmd",
+    "run_programs",
+    "broadcast_linear",
+    "broadcast_recursive",
+    "gather_linear",
+    "scatter_linear",
+    "allgather_ring",
+    "alltoall_pairwise",
+]

@@ -1,0 +1,148 @@
+"""CMMD-flavoured communication facade for rank programs.
+
+The paper's experiments were written against Thinking Machines' CMMD
+library, whose software revision at the time supported only *synchronous*
+point-to-point communication.  This module exposes the same vocabulary on
+top of the simulator's request objects:
+
+* ``comm.send(dst, nbytes)`` / ``comm.recv(src)`` — blocking rendezvous
+  (CMMD ``CMMD_send_block`` / ``CMMD_receive_block``),
+* ``comm.swap(partner, nbytes)`` — the paper's deadlock-free pairwise
+  exchange idiom (lower rank receives first; Figure 2),
+* ``comm.sys_broadcast(...)`` / ``comm.reduce(...)`` / ``comm.barrier()``
+  — control-network collectives,
+* ``comm.compute(flops)`` / ``comm.memcpy(nbytes)`` — charge local work.
+
+Rank programs are generators; plain requests are ``yield``-ed and the
+compound idioms are used with ``yield from``::
+
+    def program(comm):
+        if comm.rank == 0:
+            yield comm.send(1, 1024)
+        elif comm.rank == 1:
+            data = yield comm.recv(0)
+        got = yield from comm.swap(comm.rank ^ 1, 512)
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..machine.params import CM5Params, MachineConfig
+from ..sim.process import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Barrier,
+    Delay,
+    Isend,
+    Recv,
+    Reduce,
+    Send,
+    SendHandle,
+    SysBroadcast,
+    Wait,
+)
+
+__all__ = ["Comm"]
+
+
+@dataclass(frozen=True)
+class Comm:
+    """Per-rank handle passed to every rank program."""
+
+    rank: int
+    config: MachineConfig
+
+    @property
+    def size(self) -> int:
+        return self.config.nprocs
+
+    @property
+    def params(self) -> CM5Params:
+        return self.config.params
+
+    # ------------------------------------------------------------------
+    # Point-to-point (yield the returned request)
+    # ------------------------------------------------------------------
+    def send(self, dst: int, nbytes: int, payload: Any = None, tag: int = 0) -> Send:
+        """Blocking synchronous send (CMMD ``CMMD_send_block``)."""
+        return Send(dst=dst, nbytes=nbytes, payload=payload, tag=tag)
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Recv:
+        """Blocking receive; ``yield`` evaluates to the sender's payload."""
+        return Recv(src=src, tag=tag)
+
+    def isend(
+        self, dst: int, nbytes: int, payload: Any = None, tag: int = 0
+    ) -> Isend:
+        """Non-blocking send; ``yield`` evaluates to a :class:`SendHandle`.
+
+        Models the asynchronous mode the paper's Section 3.1 wishes for;
+        pair with :meth:`wait`.  Not available in the CMMD revision the
+        paper measured — used only by the sync-vs-async ablation.
+        """
+        return Isend(dst=dst, nbytes=nbytes, payload=payload, tag=tag)
+
+    def wait(self, handle: SendHandle) -> Wait:
+        """Block until a non-blocking send completes."""
+        return Wait(handle=handle)
+
+    # ------------------------------------------------------------------
+    # Compound idioms (use with ``yield from``)
+    # ------------------------------------------------------------------
+    def swap(
+        self,
+        partner: int,
+        nbytes: int,
+        payload: Any = None,
+        tag: int = 0,
+        recv_nbytes: Optional[int] = None,
+    ) -> Generator[Any, Any, Any]:
+        """Exchange with ``partner``, lower rank receiving first (Figure 2).
+
+        Returns the partner's payload.  ``recv_nbytes`` is informational
+        only (sizes are carried by the sends); it exists so irregular
+        exchanges can document asymmetric volumes.
+        """
+        if partner == self.rank:
+            raise ValueError(f"rank {self.rank}: cannot swap with itself")
+        if self.rank < partner:
+            got = yield self.recv(partner, tag)
+            yield self.send(partner, nbytes, payload, tag)
+        else:
+            yield self.send(partner, nbytes, payload, tag)
+            got = yield self.recv(partner, tag)
+        return got
+
+    # ------------------------------------------------------------------
+    # Control-network collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> Barrier:
+        return Barrier()
+
+    def sys_broadcast(
+        self, root: int, nbytes: int, payload: Any = None
+    ) -> SysBroadcast:
+        """CMMD system broadcast: every rank in the partition participates."""
+        return SysBroadcast(root=root, nbytes=nbytes, payload=payload)
+
+    def reduce(self, value: Any, nbytes: int, op: Any = operator.add) -> Reduce:
+        """Global reduction; ``yield`` evaluates to the combined value."""
+        return Reduce(value=value, nbytes=nbytes, op=op)
+
+    # ------------------------------------------------------------------
+    # Local work
+    # ------------------------------------------------------------------
+    def compute(self, flops: float) -> Delay:
+        """Charge ``flops`` of local floating-point work to this node."""
+        return Delay(self.params.compute_time(flops))
+
+    def memcpy(self, nbytes: int) -> Delay:
+        """Charge a local buffer copy (pack/unpack) to this node."""
+        return Delay(self.params.memcpy_time(nbytes))
+
+    def delay(self, seconds: float) -> Delay:
+        """Charge an arbitrary local delay (already-computed cost)."""
+        return Delay(seconds)

@@ -1,0 +1,184 @@
+"""User-level collective idioms built from point-to-point messages.
+
+The paper compares *user-level* broadcast trees (LIB, REB) against the
+CMMD system broadcast.  The schedule generators in
+:mod:`repro.schedules.broadcast` produce the timing-model form; the
+generator helpers here are the *functional* form used inside rank
+programs when real payloads must move (applications, validation tests).
+Both forms express the same communication pattern, and the tests check
+they agree on timing.
+
+All helpers are used with ``yield from`` inside a rank program.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+from .api import Comm
+
+__all__ = [
+    "broadcast_linear",
+    "broadcast_recursive",
+    "gather_linear",
+    "scatter_linear",
+    "allgather_ring",
+    "alltoall_pairwise",
+]
+
+
+def broadcast_linear(
+    comm: Comm, root: int, nbytes: int, payload: Any = None, tag: int = 0
+) -> Generator[Any, Any, Any]:
+    """LIB: the root sends to every other rank one by one (N-1 steps)."""
+    if comm.rank == root:
+        for dst in range(comm.size):
+            if dst != root:
+                yield comm.send(dst, nbytes, payload, tag)
+        return payload
+    return (yield comm.recv(root, tag))
+
+
+def broadcast_recursive(
+    comm: Comm,
+    root: int,
+    nbytes: int,
+    payload: Any = None,
+    tag: int = 0,
+    group: Optional[Sequence[int]] = None,
+) -> Generator[Any, Any, Any]:
+    """REB: recursive-doubling broadcast in lg N steps (Figure 9).
+
+    ``group`` selects the participating ranks (default: the whole
+    partition) — the *selective* broadcast the system primitive cannot
+    do, e.g. a row or column of a processor mesh.  ``group`` must contain
+    ``root``; its size must be a power of two.  Ranks outside the group
+    must not call this helper.
+    """
+    members = list(group) if group is not None else list(range(comm.size))
+    n = len(members)
+    if n & (n - 1) or n < 1:
+        raise ValueError(f"group size must be a power of two, got {n}")
+    if root not in members:
+        raise ValueError(f"root {root} not in broadcast group")
+    if comm.rank not in members:
+        raise ValueError(f"rank {comm.rank} is outside the broadcast group")
+    # Work in group-relative coordinates with the root rotated to 0.
+    pos = members.index(comm.rank)
+    rpos = members.index(root)
+    me = (pos - rpos) % n
+    data = payload if comm.rank == root else None
+
+    steps = n.bit_length() - 1  # lg n
+    for j in range(1, steps + 1):
+        distance = n >> j  # n / 2**j
+        if me % (2 * distance) == 0:
+            peer = me + distance
+            dst = members[(peer + rpos) % n]
+            yield comm.send(dst, nbytes, data, tag)
+        elif me % distance == 0:
+            peer = me - distance
+            src = members[(peer + rpos) % n]
+            data = yield comm.recv(src, tag)
+    return data
+
+
+def gather_linear(
+    comm: Comm, root: int, nbytes: int, payload: Any = None, tag: int = 0
+) -> Generator[Any, Any, Any]:
+    """All ranks send to the root, which receives in rank order.
+
+    Returns the list of payloads (rank order) on the root, None
+    elsewhere.  Used by the applications to assemble validation output;
+    its running time is exactly the linear-scheduling pathology the
+    paper's Section 4 measures, so tests also use it as a worst case.
+    """
+    if comm.rank == root:
+        out = []
+        for src in range(comm.size):
+            if src == root:
+                out.append(payload)
+            else:
+                out.append((yield comm.recv(src, tag)))
+        return out
+    yield comm.send(root, nbytes, payload, tag)
+    return None
+
+
+def alltoall_pairwise(
+    comm: Comm,
+    nbytes: int,
+    payloads: Optional[Sequence[Any]] = None,
+    tag: int = 0,
+) -> Generator[Any, Any, Any]:
+    """Functional complete exchange via pairwise exchange (Figure 2).
+
+    ``payloads[j]`` is this rank's block destined for rank ``j``;
+    returns the list of received blocks indexed by source.  This is the
+    payload-moving twin of :func:`repro.schedules.pex.pairwise_exchange`.
+    """
+    n = comm.size
+    if n & (n - 1):
+        raise ValueError(f"pairwise exchange needs power-of-two ranks, got {n}")
+    received: list = [None] * n
+    if payloads is not None and len(payloads) != n:
+        raise ValueError(f"need {n} payload blocks, got {len(payloads)}")
+    if payloads is not None:
+        received[comm.rank] = payloads[comm.rank]
+    for j in range(1, n):
+        partner = comm.rank ^ j
+        block = payloads[partner] if payloads is not None else None
+        received[partner] = yield from comm.swap(partner, nbytes, block, tag)
+    return received
+
+
+def scatter_linear(
+    comm: Comm, root: int, nbytes: int, payloads: Optional[Sequence[Any]] = None,
+    tag: int = 0,
+) -> Generator[Any, Any, Any]:
+    """The root sends a distinct block to every rank, in rank order.
+
+    Returns this rank's block.  ``payloads`` (root only) holds one entry
+    per rank; the root keeps ``payloads[root]`` locally.
+    """
+    if comm.rank == root:
+        if payloads is not None and len(payloads) != comm.size:
+            raise ValueError(
+                f"need {comm.size} payload blocks, got {len(payloads)}"
+            )
+        for dst in range(comm.size):
+            if dst != root:
+                block = payloads[dst] if payloads is not None else None
+                yield comm.send(dst, nbytes, block, tag)
+        return payloads[root] if payloads is not None else None
+    return (yield comm.recv(root, tag))
+
+
+def allgather_ring(
+    comm: Comm, nbytes: int, payload: Any = None, tag: int = 0
+) -> Generator[Any, Any, Any]:
+    """Ring allgather: N-1 shift steps, each forwarding the newest block.
+
+    The nearest-neighbour *shift* pattern (Section 3's third regular
+    pattern) applied N-1 times: after step k every rank holds the blocks
+    of the k+1 ranks behind it.  Returns the list of all ranks' payloads
+    in rank order.  Deadlock freedom under synchronous sends comes from
+    even/odd phasing.
+    """
+    n = comm.size
+    right = (comm.rank + 1) % n
+    left = (comm.rank - 1) % n
+    blocks: list = [None] * n
+    blocks[comm.rank] = payload
+    carried = payload
+    for step in range(n - 1):
+        got = None
+        for phase in (0, 1):
+            if comm.rank % 2 == phase:
+                yield comm.send(right, nbytes, carried, tag)
+            else:
+                got = yield comm.recv(left, tag)
+        carried = got
+        src = (comm.rank - step - 1) % n
+        blocks[src] = carried
+    return blocks

@@ -1,0 +1,142 @@
+"""Max-min fair bandwidth allocation over shared fat-tree links.
+
+When several messages are in flight, each message receives the max-min
+fair rate subject to (a) every link's aggregate capacity being shared by
+the flows crossing it and (b) each flow's intrinsic rate cap (the
+per-message level bandwidth from :meth:`FatTree.message_rate_cap`).
+
+This is the classic *progressive filling* computation: the rates of all
+unfrozen flows rise together until a link saturates or a flow reaches its
+cap; those flows freeze, and filling continues on the rest.  The
+implementation is vectorized with NumPy ``reduceat`` over a CSR-style
+flow->link incidence so a reallocation for a few hundred concurrent flows
+costs microseconds — it runs on every flow arrival/departure wave inside
+the fluid network simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["max_min_rates", "build_incidence"]
+
+_INF = float("inf")
+#: Relative slack used to decide that a constraint is binding.
+_REL_EPS = 1e-12
+
+
+def max_min_rates(
+    link_caps: np.ndarray,
+    flow_ptr: np.ndarray,
+    flow_links: np.ndarray,
+    flow_caps: np.ndarray,
+) -> np.ndarray:
+    """Compute max-min fair rates for a set of flows.
+
+    Parameters
+    ----------
+    link_caps:
+        ``(L,)`` array of link capacities (bytes/s).
+    flow_ptr:
+        ``(F + 1,)`` CSR row pointer: flow ``f`` uses link indices
+        ``flow_links[flow_ptr[f]:flow_ptr[f + 1]]``.  Every flow must use
+        at least one link.
+    flow_links:
+        Concatenated link indices of all flow paths.
+    flow_caps:
+        ``(F,)`` per-flow intrinsic rate caps (may be ``inf``).
+
+    Returns
+    -------
+    ``(F,)`` array of allocated rates.
+
+    The result satisfies the max-min property: no flow's rate can be
+    increased without decreasing the rate of another flow that already
+    has an equal or smaller rate, and no link's capacity is exceeded.
+
+    >>> import numpy as np
+    >>> # two flows share link 0 (cap 10); flow 1 also crosses link 1 (cap 3)
+    >>> rates = max_min_rates(
+    ...     np.array([10.0, 3.0]),
+    ...     np.array([0, 1, 3]),
+    ...     np.array([0, 0, 1]),
+    ...     np.array([np.inf, np.inf]),
+    ... )
+    >>> rates.tolist()
+    [7.0, 3.0]
+    """
+    flow_ptr = np.asarray(flow_ptr, dtype=np.int64)
+    flow_links = np.asarray(flow_links, dtype=np.int64)
+    nflows = len(flow_ptr) - 1
+    if nflows == 0:
+        return np.zeros(0)
+    path_lens = np.diff(flow_ptr)
+    if np.any(path_lens < 1):
+        raise ValueError("every flow must traverse at least one link")
+
+    remaining_cap = np.asarray(link_caps, dtype=float).copy()
+    if np.any(remaining_cap <= 0):
+        raise ValueError("link capacities must be positive")
+    rates = np.zeros(nflows)
+    active = np.ones(nflows, dtype=bool)
+    cap_left = np.asarray(flow_caps, dtype=float).copy()
+    if np.any(cap_left <= 0):
+        raise ValueError("flow caps must be positive")
+
+    starts = flow_ptr[:-1]
+    nlinks = len(remaining_cap)
+
+    # Each round freezes at least one flow, so nflows rounds suffice.
+    for _ in range(nflows + 1):
+        if not active.any():
+            break
+        seg_active = np.repeat(active, path_lens)
+        counts = np.bincount(flow_links[seg_active], minlength=nlinks)
+        # Allowable uniform rate increment through each link.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            link_incr = np.where(counts > 0, remaining_cap / np.maximum(counts, 1), _INF)
+        # Per-flow allowable increment: path bottleneck vs remaining cap.
+        path_incr = np.minimum.reduceat(link_incr[flow_links], starts)
+        incr = np.minimum(path_incr, cap_left)
+        incr_active = np.where(active, incr, _INF)
+        delta = incr_active.min()
+        if not np.isfinite(delta):
+            raise RuntimeError("unbounded flow: a path has no finite constraint")
+
+        rates[active] += delta
+        cap_left[active] -= delta
+        remaining_cap = remaining_cap - counts * delta
+
+        # Freeze flows that hit their cap or whose path saturated a link.
+        scale = np.asarray(link_caps, dtype=float)
+        saturated = remaining_cap <= _REL_EPS * scale + 1e-15
+        flow_hits_sat = (
+            np.bitwise_or.reduceat(saturated[flow_links], starts)
+            if nflows
+            else np.zeros(0, dtype=bool)
+        )
+        at_cap = cap_left <= _REL_EPS * np.where(
+            np.isfinite(flow_caps), flow_caps, 1.0
+        ) + 1e-15
+        freeze = active & (flow_hits_sat | at_cap)
+        if not freeze.any():  # pragma: no cover - defensive: delta was binding
+            raise RuntimeError("progressive filling made no progress")
+        active &= ~freeze
+    else:  # pragma: no cover - loop bound is provably sufficient
+        raise RuntimeError("max-min allocation failed to converge")
+
+    return rates
+
+
+def build_incidence(paths: Sequence[Sequence[int]]) -> "tuple[np.ndarray, np.ndarray]":
+    """Pack a list of link-index paths into CSR ``(flow_ptr, flow_links)``."""
+    lengths = np.fromiter((len(p) for p in paths), dtype=np.int64, count=len(paths))
+    flow_ptr = np.zeros(len(paths) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=flow_ptr[1:])
+    if len(paths):
+        flow_links = np.concatenate([np.asarray(p, dtype=np.int64) for p in paths])
+    else:
+        flow_links = np.zeros(0, dtype=np.int64)
+    return flow_ptr, flow_links

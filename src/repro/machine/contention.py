@@ -1,0 +1,213 @@
+"""Fluid-flow model of concurrent message transfers on the fat tree.
+
+Packet-level simulation of every 20-byte packet would be prohibitively
+slow at 256 nodes, and the CM-5's randomized routing makes the *average*
+behaviour of a message well described by a fluid: each in-flight message
+is a flow with a remaining wire-byte count, draining at the max-min fair
+rate given all concurrently active flows (see
+:mod:`repro.machine.bandwidth`).  Rates are piecewise constant between
+flow arrivals and departures; the :class:`FluidNetwork` advances that
+piecewise-linear system and reports completion times.
+
+The discrete-event engine (:mod:`repro.sim.engine`) owns simulated time;
+this class is passive.  The intended protocol is::
+
+    net.advance_to(now)        # drain progress up to the current time
+    net.add_flow(key, src, dst, payload)     # possibly several, same time
+    ...
+    t = net.earliest_completion()            # engine schedules an event
+    done = net.pop_completed(t)              # at that event
+
+Batching matters: the synchronized exchange algorithms start whole waves
+of messages at identical times, and rates are recomputed once per wave,
+not once per message.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from .bandwidth import max_min_rates
+from .fattree import FatTree, LinkId
+from .params import wire_bytes
+
+__all__ = ["FluidNetwork", "FlowState"]
+
+#: Remaining-byte threshold below which a flow counts as complete.
+_DONE_EPS = 1e-6
+
+
+@dataclass
+class FlowState:
+    """One in-flight message transfer."""
+
+    key: Hashable
+    src: int
+    dst: int
+    wire_remaining: float
+    path_idx: np.ndarray
+    rate_cap: float
+    rate: float = 0.0
+    started_at: float = 0.0
+    payload_bytes: int = 0
+
+
+class FluidNetwork:
+    """Tracks active flows and their max-min fair rates over a fat tree.
+
+    ``seed`` drives the randomized-routing jitter (see
+    :attr:`CM5Params.routing_jitter`): each flow's wire volume is
+    inflated by a per-flow factor drawn deterministically, so runs are
+    exactly reproducible for a given seed.
+    """
+
+    def __init__(self, tree: FatTree, seed: int = 0):
+        self.tree = tree
+        link_ids = sorted(tree.links)
+        self._link_index: Dict[LinkId, int] = {l: i for i, l in enumerate(link_ids)}
+        self._link_caps = np.array(
+            [tree.capacity(l) for l in link_ids], dtype=float
+        )
+        self._flows: Dict[Hashable, FlowState] = {}
+        self._now = 0.0
+        self._dirty = False
+        self._path_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_count(self) -> int:
+        return len(self._flows)
+
+    def _path_indices(self, src: int, dst: int) -> np.ndarray:
+        cached = self._path_cache.get((src, dst))
+        if cached is None:
+            cached = np.array(
+                [self._link_index[l] for l in self.tree.path(src, dst)],
+                dtype=np.int64,
+            )
+            self._path_cache[(src, dst)] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def add_flow(self, key: Hashable, src: int, dst: int, payload: int) -> None:
+        """Register a message transfer starting at the current time.
+
+        ``payload`` is user bytes; the flow carries the packetized wire
+        size.  The caller must have brought the network to the flow's
+        start time with :meth:`advance_to` first.
+        """
+        if key in self._flows:
+            raise ValueError(f"duplicate flow key: {key!r}")
+        wire = float(wire_bytes(payload))
+        jitter = self.tree.params.routing_jitter
+        if jitter > 0:
+            # Random-routing variance: relative inflation ~ j*|Z|/sqrt(p)
+            # over p packets (conflicts average out for long messages).
+            packets = wire / 20.0
+            z = abs(self._rng.standard_normal())
+            wire *= 1.0 + jitter * z / math.sqrt(packets)
+        self._flows[key] = FlowState(
+            key=key,
+            src=src,
+            dst=dst,
+            wire_remaining=wire,
+            path_idx=self._path_indices(src, dst),
+            rate_cap=self.tree.message_rate_cap(src, dst),
+            started_at=self._now,
+            payload_bytes=payload,
+        )
+        self._dirty = True
+
+    def advance_to(self, t: float) -> None:
+        """Drain all active flows up to time ``t`` at their current rates."""
+        if t < self._now - 1e-12:
+            raise ValueError(f"time moved backwards: {t} < {self._now}")
+        if self._dirty:
+            self._recompute()
+        dt = t - self._now
+        if dt > 0 and self._flows:
+            for f in self._flows.values():
+                f.wire_remaining -= f.rate * dt
+        self._now = max(self._now, t)
+
+    def earliest_completion(self) -> Optional[float]:
+        """Absolute time the next flow (if any) finishes at current rates."""
+        if self._dirty:
+            self._recompute()
+        if not self._flows:
+            return None
+        best = math.inf
+        for f in self._flows.values():
+            if f.wire_remaining <= _DONE_EPS:
+                return self._now
+            if f.rate > 0:
+                best = min(best, f.wire_remaining / f.rate)
+        if math.isinf(best):  # pragma: no cover - rates are always positive
+            raise RuntimeError("active flows with zero rate")
+        return self._now + best
+
+    def pop_completed(self, t: float) -> List[FlowState]:
+        """Advance to ``t`` and remove every flow that has finished."""
+        self.advance_to(t)
+        done = [f for f in self._flows.values() if f.wire_remaining <= _DONE_EPS]
+        for f in done:
+            del self._flows[f.key]
+        if done:
+            self._dirty = True
+        return done
+
+    # ------------------------------------------------------------------
+    def _recompute(self) -> None:
+        flows = list(self._flows.values())
+        if flows:
+            lengths = np.fromiter(
+                (len(f.path_idx) for f in flows), dtype=np.int64, count=len(flows)
+            )
+            flow_ptr = np.zeros(len(flows) + 1, dtype=np.int64)
+            np.cumsum(lengths, out=flow_ptr[1:])
+            flow_links = np.concatenate([f.path_idx for f in flows])
+            flow_caps = np.fromiter(
+                (f.rate_cap for f in flows), dtype=float, count=len(flows)
+            )
+            # Switch contention: a link shared by n concurrent flows loses
+            # arbitration/conflict efficiency, degrading its usable
+            # capacity to cap / (1 + c*(n-1)).  This is what makes
+            # concentrated permutation steps (PEX's all-remote steps)
+            # slower than balanced ones (BEX) beyond plain fair sharing.
+            caps = self._link_caps
+            c = self.tree.params.switch_contention
+            if c > 0:
+                counts = np.bincount(flow_links, minlength=len(caps))
+                penalty = np.minimum(
+                    1.0 + c * np.maximum(counts - 1, 0),
+                    self.tree.params.contention_cap,
+                )
+                caps = caps / penalty
+            rates = max_min_rates(caps, flow_ptr, flow_links, flow_caps)
+            for f, r in zip(flows, rates):
+                f.rate = float(r)
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def snapshot_rates(self) -> Dict[Hashable, float]:
+        """Current fair rate of every active flow (diagnostics/tests)."""
+        if self._dirty:
+            self._recompute()
+        return {k: f.rate for k, f in self._flows.items()}
+
+    def reset(self) -> None:
+        """Drop all flows and rewind the clock (reuse across runs)."""
+        self._flows.clear()
+        self._now = 0.0
+        self._dirty = False
+        self._rng = np.random.default_rng(self._seed)

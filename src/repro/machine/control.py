@@ -1,0 +1,66 @@
+"""Model of the CM-5 control network.
+
+The control network is a separate combine tree used for global
+operations: barrier synchronization, reductions, parallel-prefix scans,
+and the system broadcast.  Its defining properties (paper Section 2 and
+Figures 10/11):
+
+* very low latency (2-5 microseconds per wave-front),
+* throughput essentially independent of partition size — the system
+  broadcast curve in Figure 11 is flat in machine size,
+* every node in the partition participates (there is no *selective*
+  system broadcast, which is the motivation for the user-level REB
+  algorithm in Section 3.6).
+
+Times returned here are global: all participants complete at the same
+instant on the simulated clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .params import CM5Params
+
+__all__ = ["ControlNetwork"]
+
+
+@dataclass(frozen=True)
+class ControlNetwork:
+    """Analytic timing of control-network collectives."""
+
+    params: CM5Params
+
+    def _depth(self, nprocs: int) -> int:
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        return max(1, math.ceil(math.log2(nprocs))) if nprocs > 1 else 1
+
+    def barrier(self, nprocs: int) -> float:
+        """Global synchronization of ``nprocs`` nodes."""
+        self._depth(nprocs)
+        return self.params.barrier_latency
+
+    def broadcast(self, payload: int, nprocs: int) -> float:
+        """System (one-to-all) broadcast of ``payload`` bytes.
+
+        Fixed entry overhead + shallow tree latency + payload streaming at
+        the machine-size-independent control-network rate.  This is the
+        curve REB is compared against in Figures 10 and 11.
+        """
+        return self.params.system_broadcast_time(payload, nprocs)
+
+    def reduce(self, payload: int, nprocs: int) -> float:
+        """Global reduction (sum/max/...) of ``payload`` bytes per node."""
+        if payload < 0:
+            raise ValueError(f"payload must be non-negative, got {payload}")
+        depth = self._depth(nprocs)
+        return (
+            self.params.control_latency * depth
+            + payload / self.params.control_broadcast_bandwidth
+        )
+
+    def scan(self, payload: int, nprocs: int) -> float:
+        """Parallel-prefix operation; same cost shape as a reduction."""
+        return self.reduce(payload, nprocs)

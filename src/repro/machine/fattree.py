@@ -1,0 +1,158 @@
+"""Explicit 4-ary fat-tree topology of the CM-5 data network.
+
+The CM-5 data network is a 4-ary fat tree: processing nodes are leaves,
+each internal switch serves four children, and link capacity grows toward
+the root so that the *per-node* bandwidth available at tree level ``l``
+follows the published 20 / 10 / 5 MB/s profile (level 1 / level 2 /
+level >= 3).
+
+This module gives every link a stable hashable identity and a capacity,
+and computes the up-over-down path any message takes.  The fluid
+contention model (:mod:`repro.machine.contention`) and the discrete-event
+network (:mod:`repro.sim.network`) both consume these paths.
+
+Link identities
+---------------
+``("up", level, subtree)`` is the link carrying traffic from the
+``subtree``-th level-``level - 1`` subtree up into its level-``level``
+parent switch (``("up", 1, i)`` is node *i*'s injection link).
+``("down", level, subtree)`` is the mirror-image link for descending
+traffic.  Up and down links are separate resources: the network is full
+duplex, so an exchange between two nodes does not self-contend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from .params import FAT_TREE_ARITY, CM5Params, MachineConfig
+
+LinkId = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed fat-tree link with an aggregate capacity in bytes/s."""
+
+    link_id: LinkId
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"link capacity must be positive: {self.link_id}")
+
+
+class FatTree:
+    """The fat tree for one CM-5 partition.
+
+    Parameters
+    ----------
+    config:
+        The partition (node count + machine parameters).
+
+    Notes
+    -----
+    Capacities follow the per-node level-bandwidth profile: the up link
+    out of a level-``l - 1`` subtree into level ``l`` aggregates
+    ``4**(l-1)`` leaves, each entitled to ``level_bandwidth(l)`` through
+    that level, so its capacity is ``4**(l-1) * level_bandwidth(l)``.
+    With the default parameters a 32-node partition therefore has 20 MB/s
+    injection links, 40 MB/s cluster up-links, and 80 MB/s links into the
+    root — reproducing the guaranteed 5 MB/s per node through the root
+    under all-to-all load while letting intra-cluster traffic run at
+    20 MB/s.
+    """
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.nprocs = config.nprocs
+        self.params: CM5Params = config.params
+        self.levels = config.levels
+        self._links: Dict[LinkId, Link] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        params = self.params
+        for node in range(self.nprocs):
+            cap = params.level_bandwidth(1)
+            self._add(("up", 1, node), cap)
+            self._add(("down", 1, node), cap)
+        for level in range(2, self.levels + 1):
+            subtree_leaves = FAT_TREE_ARITY ** (level - 1)
+            n_subtrees = -(-self.nprocs // subtree_leaves)  # ceil div
+            cap = subtree_leaves * params.level_bandwidth(level)
+            for subtree in range(n_subtrees):
+                self._add(("up", level, subtree), cap)
+                self._add(("down", level, subtree), cap)
+
+    def _add(self, link_id: LinkId, capacity: float) -> None:
+        self._links[link_id] = Link(link_id, capacity)
+
+    # ------------------------------------------------------------------
+    @property
+    def links(self) -> Dict[LinkId, Link]:
+        """All links, keyed by id."""
+        return dict(self._links)
+
+    def capacity(self, link_id: LinkId) -> float:
+        return self._links[link_id].capacity
+
+    def route_level(self, src: int, dst: int) -> int:
+        """Level of the lowest common switch (delegates to the config)."""
+        return self.config.route_level(src, dst)
+
+    def path(self, src: int, dst: int) -> Tuple[LinkId, ...]:
+        """The up-over-down sequence of links from ``src`` to ``dst``.
+
+        The CM-5 router picks an up-path at random among equivalent
+        choices; because our link capacities aggregate the parallel
+        physical channels at each level, the randomization is already
+        averaged into the capacity and the path is deterministic.
+        """
+        if src == dst:
+            raise ValueError(f"no self-path: src == dst == {src}")
+        self.config._check_rank(src)
+        self.config._check_rank(dst)
+        top = self.route_level(src, dst)
+        up: List[LinkId] = []
+        down: List[LinkId] = []
+        s, d = src, dst
+        for level in range(1, top + 1):
+            up.append(("up", level, s))
+            down.append(("down", level, d))
+            s //= FAT_TREE_ARITY
+            d //= FAT_TREE_ARITY
+        return tuple(up + list(reversed(down)))
+
+    def message_rate_cap(self, src: int, dst: int) -> float:
+        """Intrinsic per-message bandwidth cap for the (src, dst) route.
+
+        Even without competing traffic a message crossing level ``l``
+        streams at ``level_bandwidth(l)`` — the paper's observation that
+        peak bandwidth is only achieved within a cluster of four.
+        """
+        return self.params.level_bandwidth(self.route_level(src, dst))
+
+    def subtree_paths_through(self, link_id: LinkId) -> int:
+        """Number of leaves whose traffic can use ``link_id`` (diagnostic)."""
+        kind, level, _ = link_id
+        if kind not in ("up", "down"):
+            raise ValueError(f"unknown link kind: {kind}")
+        return FAT_TREE_ARITY ** (level - 1)
+
+
+@lru_cache(maxsize=64)
+def _cached_tree(nprocs: int, params: CM5Params) -> FatTree:
+    return FatTree(MachineConfig(nprocs, params))
+
+
+def fat_tree_for(config: MachineConfig) -> FatTree:
+    """Shared, cached :class:`FatTree` for a configuration.
+
+    Topologies are immutable per (nprocs, params), so schedule executions
+    across a parameter sweep reuse one instance.
+    """
+    return _cached_tree(config.nprocs, config.params)

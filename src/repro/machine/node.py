@@ -1,0 +1,47 @@
+"""Per-node software cost model (SPARC processing element).
+
+The CM-5 node processor spends measurable CPU time in the CMMD library on
+every message: initiating a send, servicing a receive, and — for
+store-and-forward algorithms like recursive exchange — packing and
+unpacking staging buffers.  These costs are *sequential* per node: a node
+services one receive at a time, which is exactly why the linear
+algorithms collapse under the synchronous-communication constraint.
+
+This module is a thin, well-named facade over :class:`CM5Params` so the
+simulator and the schedule executor never reach into raw constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import CM5Params
+
+__all__ = ["NodeCostModel"]
+
+
+@dataclass(frozen=True)
+class NodeCostModel:
+    """Software-side costs charged on a node's own clock."""
+
+    params: CM5Params
+
+    def send_setup(self) -> float:
+        """CPU time to initiate one (synchronous) send."""
+        return self.params.send_overhead
+
+    def recv_service(self) -> float:
+        """CPU time to accept and complete one incoming message."""
+        return self.params.recv_overhead
+
+    def pack(self, nbytes: int) -> float:
+        """Time to gather ``nbytes`` into a contiguous send buffer."""
+        return self.params.memcpy_time(nbytes)
+
+    def unpack(self, nbytes: int) -> float:
+        """Time to scatter ``nbytes`` out of a receive buffer."""
+        return self.params.memcpy_time(nbytes)
+
+    def compute(self, flops: float) -> float:
+        """Time to run ``flops`` floating-point operations locally."""
+        return self.params.compute_time(flops)

@@ -1,0 +1,24 @@
+"""PARTI/CHAOS-style runtime layer: inspector/executor over the simulator.
+
+The context of the paper's Section 4 (and of the authors' companion
+runtime-mapping work with Saltz): irregular problems hand the runtime
+raw global indices; an *inspector* builds the communication pattern and
+schedule once; an *executor* replays it every iteration.
+
+* :class:`Distribution` — ownership + global/local translation,
+* :func:`build_plan` / :class:`CommunicationPlan` — the inspector,
+* :func:`gather_ops` / :func:`run_gather` — the executor.
+"""
+
+from .translation import Distribution
+from .inspector import CommunicationPlan, build_plan
+from .executor import GatherResult, gather_ops, run_gather
+
+__all__ = [
+    "Distribution",
+    "CommunicationPlan",
+    "build_plan",
+    "GatherResult",
+    "gather_ops",
+    "run_gather",
+]

@@ -1,0 +1,116 @@
+"""Global/local index translation for distributed irregular arrays.
+
+The PARTI/CHAOS-style runtime layer the paper's Section 4 sits on (the
+authors thank Joel Saltz; the companion SHPCC'92 paper is the runtime
+mapping side of this work) keeps a *translation table*: which processor
+owns each global array element and where it lives locally.  Solvers
+hand the runtime raw global indices; the inspector turns them into a
+communication pattern once, and iterations replay it.
+
+This module provides the ownership/translation substrate:
+
+* :class:`Distribution` — an ownership map (block or irregular) with
+  global->(owner, local offset) lookup, vectorized over NumPy arrays;
+* each rank's local segment order is its sorted list of owned globals,
+  so translation is deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["Distribution"]
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Ownership of ``n_global`` array elements over ``nprocs`` ranks."""
+
+    owner: np.ndarray  # (n_global,) rank owning each element
+
+    def __post_init__(self) -> None:
+        o = np.asarray(self.owner)
+        if o.ndim != 1 or o.size == 0:
+            raise ValueError("owner must be a non-empty 1-D array")
+        if o.min() < 0:
+            raise ValueError("owner ranks must be non-negative")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def block(cls, n_global: int, nprocs: int) -> "Distribution":
+        """Contiguous block distribution (the regular baseline)."""
+        if nprocs < 1 or n_global < nprocs:
+            raise ValueError(f"cannot block-distribute {n_global} over {nprocs}")
+        bounds = np.linspace(0, n_global, nprocs + 1).astype(np.int64)
+        owner = np.zeros(n_global, dtype=np.int64)
+        for r in range(nprocs):
+            owner[bounds[r] : bounds[r + 1]] = r
+        return cls(owner)
+
+    @classmethod
+    def from_labels(cls, labels: np.ndarray) -> "Distribution":
+        """Irregular distribution from per-element part labels (e.g. the
+        RCB partition of mesh vertices)."""
+        return cls(np.asarray(labels, dtype=np.int64).copy())
+
+    # ------------------------------------------------------------------
+    @property
+    def n_global(self) -> int:
+        return int(self.owner.size)
+
+    @cached_property
+    def nprocs(self) -> int:
+        return int(self.owner.max()) + 1
+
+    @cached_property
+    def owned(self) -> List[np.ndarray]:
+        """owned[r] = sorted global indices owned by rank r."""
+        return [
+            np.flatnonzero(self.owner == r) for r in range(self.nprocs)
+        ]
+
+    @cached_property
+    def local_offset(self) -> np.ndarray:
+        """(n_global,) position of each global element in its owner's
+        local segment."""
+        off = np.empty(self.n_global, dtype=np.int64)
+        for verts in self.owned:
+            off[verts] = np.arange(len(verts))
+        return off
+
+    # ------------------------------------------------------------------
+    def locate(self, global_idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized global -> (owner rank, local offset)."""
+        g = np.asarray(global_idx, dtype=np.int64)
+        if g.size and (g.min() < 0 or g.max() >= self.n_global):
+            raise IndexError("global index out of range")
+        return self.owner[g], self.local_offset[g]
+
+    def local_size(self, rank: int) -> int:
+        return len(self.owned[rank])
+
+    def to_global(self, rank: int, local_idx: np.ndarray) -> np.ndarray:
+        """Local offsets on ``rank`` -> global indices."""
+        return self.owned[rank][np.asarray(local_idx, dtype=np.int64)]
+
+    def scatter_array(self, data: np.ndarray) -> List[np.ndarray]:
+        """Split a global array into per-rank local segments."""
+        if data.shape[0] != self.n_global:
+            raise ValueError(
+                f"array has {data.shape[0]} rows, distribution {self.n_global}"
+            )
+        return [data[verts] for verts in self.owned]
+
+    def gather_array(self, segments: List[np.ndarray]) -> np.ndarray:
+        """Reassemble per-rank segments into the global array."""
+        if len(segments) != self.nprocs:
+            raise ValueError(f"need {self.nprocs} segments, got {len(segments)}")
+        first = np.asarray(segments[0])
+        out = np.empty((self.n_global,) + first.shape[1:], dtype=first.dtype)
+        for r, seg in enumerate(segments):
+            out[self.owned[r]] = seg
+        return out

@@ -1,0 +1,80 @@
+"""Synchronous vs asynchronous linear exchange (the Section 3.1 remark).
+
+The paper: "The current version of CM-5 supports only synchronous
+communication.  Since at each step all processors send messages to a
+particular processor i, synchronous communication will adversely affect
+the performance.  If asynchronous (or non-blocking) communication is
+allowed, processors need not wait for their messages to be received in
+step i in order to proceed to step i+1."
+
+This module implements both flavours as rank programs — the synchronous
+one equivalent to executing :func:`linear_exchange`, the asynchronous
+one using the engine's ``Isend``/``Wait`` — so the ablation benchmark
+can quantify exactly how much of LEX's pathology the missing
+asynchronous mode is responsible for.  (Receivers still drain messages
+one at a time; asynchrony removes the *senders'* blocking, which is why
+LEX improves but does not reach PEX.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cmmd.api import Comm
+from ..cmmd.program import run_spmd
+from ..machine.params import CM5Params, DEFAULT_PARAMS, MachineConfig
+
+__all__ = [
+    "linear_exchange_sync_program",
+    "linear_exchange_async_program",
+    "linear_exchange_time",
+]
+
+
+def linear_exchange_sync_program(comm: Comm, nbytes: int):
+    """LEX under blocking sends: each sender stalls on every rendezvous."""
+    n = comm.size
+    for i in range(n):
+        if comm.rank == i:
+            for j in range(n):
+                if j != i:
+                    yield comm.recv(j, tag=i)
+        else:
+            yield comm.send(i, nbytes, tag=i)
+
+
+def linear_exchange_async_program(comm: Comm, nbytes: int):
+    """LEX under non-blocking sends: post everything, then drain.
+
+    A sender launches its message for step *i* and immediately proceeds
+    to step *i + 1*; completion of all its sends is collected at the
+    end.  Receivers are unchanged (one message at a time).
+    """
+    n = comm.size
+    handles = []
+    for i in range(n):
+        if comm.rank == i:
+            for j in range(n):
+                if j != i:
+                    yield comm.recv(j, tag=i)
+        else:
+            handles.append((yield comm.isend(i, nbytes, tag=i)))
+    for h in handles:
+        yield comm.wait(h)
+
+
+def linear_exchange_time(
+    nprocs: int,
+    nbytes: int,
+    asynchronous: bool,
+    params: Optional[CM5Params] = None,
+    seed: int = 0,
+) -> float:
+    """Seconds for a complete exchange via LEX, sync or async flavour."""
+    cfg = MachineConfig(nprocs, params or DEFAULT_PARAMS)
+    program = (
+        linear_exchange_async_program
+        if asynchronous
+        else linear_exchange_sync_program
+    )
+    return run_spmd(cfg, program, nbytes, seed=seed).makespan

@@ -1,0 +1,54 @@
+"""Balanced Exchange (BEX) and Balanced Scheduling (BS).
+
+The paper's contribution (Section 3.4, Figure 4).  PEX's XOR pairing
+has a locality pathology on the CM-5 fat tree: in the first steps every
+processor exchanges *inside* its cluster of four, and in later step
+blocks every processor simultaneously exchanges with a *remote* cluster,
+so the root links see bursts of contention.  BEX applies the pairwise
+algorithm to *virtual* processor numbers, offset by one from the
+physical numbers::
+
+    virtual = (physical + 1) mod N
+    partner(physical, j) = ((virtual XOR j) - 1) mod N
+
+The rotation staggers the pairing relative to the physical cluster
+boundaries, so each step mixes intra-cluster ("local") and inter-cluster
+("global") exchanges: the 3N/4 * N/2 global exchange pairs are spread
+across all N-1 steps instead of saturating 3N/4 of the steps
+(Section 3.4's accounting).  :mod:`repro.schedules.metrics` measures
+exactly this redistribution; the ablation benchmark shows it is where
+BEX's advantage comes from.
+
+Balanced Scheduling (Section 4.3) is the same pairing on an irregular
+pattern.
+"""
+
+from __future__ import annotations
+
+from .pattern import CommPattern
+from .schedule import Schedule
+from .pex import pairing_schedule, uniform_pairing_schedule
+
+__all__ = ["balanced_schedule", "balanced_exchange", "bex_partner"]
+
+
+def bex_partner(rank: int, j: int, nprocs: int) -> int:
+    """Figure 4's partner computation (virtual-renumbered XOR pairing)."""
+    virtual = (rank + 1) % nprocs
+    node = (virtual ^ j) - 1
+    if node == -1:
+        node = nprocs - 1
+    return node
+
+
+def balanced_schedule(pattern: CommPattern, name: str = "BS") -> Schedule:
+    """Balanced Scheduling of an irregular pattern (paper Table 9)."""
+    n = pattern.nprocs
+    return pairing_schedule(pattern, lambda r, j: bex_partner(r, j, n), name)
+
+
+def balanced_exchange(nprocs: int, nbytes: int) -> Schedule:
+    """Balanced Exchange: complete exchange in N-1 steps (Table 4)."""
+    return uniform_pairing_schedule(
+        nprocs, nbytes, lambda r, j: bex_partner(r, j, nprocs), "BEX"
+    )

@@ -1,0 +1,119 @@
+"""Closed-form schedule cost estimation (no simulation).
+
+A fast analytic approximation of a schedule's execution time, used to
+rank candidate schedules cheaply (e.g. inside a runtime system choosing
+a scheduler per pattern, the setting of the paper's Section 4) and as a
+sanity cross-check on the simulator.
+
+Model: steps execute in sequence; a step costs the *maximum over
+processors* of the sequential message work that processor performs in
+it — for an exchange, two message times back to back (the Figure 2/3
+orderings are sequential per pair); for the linear family, the
+receiver's serialized drain of all its senders.  A message costs
+overheads plus packetized wire time at its route's level bandwidth,
+degraded by the same capped contention factor the fluid model applies
+when the step loads an upper link beyond its capacity profile.
+
+It deliberately ignores cross-step pipelining (a fast pair starting its
+next step early) and routing jitter, so it is an *approximation*, not a
+bound; the tests check it tracks the simulator within a modest factor
+across the paper's workloads, and that it ranks LEX/PEX correctly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+from ..machine.params import (
+    CM5Params,
+    FAT_TREE_ARITY,
+    MachineConfig,
+    wire_bytes,
+)
+from .schedule import Schedule, Step
+
+__all__ = ["estimate_schedule_time", "estimate_step_time"]
+
+LinkKey = Tuple[int, int, str]  # (level, subtree index, direction)
+
+
+def _link_loads(step: Step, config: MachineConfig) -> Dict[LinkKey, int]:
+    """Concurrent transfers through each upper fat-tree link this step.
+
+    Concurrency is bounded by endpoints, not message counts: a sender
+    injects one message at a time and a receiver drains one at a time
+    (the synchronous rendezvous), so a link's concurrent load is the
+    number of *distinct* senders below it (up direction) or distinct
+    receivers below it (down direction).  This is what keeps the
+    estimator honest on the linear family, whose N-1 messages per step
+    share a single serialized receiver.
+    """
+    endpoints: Dict[LinkKey, set] = defaultdict(set)
+    for t in step:
+        top = config.route_level(t.src, t.dst)
+        s, d = t.src, t.dst
+        for level in range(2, top + 1):
+            s //= FAT_TREE_ARITY
+            d //= FAT_TREE_ARITY
+            endpoints[(level, s, "up")].add(t.src)
+            endpoints[(level, d, "down")].add(t.dst)
+    return {k: len(v) for k, v in endpoints.items()}
+
+
+def estimate_step_time(
+    step: Step, config: MachineConfig, params: Optional[CM5Params] = None
+) -> float:
+    """Analytic cost of one step: max over processors of sequential work."""
+    params = params or config.params
+    loads = _link_loads(step, config)
+
+    def subtree(node: int, level: int) -> int:
+        return node // (FAT_TREE_ARITY ** (level - 1))
+
+    per_proc: Dict[int, float] = defaultdict(float)
+    recv_count: Dict[int, int] = defaultdict(int)
+    for t in step:
+        top = config.route_level(t.src, t.dst)
+        rate = params.level_bandwidth(top)
+        for level in range(2, top + 1):
+            for node, dirn in ((t.src, "up"), (t.dst, "down")):
+                load = loads.get((level, subtree(node, level), dirn), 1)
+                penalty = min(
+                    1.0 + params.switch_contention * max(load - 1, 0),
+                    params.contention_cap,
+                )
+                capacity = (
+                    FAT_TREE_ARITY ** (level - 1)
+                    * params.level_bandwidth(level)
+                    / penalty
+                )
+                rate = min(rate, capacity / max(load, 1))
+        wire = wire_bytes(t.nbytes) / rate
+        copies = params.memcpy_time(t.pack_bytes) + params.memcpy_time(
+            t.unpack_bytes
+        )
+        per_proc[t.src] += params.zero_byte_latency + wire + copies
+        # A serialized receiver overlaps later senders' setup with its
+        # own drain: messages after the first cost service + wire only.
+        recv_count[t.dst] += 1
+        if recv_count[t.dst] == 1:
+            per_proc[t.dst] += params.zero_byte_latency + wire + copies
+        else:
+            per_proc[t.dst] += params.recv_overhead + wire + copies
+    return max(per_proc.values(), default=0.0)
+
+
+def estimate_schedule_time(
+    schedule: Schedule,
+    config: MachineConfig,
+    params: Optional[CM5Params] = None,
+) -> float:
+    """Sum of analytic step costs — a simulation-free time estimate."""
+    if schedule.nprocs != config.nprocs:
+        raise ValueError(
+            f"schedule is for {schedule.nprocs} procs, machine has "
+            f"{config.nprocs}"
+        )
+    params = params or config.params
+    return sum(estimate_step_time(step, config, params) for step in schedule.steps)

@@ -1,0 +1,57 @@
+"""Facade over the four irregular-pattern schedulers (Section 4).
+
+The paper evaluates Linear (LS), Pairwise (PS), Balanced (BS) and Greedy
+(GS) scheduling of a ``Pattern`` matrix.  This module gives them one
+dispatchable registry so the benchmark harness and CLI can sweep
+algorithms by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .bex import balanced_schedule
+from .greedy import greedy_schedule
+from .lex import linear_schedule
+from .pattern import CommPattern
+from .pex import pairwise_schedule
+from .schedule import Schedule
+
+__all__ = [
+    "IRREGULAR_ALGORITHMS",
+    "schedule_irregular",
+    "linear_schedule",
+    "pairwise_schedule",
+    "balanced_schedule",
+    "greedy_schedule",
+]
+
+#: Paper Section 4's algorithms, keyed by the names used in Tables 11-12.
+IRREGULAR_ALGORITHMS: Dict[str, Callable[[CommPattern], Schedule]] = {
+    "linear": linear_schedule,
+    "pairwise": pairwise_schedule,
+    "balanced": balanced_schedule,
+    "greedy": greedy_schedule,
+}
+
+
+def schedule_irregular(pattern: CommPattern, algorithm: str) -> Schedule:
+    """Schedule ``pattern`` with the named algorithm.
+
+    The schedule need only be computed once per pattern and is then
+    reused for every iteration of the application (Section 4.5: the
+    scheduling cost amortizes over the solver's iterations).
+    """
+    try:
+        builder = IRREGULAR_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"choose from {sorted(IRREGULAR_ALGORITHMS)}"
+        ) from None
+    return builder(pattern)
+
+
+def algorithm_names() -> List[str]:
+    """Paper order: linear, pairwise, balanced, greedy."""
+    return ["linear", "pairwise", "balanced", "greedy"]

@@ -1,0 +1,66 @@
+"""Linear Exchange (LEX) and Linear Scheduling (LS).
+
+The simplest algorithm (paper Section 3.1): for an N-processor system
+there are N steps, and in step *i* processor *i* receives a message from
+every other processor.  Under the CM-5's synchronous-communication
+constraint all those senders rendezvous with a single receiver that can
+only service one message at a time, which serializes the step — the
+reason LEX/LS perform far worse than everything else throughout the
+paper's evaluation.
+
+Linear Scheduling (Section 4.1) is the same structure driven by an
+irregular ``Pattern`` matrix: in step *i* only the processors with
+``Pattern[j][i] > 0`` send; the rest idle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .pattern import CommPattern
+from .schedule import Schedule, Step, Transfer
+
+__all__ = ["linear_schedule", "linear_exchange"]
+
+
+def linear_schedule(pattern: CommPattern, name: str = "LS") -> Schedule:
+    """Linear Scheduling of an irregular pattern (paper Table 7).
+
+    Step *i* delivers every pending message whose destination is rank
+    *i*, in ascending sender order (the order the receiver posts its
+    receives).  Steps with no communication are dropped from the
+    schedule, matching how the paper counts steps.
+    """
+    n = pattern.nprocs
+    steps: List[Step] = []
+    for receiver in range(n):
+        transfers = tuple(
+            Transfer(src=src, dst=receiver, nbytes=nbytes)
+            for src, nbytes in pattern.recvs_of(receiver)
+        )
+        if transfers:
+            steps.append(Step(transfers))
+    return Schedule(nprocs=n, steps=tuple(steps), name=name)
+
+
+def linear_exchange(nprocs: int, nbytes: int) -> Schedule:
+    """Linear Exchange: complete exchange scheduled linearly (Table 1).
+
+    Zero-byte messages are kept (the rendezvous and its latency still
+    happen), so the Figure 5/6 sweeps can start at 0 bytes.
+    """
+    if nprocs < 2:
+        raise ValueError(f"need at least 2 processors, got {nprocs}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    steps = tuple(
+        Step(
+            tuple(
+                Transfer(src=j, dst=i, nbytes=nbytes)
+                for j in range(nprocs)
+                if j != i
+            )
+        )
+        for i in range(nprocs)
+    )
+    return Schedule(nprocs=nprocs, steps=steps, name="LEX")

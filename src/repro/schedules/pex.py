@@ -1,0 +1,123 @@
+"""Pairwise Exchange (PEX) and Pairwise Scheduling (PS).
+
+Paper Section 3.2 (Figure 2): N-1 steps; in step *j* each processor
+exchanges with the partner obtained by XOR-ing its rank with *j*.  The
+whole pattern decomposes into disjoint pairwise exchanges, which uses
+the full-duplex network well and keeps processors busy — the classic
+hypercube complete-exchange schedule (Bokhari's iPSC studies).
+
+Pairwise Scheduling (Section 4.2) uses the same pairing on an irregular
+pattern: a determined pair performs an exchange, a single send, or
+idles, depending on the ``Pattern`` matrix.  Deadlock freedom comes from
+the paper's ordering rule: the lower-numbered processor of a pair
+receives first (captured as ``exchange_order=LOWER_RECV_FIRST``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .pattern import CommPattern
+from .schedule import LOWER_RECV_FIRST, Schedule, Step, Transfer
+
+__all__ = ["pairwise_schedule", "pairwise_exchange", "pairing_schedule"]
+
+
+def pairing_schedule(
+    pattern: CommPattern,
+    partner_fn: Callable[[int, int], int],
+    name: str,
+    nsteps: Optional[int] = None,
+    keep_empty_steps: bool = False,
+) -> Schedule:
+    """Build a schedule from a per-step perfect pairing of processors.
+
+    ``partner_fn(rank, step_j)`` must be an involution for every step
+    (``partner_fn(partner_fn(r, j), j) == r``) with no fixed points.
+    Both PEX and BEX (and their irregular variants) are instances — they
+    differ only in the pairing function.
+
+    Empty steps (no pair needs to communicate) are dropped unless
+    ``keep_empty_steps`` — the paper counts only non-empty steps
+    (Tables 8 and 9).
+    """
+    n = pattern.nprocs
+    if n & (n - 1):
+        raise ValueError(f"pairing schedules need a power-of-two size, got {n}")
+    total_steps = nsteps if nsteps is not None else n - 1
+    steps: List[Step] = []
+    for j in range(1, total_steps + 1):
+        transfers: List[Transfer] = []
+        for rank in range(n):
+            partner = partner_fn(rank, j)
+            if partner == rank:
+                raise ValueError(
+                    f"{name}: pairing has a fixed point at rank {rank}, step {j}"
+                )
+            if partner_fn(partner, j) != rank:
+                raise ValueError(
+                    f"{name}: pairing is not an involution at step {j}: "
+                    f"{rank}->{partner}->{partner_fn(partner, j)}"
+                )
+            if rank < partner:  # emit each unordered pair once
+                fwd = pattern[rank, partner]
+                rev = pattern[partner, rank]
+                if fwd:
+                    transfers.append(Transfer(rank, partner, fwd))
+                if rev:
+                    transfers.append(Transfer(partner, rank, rev))
+        if transfers or keep_empty_steps:
+            steps.append(Step(tuple(transfers)))
+    return Schedule(
+        nprocs=n,
+        steps=tuple(steps),
+        name=name,
+        exchange_order=LOWER_RECV_FIRST,
+    )
+
+
+def uniform_pairing_schedule(
+    nprocs: int,
+    nbytes: int,
+    partner_fn: Callable[[int, int], int],
+    name: str,
+) -> Schedule:
+    """Pairing schedule for a *uniform* complete exchange.
+
+    Unlike :func:`pairing_schedule` this keeps zero-byte messages: the
+    paper's Figures 5-8 sweep message sizes down to 0 bytes, where the
+    exchange still performs every rendezvous and pays every latency.
+    """
+    if nprocs < 2 or nprocs & (nprocs - 1):
+        raise ValueError(f"pairing schedules need a power-of-two size, got {nprocs}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    steps = []
+    for j in range(1, nprocs):
+        transfers = []
+        for rank in range(nprocs):
+            partner = partner_fn(rank, j)
+            if rank < partner:
+                transfers.append(Transfer(rank, partner, nbytes))
+                transfers.append(Transfer(partner, rank, nbytes))
+        steps.append(Step(tuple(transfers)))
+    return Schedule(
+        nprocs=nprocs,
+        steps=tuple(steps),
+        name=name,
+        exchange_order=LOWER_RECV_FIRST,
+    )
+
+
+def _xor_partner(rank: int, j: int) -> int:
+    return rank ^ j
+
+
+def pairwise_schedule(pattern: CommPattern, name: str = "PS") -> Schedule:
+    """Pairwise Scheduling of an irregular pattern (paper Table 8)."""
+    return pairing_schedule(pattern, _xor_partner, name)
+
+
+def pairwise_exchange(nprocs: int, nbytes: int) -> Schedule:
+    """Pairwise Exchange: complete exchange in N-1 steps (Table 2)."""
+    return uniform_pairing_schedule(nprocs, nbytes, _xor_partner, "PEX")

@@ -1,0 +1,75 @@
+"""Algorithm selection: the paper's conclusions as a decision procedure.
+
+The paper ends with a decision rule (Section 5): use greedy scheduling
+below 50% communication density, balanced above it, never linear; for
+regular complete exchanges, recursive for tiny messages and
+pairwise/balanced otherwise.  This module encodes that rule
+(:func:`paper_rule`) and a measurement-driven alternative
+(:func:`auto_schedule`) that builds every candidate schedule and picks
+the one the analytic estimator (:mod:`repro.schedules.estimate`) prices
+cheapest — the natural upgrade once an estimator exists.
+
+The selection benchmark in the test suite checks the two approaches
+agree in the regimes the paper measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..machine.params import MachineConfig
+from .coloring import coloring_schedule
+from .estimate import estimate_schedule_time
+from .irregular import IRREGULAR_ALGORITHMS
+from .pattern import CommPattern
+from .schedule import Schedule
+
+__all__ = ["paper_rule", "auto_schedule", "SelectionResult"]
+
+
+def paper_rule(pattern: CommPattern) -> str:
+    """Section 5's rule of thumb: greedy when sparse, balanced when dense."""
+    return "greedy" if pattern.density < 0.5 else "balanced"
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of an estimator-driven selection."""
+
+    schedule: Schedule
+    algorithm: str
+    estimates: Dict[str, float]
+
+    @property
+    def estimated_time(self) -> float:
+        return self.estimates[self.algorithm]
+
+
+def auto_schedule(
+    pattern: CommPattern,
+    config: MachineConfig,
+    include_optimal: bool = True,
+    candidates: Optional[Tuple[str, ...]] = None,
+) -> SelectionResult:
+    """Build all candidate schedules and keep the cheapest by estimate.
+
+    ``include_optimal`` adds the König edge-coloring schedule to the
+    candidate pool (an option the paper did not have).  Estimation is
+    simulation-free, so selection stays cheap enough to run at plan
+    time (the inspector/executor setting of Section 4).
+    """
+    names = candidates if candidates is not None else tuple(IRREGULAR_ALGORITHMS)
+    built: Dict[str, Schedule] = {
+        name: IRREGULAR_ALGORITHMS[name](pattern) for name in names
+    }
+    if include_optimal:
+        built["coloring"] = coloring_schedule(pattern)
+    estimates = {
+        name: estimate_schedule_time(sched, config)
+        for name, sched in built.items()
+    }
+    best = min(estimates, key=lambda k: estimates[k])
+    return SelectionResult(
+        schedule=built[best], algorithm=best, estimates=estimates
+    )

@@ -1,0 +1,58 @@
+"""Discrete-event simulation of SPMD programs on the CM-5 model.
+
+Public surface:
+
+* :class:`Engine` / :class:`SimResult` — run rank generators in
+  simulated time,
+* request types (:class:`Send`, :class:`Recv`, :class:`Delay`,
+  :class:`Barrier`, :class:`SysBroadcast`, :class:`Reduce`) plus the
+  :data:`ANY_SOURCE` / :data:`ANY_TAG` wildcards,
+* :class:`Trace` records for post-hoc analysis,
+* :exc:`DeadlockError` when a schedule wedges.
+"""
+
+from .engine import DeadlockError, Engine, SimResult
+from .events import EventQueue
+from .process import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Barrier,
+    Delay,
+    Isend,
+    ProcState,
+    Process,
+    Recv,
+    Reduce,
+    Send,
+    SendHandle,
+    SysBroadcast,
+    Wait,
+)
+from .trace import MessageRecord, PhaseRecord, Trace
+from .packets import PacketMessage, PacketNetwork, simulate_packets
+
+__all__ = [
+    "DeadlockError",
+    "Engine",
+    "SimResult",
+    "EventQueue",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Barrier",
+    "Delay",
+    "Isend",
+    "SendHandle",
+    "Wait",
+    "ProcState",
+    "Process",
+    "Recv",
+    "Reduce",
+    "Send",
+    "SysBroadcast",
+    "MessageRecord",
+    "PhaseRecord",
+    "PacketMessage",
+    "PacketNetwork",
+    "simulate_packets",
+    "Trace",
+]

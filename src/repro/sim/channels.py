@@ -1,0 +1,121 @@
+"""Rendezvous matching of synchronous sends and receives.
+
+CMMD (in the software revision the paper used) supports only synchronous
+point-to-point communication: a send does not complete until the
+destination posts the matching receive and the data is transferred.
+This module keeps the per-destination queues of *posted-but-unmatched*
+sends and receives and pairs them up.
+
+Matching rules (MPI-style non-overtaking, which CMMD also guaranteed):
+
+* a receive names a source (or :data:`ANY_SOURCE`) and a tag (or
+  :data:`ANY_TAG`);
+* among candidate matches, the earliest-posted send wins (FIFO per
+  ordered (src, dst) pair, and FIFO across sources for wildcard
+  receives);
+* the match happens at the instant the *later* of the two is posted —
+  that instant is when the wire transfer begins.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .process import ANY_SOURCE, ANY_TAG
+
+__all__ = ["PostedSend", "PostedRecv", "RendezvousTable"]
+
+
+@dataclass
+class PostedSend:
+    """A send that has completed its software setup and awaits a match."""
+
+    seq: int
+    src: int
+    dst: int
+    nbytes: int
+    payload: Any
+    tag: int
+    posted_at: float
+
+
+@dataclass
+class PostedRecv:
+    """A receive posted by the destination rank, awaiting a match."""
+
+    seq: int
+    dst: int
+    src: int  # may be ANY_SOURCE
+    tag: int  # may be ANY_TAG
+    posted_at: float
+
+
+class RendezvousTable:
+    """Unmatched sends and receives, keyed by destination rank."""
+
+    def __init__(self) -> None:
+        self._sends: Dict[int, List[PostedSend]] = {}
+        self._recvs: Dict[int, List[PostedRecv]] = {}
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    def post_send(
+        self, src: int, dst: int, nbytes: int, payload: Any, tag: int, now: float
+    ) -> Tuple[PostedSend, Optional[PostedRecv]]:
+        """Register a send; return it plus the receive it matched, if any."""
+        send = PostedSend(next(self._seq), src, dst, nbytes, payload, tag, now)
+        recvs = self._recvs.get(dst, [])
+        for i, recv in enumerate(recvs):
+            if self._compatible(send, recv):
+                del recvs[i]
+                return send, recv
+        self._sends.setdefault(dst, []).append(send)
+        return send, None
+
+    def post_recv(
+        self, dst: int, src: int, tag: int, now: float
+    ) -> Tuple[PostedRecv, Optional[PostedSend]]:
+        """Register a receive; return it plus the send it matched, if any."""
+        recv = PostedRecv(next(self._seq), dst, src, tag, now)
+        sends = self._sends.get(dst, [])
+        best_idx = -1
+        for i, send in enumerate(sends):
+            if self._compatible(send, recv):
+                # FIFO: the lowest sequence number among compatible sends.
+                if best_idx < 0 or send.seq < sends[best_idx].seq:
+                    best_idx = i
+        if best_idx >= 0:
+            send = sends.pop(best_idx)
+            return recv, send
+        self._recvs.setdefault(dst, []).append(recv)
+        return recv, None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _compatible(send: PostedSend, recv: PostedRecv) -> bool:
+        if recv.src != ANY_SOURCE and recv.src != send.src:
+            return False
+        if recv.tag != ANY_TAG and recv.tag != send.tag:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def pending_sends(self) -> int:
+        return sum(len(v) for v in self._sends.values())
+
+    def pending_recvs(self) -> int:
+        return sum(len(v) for v in self._recvs.values())
+
+    def describe_pending(self) -> str:
+        """Summary of unmatched postings for deadlock diagnostics."""
+        parts = []
+        for dst, sends in sorted(self._sends.items()):
+            for s in sends:
+                parts.append(f"send {s.src}->{s.dst} tag={s.tag} ({s.nbytes}B)")
+        for dst, recvs in sorted(self._recvs.items()):
+            for r in recvs:
+                src = "ANY" if r.src == ANY_SOURCE else r.src
+                parts.append(f"recv {src}->{r.dst} tag={r.tag}")
+        return "; ".join(parts) if parts else "(none)"

@@ -1,0 +1,423 @@
+"""Discrete-event engine running SPMD rank programs in simulated time.
+
+The engine couples three models:
+
+* rank programs (generators yielding :mod:`repro.sim.process` requests),
+* the rendezvous table for synchronous point-to-point matching
+  (:mod:`repro.sim.channels`),
+* the fluid data-network contention model
+  (:class:`repro.machine.contention.FluidNetwork`) and the analytic
+  control network (:class:`repro.machine.control.ControlNetwork`).
+
+Timing of one synchronous message (all constants from
+:class:`repro.machine.params.CM5Params`)::
+
+    sender:   [send_overhead]----(blocked)------------------resume
+    wire:                    [wire_latency][payload / fair rate]
+    receiver: (blocked on recv).......................[recv_overhead]-resume
+
+The sender resumes when the wire drains (its rendezvous ack); the
+receiver resumes after additionally paying its software service time.
+With both sides ready at t=0 a zero-byte message completes at
+``send_overhead + wire_latency + wire(20 B) + recv_overhead`` — 88 us
+with the calibrated defaults, matching the paper's Section 2.
+
+Determinism: no wall-clock, no unseeded randomness; identical inputs
+give identical timelines.
+"""
+
+from __future__ import annotations
+
+import itertools
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..machine.contention import FluidNetwork
+from ..machine.control import ControlNetwork
+from ..machine.fattree import fat_tree_for
+from ..machine.node import NodeCostModel
+from ..machine.params import MachineConfig
+from .channels import PostedRecv, PostedSend, RendezvousTable
+from .events import EventQueue
+from .process import (
+    Barrier,
+    Delay,
+    Isend,
+    ProcState,
+    Process,
+    RankProgram,
+    Recv,
+    Reduce,
+    Send,
+    SendHandle,
+    SysBroadcast,
+    Wait,
+)
+from .trace import NULL_TRACE, MessageRecord, PhaseRecord, Trace
+
+__all__ = ["Engine", "SimResult", "DeadlockError"]
+
+#: Events closer together than this are treated as simultaneous.
+_TIME_ATOL = 1e-12
+
+
+class DeadlockError(RuntimeError):
+    """Raised when every remaining process is blocked forever."""
+
+
+@dataclass
+class SimResult:
+    """Outcome of one SPMD run."""
+
+    makespan: float
+    finish_times: List[float]
+    results: List[Any]
+    trace: Trace
+    #: Number of point-to-point messages completed.
+    message_count: int = 0
+    #: Per-rank seconds spent blocked in sends/receives/collectives
+    #: (rendezvous waits + wire time) — the simulator-level counterpart
+    #: of the schedule-level idle metrics; the paper's "processor idle
+    #: time" reduction claims are checked against this.
+    wait_times: List[float] = field(default_factory=list)
+
+    def rank_result(self, rank: int) -> Any:
+        return self.results[rank]
+
+    @property
+    def total_wait(self) -> float:
+        return sum(self.wait_times)
+
+
+@dataclass
+class _InFlight:
+    send: PostedSend
+    recv: PostedRecv
+    sender: Process
+    receiver: Process
+    matched_at: float
+    #: Handle for a non-blocking send (sender already resumed).
+    handle: Optional[SendHandle] = None
+
+
+class Engine:
+    """One simulation run over a machine configuration."""
+
+    def __init__(self, config: MachineConfig, trace: bool = False, seed: int = 0):
+        self.config = config
+        self.params = config.params
+        self.tree = fat_tree_for(config)
+        self.net = FluidNetwork(self.tree, seed=seed)
+        self.costs = NodeCostModel(self.params)
+        self.control = ControlNetwork(self.params)
+        self.queue = EventQueue()
+        self.rendezvous = RendezvousTable()
+        self.now = 0.0
+        self.trace: Trace = Trace() if trace else NULL_TRACE
+        self.procs: List[Process] = []
+        self._flow_seq = itertools.count()
+        self._net_gen = 0
+        self._in_flight: Dict[int, _InFlight] = {}
+        self._barrier_waiting: List[Process] = []
+        self._collective: Optional[Tuple[str, List[Tuple[Process, Any]]]] = None
+        self._messages_done = 0
+        self._handle_seq = itertools.count()
+        #: Posted-send sequence -> the Isend handle covering it.
+        self._send_handles: Dict[int, SendHandle] = {}
+        #: Handle seq -> process blocked in Wait on it.
+        self._waiters: Dict[int, Process] = {}
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    def run(self, programs: Sequence[RankProgram]) -> SimResult:
+        """Run one generator per rank to completion; return timings."""
+        if len(programs) != self.config.nprocs:
+            raise ValueError(
+                f"need {self.config.nprocs} rank programs, got {len(programs)}"
+            )
+        self.procs = [Process(rank=r, gen=g) for r, g in enumerate(programs)]
+        for proc in self.procs:
+            self._schedule(0.0, lambda p=proc: self._resume(p, None))
+
+        while self.queue:
+            # Drain every event at the current instant (including cascades
+            # triggered by the handlers themselves) before touching the
+            # network: synchronized waves then cost one rate reallocation.
+            t = self.queue.peek_time()
+            assert t is not None
+            if t < self.now - 1e-9:
+                raise RuntimeError(f"event in the past: {t} < {self.now}")
+            self.now = max(self.now, t)
+            while self.queue:
+                nxt = self.queue.peek_time()
+                if nxt is None or nxt > self.now + _TIME_ATOL:
+                    break
+                _, cb = self.queue.pop()
+                cb()
+            self._arm_network_event()
+
+        unfinished = [p for p in self.procs if not p.done]
+        if unfinished:
+            raise DeadlockError(self._deadlock_report(unfinished))
+
+        finish = [p.finish_time if p.finish_time is not None else 0.0 for p in self.procs]
+        return SimResult(
+            makespan=max(finish) if finish else 0.0,
+            finish_times=finish,
+            results=[p.result for p in self.procs],
+            trace=self.trace,
+            message_count=self._messages_done,
+            wait_times=[p.wait_time for p in self.procs],
+        )
+
+    # ==================================================================
+    # Scheduling primitives
+    # ==================================================================
+    def _schedule(self, t: float, fn: Callable[[], None]) -> None:
+        self.queue.push(t, fn)
+
+    def _resume(self, proc: Process, value: Any) -> None:
+        """Advance one rank's generator with ``value`` and dispatch."""
+        if proc.state in (
+            ProcState.BLOCKED_SEND,
+            ProcState.BLOCKED_RECV,
+            ProcState.BLOCKED_BARRIER,
+            ProcState.BLOCKED_COLLECTIVE,
+        ):
+            proc.wait_time += self.now - proc.last_event_time
+        proc.state = ProcState.RUNNING
+        try:
+            # A fresh generator must be primed with None; send(None) is
+            # exactly next() in that case, so one call covers both.
+            request = proc.gen.send(value)
+        except StopIteration as stop:
+            proc.state = ProcState.DONE
+            proc.finish_time = self.now
+            proc.result = stop.value
+            return
+        self._dispatch(proc, request)
+
+    def _dispatch(self, proc: Process, request: Any) -> None:
+        if isinstance(request, Send):
+            proc.state = ProcState.BLOCKED_SEND
+            proc.waiting_on = f"send to {request.dst} ({request.nbytes}B)"
+            self._check_dst(proc, request.dst)
+            self._schedule(
+                self.now + self.costs.send_setup(),
+                lambda: self._post_send(proc, request),
+            )
+        elif isinstance(request, Isend):
+            self._check_dst(proc, request.dst)
+            handle = SendHandle(seq=next(self._handle_seq))
+            # The sender pays the software setup, then proceeds; the
+            # message completes (and the handle flips) on its own.
+            self._schedule(
+                self.now + self.costs.send_setup(),
+                lambda: self._post_isend(proc, request, handle),
+            )
+        elif isinstance(request, Wait):
+            handle = request.handle
+            if handle.done:
+                self._schedule(self.now, lambda: self._resume(proc, None))
+            else:
+                proc.state = ProcState.BLOCKED_SEND
+                proc.waiting_on = f"wait on isend #{handle.seq}"
+                if handle.seq in self._waiters:
+                    raise RuntimeError(
+                        f"two processes waiting on isend #{handle.seq}"
+                    )
+                self._waiters[handle.seq] = proc
+        elif isinstance(request, Recv):
+            proc.state = ProcState.BLOCKED_RECV
+            src = "ANY" if request.src < 0 else request.src
+            proc.waiting_on = f"recv from {src}"
+            self._post_recv(proc, request)
+        elif isinstance(request, Delay):
+            proc.state = ProcState.DELAYED
+            proc.waiting_on = f"delay {request.seconds:.2e}s"
+            self._schedule(
+                self.now + request.seconds, lambda: self._resume(proc, None)
+            )
+        elif isinstance(request, Barrier):
+            proc.state = ProcState.BLOCKED_BARRIER
+            proc.waiting_on = "barrier"
+            self._barrier_waiting.append(proc)
+            if len(self._barrier_waiting) == self.config.nprocs:
+                waiters, self._barrier_waiting = self._barrier_waiting, []
+                done_at = self.now + self.control.barrier(self.config.nprocs)
+                for p in waiters:
+                    self._schedule(done_at, lambda p=p: self._resume(p, None))
+        elif isinstance(request, SysBroadcast):
+            self._join_collective(proc, "bcast", request)
+        elif isinstance(request, Reduce):
+            self._join_collective(proc, "reduce", request)
+        else:
+            raise TypeError(
+                f"rank {proc.rank} yielded unsupported request: {request!r}"
+            )
+        proc.last_event_time = self.now
+
+    # ==================================================================
+    # Point-to-point
+    # ==================================================================
+    def _check_dst(self, proc: Process, dst: int) -> None:
+        if not 0 <= dst < self.config.nprocs:
+            raise ValueError(f"rank {proc.rank}: bad send dst {dst}")
+        if dst == proc.rank:
+            raise ValueError(f"rank {proc.rank}: self-send is not supported")
+
+    def _post_send(self, proc: Process, req: Send) -> None:
+        send, recv = self.rendezvous.post_send(
+            proc.rank, req.dst, req.nbytes, req.payload, req.tag, self.now
+        )
+        if recv is not None:
+            self._start_transfer(send, recv)
+
+    def _post_isend(self, proc: Process, req: Isend, handle: SendHandle) -> None:
+        send, recv = self.rendezvous.post_send(
+            proc.rank, req.dst, req.nbytes, req.payload, req.tag, self.now
+        )
+        self._send_handles[send.seq] = handle
+        # The sender resumes immediately with the handle.
+        self._schedule(self.now, lambda: self._resume(proc, handle))
+        if recv is not None:
+            self._start_transfer(send, recv)
+
+    def _post_recv(self, proc: Process, req: Recv) -> None:
+        recv, send = self.rendezvous.post_recv(
+            proc.rank, req.src, req.tag, self.now
+        )
+        if send is not None:
+            self._start_transfer(send, recv)
+
+    def _start_transfer(self, send: PostedSend, recv: PostedRecv) -> None:
+        key = next(self._flow_seq)
+        self._in_flight[key] = _InFlight(
+            send=send,
+            recv=recv,
+            sender=self.procs[send.src],
+            receiver=self.procs[send.dst],
+            matched_at=self.now,
+            handle=self._send_handles.pop(send.seq, None),
+        )
+        # First-packet pipeline fill before the fluid drain begins.
+        start_at = self.now + self.params.wire_latency
+        self._schedule(start_at, lambda: self._flow_begin(key))
+
+    def _flow_begin(self, key: int) -> None:
+        inf = self._in_flight[key]
+        self.net.advance_to(self.now)
+        self.net.add_flow(key, inf.send.src, inf.send.dst, inf.send.nbytes)
+
+    def _flow_complete(self, key: int) -> None:
+        inf = self._in_flight.pop(key)
+        self._messages_done += 1
+        if inf.handle is not None:
+            # Non-blocking send: flip the handle, release any waiter.
+            inf.handle.done = True
+            waiter = self._waiters.pop(inf.handle.seq, None)
+            if waiter is not None:
+                self._schedule(self.now, lambda: self._resume(waiter, None))
+        else:
+            # Synchronous send: the rendezvous ack resumes the sender.
+            self._schedule(self.now, lambda: self._resume(inf.sender, None))
+        # Receiver pays its software service time, then gets the payload.
+        done_at = self.now + self.costs.recv_service()
+        payload = inf.send.payload
+        self._schedule(done_at, lambda: self._resume(inf.receiver, payload))
+        self.trace.add_message(
+            MessageRecord(
+                src=inf.send.src,
+                dst=inf.send.dst,
+                nbytes=inf.send.nbytes,
+                tag=inf.send.tag,
+                send_posted=inf.send.posted_at,
+                matched_at=inf.matched_at,
+                delivered_at=done_at,
+                route_level=self.config.route_level(inf.send.src, inf.send.dst),
+            )
+        )
+
+    def _arm_network_event(self) -> None:
+        self._net_gen += 1
+        if self.net.active_count == 0:
+            return
+        t = self.net.earliest_completion()
+        if t is None:
+            return
+        gen = self._net_gen
+        self._schedule(max(t, self.now), lambda: self._net_check(gen))
+
+    def _net_check(self, gen: int) -> None:
+        if gen != self._net_gen:
+            return  # stale: flow set changed since this was armed
+        for flow in self.net.pop_completed(self.now):
+            self._flow_complete(flow.key)
+
+    # ==================================================================
+    # Control-network collectives
+    # ==================================================================
+    def _join_collective(self, proc: Process, kind: str, req: Any) -> None:
+        proc.state = ProcState.BLOCKED_COLLECTIVE
+        proc.waiting_on = kind
+        if self._collective is None:
+            self._collective = (kind, [])
+        have_kind, members = self._collective
+        if have_kind != kind:
+            raise RuntimeError(
+                f"collective mismatch: rank {proc.rank} called {kind} while a "
+                f"{have_kind} is in progress"
+            )
+        members.append((proc, req))
+        if len(members) == self.config.nprocs:
+            self._collective = None
+            self._complete_collective(kind, members)
+
+    def _complete_collective(
+        self, kind: str, members: List[Tuple[Process, Any]]
+    ) -> None:
+        n = self.config.nprocs
+        if kind == "bcast":
+            roots = {req.root for _, req in members}
+            if len(roots) != 1:
+                raise RuntimeError(f"broadcast roots disagree: {sorted(roots)}")
+            root = roots.pop()
+            root_req = next(req for p, req in members if p.rank == root)
+            done_at = self.now + self.control.broadcast(root_req.nbytes, n)
+            for p, _ in members:
+                self._schedule(
+                    done_at, lambda p=p: self._resume(p, root_req.payload)
+                )
+            self.trace.add_phase(
+                PhaseRecord(root, "sys-bcast", self.now, done_at)
+            )
+        elif kind == "reduce":
+            members_sorted = sorted(members, key=lambda pr: pr[0].rank)
+            op = members_sorted[0][1].op or operator.add
+            acc = members_sorted[0][1].value
+            for _, req in members_sorted[1:]:
+                acc = op(acc, req.value)
+            nbytes = max(req.nbytes for _, req in members)
+            done_at = self.now + self.control.reduce(nbytes, n)
+            for p, _ in members:
+                self._schedule(done_at, lambda p=p, acc=acc: self._resume(p, acc))
+        else:  # pragma: no cover - kinds are internal
+            raise RuntimeError(f"unknown collective kind: {kind}")
+
+    # ==================================================================
+    def _deadlock_report(self, unfinished: List[Process]) -> str:
+        lines = ["simulation deadlocked; blocked ranks:"]
+        for p in unfinished:
+            lines.append(f"  rank {p.rank}: {p.state.value} ({p.waiting_on})")
+        lines.append(f"unmatched: {self.rendezvous.describe_pending()}")
+        if self._barrier_waiting:
+            ranks = [p.rank for p in self._barrier_waiting]
+            lines.append(f"barrier waiting: {ranks}")
+        if self._collective is not None:
+            kind, members = self._collective
+            lines.append(
+                f"collective {kind} waiting: {[p.rank for p, _ in members]}"
+            )
+        return "\n".join(lines)

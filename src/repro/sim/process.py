@@ -1,0 +1,199 @@
+"""SPMD processes as Python generators, and the requests they yield.
+
+A *rank program* is a generator function ``def prog(comm): ...`` that
+yields request objects to the engine and is resumed when the request
+completes.  ``yield`` evaluates to the request's result (the payload for
+a receive, the combined value for a reduction, ``None`` otherwise).
+
+Requests are plain frozen dataclasses; the engine pattern-matches on
+their types.  User code normally constructs them through the friendlier
+:class:`repro.cmmd.api.Comm` facade rather than directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Send",
+    "Isend",
+    "SendHandle",
+    "Wait",
+    "Recv",
+    "Delay",
+    "Barrier",
+    "SysBroadcast",
+    "Reduce",
+    "ProcState",
+    "Process",
+    "RankProgram",
+]
+
+#: Wildcard receive source (CMMD's "receive from anybody").
+ANY_SOURCE = -1
+#: Wildcard message tag.
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Send:
+    """Synchronous (blocking) send: completes when the data is delivered.
+
+    ``nbytes`` drives the performance model; ``payload`` is an optional
+    Python object handed to the matching receiver so applications can
+    move real data (NumPy blocks, halo values) through the simulation.
+    """
+
+    dst: int
+    nbytes: int
+    payload: Any = None
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Isend:
+    """Non-blocking send: resumes with a :class:`SendHandle` right after
+    the software setup, without waiting for the matching receive.
+
+    The CM-5 software revision the paper used supported only synchronous
+    communication; ``Isend`` models the asynchronous mode the paper's
+    Section 3.1 says would rescue the linear algorithms ("processors
+    need not wait for their messages to be received in step i in order
+    to proceed to step i+1").  The sync-vs-async ablation benchmark is
+    built on it.
+    """
+
+    dst: int
+    nbytes: int
+    payload: Any = None
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {self.nbytes}")
+
+
+@dataclass
+class SendHandle:
+    """Completion token returned by an ``Isend``."""
+
+    seq: int
+    done: bool = False
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block until the given non-blocking send has been delivered."""
+
+    handle: SendHandle
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive; yields the sender's payload.
+
+    ``src`` may be :data:`ANY_SOURCE` and ``tag`` may be :data:`ANY_TAG`.
+    Matching is FIFO per (src, dst, tag) — the non-overtaking guarantee
+    the schedule executors rely on.
+    """
+
+    src: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Occupy this node's processor for ``seconds`` of simulated time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"delay must be non-negative, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Global synchronization over the control network."""
+
+
+@dataclass(frozen=True)
+class SysBroadcast:
+    """CMMD system broadcast over the control network.
+
+    Every rank in the partition must call it (the paper's point: there is
+    no *selective* system broadcast).  The root supplies ``payload`` and
+    ``nbytes``; everyone receives the payload when the operation
+    completes.
+    """
+
+    root: int
+    nbytes: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Global reduction over the control network; result returned to all.
+
+    ``op`` is a binary callable combining two contributions; ``value`` is
+    this rank's contribution; ``nbytes`` its wire size on the control
+    network.
+    """
+
+    value: Any
+    nbytes: int
+    op: Any = None  # binary callable; engine defaults to operator.add
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {self.nbytes}")
+
+
+RankProgram = Generator[Any, Any, Any]
+
+
+class ProcState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED_SEND = "blocked-send"
+    BLOCKED_RECV = "blocked-recv"
+    BLOCKED_BARRIER = "blocked-barrier"
+    BLOCKED_COLLECTIVE = "blocked-collective"
+    DELAYED = "delayed"
+    DONE = "done"
+
+
+@dataclass
+class Process:
+    """Engine-side record of one rank's generator and status."""
+
+    rank: int
+    gen: RankProgram
+    state: ProcState = ProcState.READY
+    finish_time: Optional[float] = None
+    result: Any = None
+    #: Human-readable description of what the process is blocked on,
+    #: reported by deadlock diagnostics.
+    waiting_on: str = ""
+    #: Simulated time at which this rank last blocked — used to account
+    #: per-rank communication wait time.
+    last_event_time: float = 0.0
+    #: Accumulated seconds spent blocked on communication.
+    wait_time: float = field(default=0.0)
+
+    @property
+    def done(self) -> bool:
+        return self.state is ProcState.DONE

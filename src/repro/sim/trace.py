@@ -1,0 +1,90 @@
+"""Execution traces: what every rank did, when.
+
+Tracing is optional (it costs time and memory on big runs) but invaluable
+for unit tests and for the ablation analyses: the per-step root-traffic
+breakdown behind BEX's win is computed from message records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["MessageRecord", "PhaseRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One completed point-to-point transfer."""
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: int
+    send_posted: float
+    matched_at: float
+    delivered_at: float
+    #: Fat-tree level of the route's highest switch (1 = intra-cluster).
+    route_level: int
+
+    @property
+    def wire_time(self) -> float:
+        return self.delivered_at - self.matched_at
+
+    @property
+    def is_global(self) -> bool:
+        return self.route_level > 1
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """A labeled interval on one rank's clock (compute, pack, barrier...)."""
+
+    rank: int
+    label: str
+    start: float
+    end: float
+
+
+@dataclass
+class Trace:
+    """Accumulated records from one simulation run."""
+
+    messages: List[MessageRecord] = field(default_factory=list)
+    phases: List[PhaseRecord] = field(default_factory=list)
+
+    def add_message(self, rec: MessageRecord) -> None:
+        self.messages.append(rec)
+
+    def add_phase(self, rec: PhaseRecord) -> None:
+        self.phases.append(rec)
+
+    # -- convenience queries -------------------------------------------
+    def messages_between(self, t0: float, t1: float) -> List[MessageRecord]:
+        """Messages whose transfer overlapped [t0, t1)."""
+        return [
+            m for m in self.messages if m.matched_at < t1 and m.delivered_at > t0
+        ]
+
+    def global_fraction(self) -> float:
+        """Fraction of messages that crossed out of their 4-node cluster."""
+        if not self.messages:
+            return 0.0
+        return sum(m.is_global for m in self.messages) / len(self.messages)
+
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+
+#: Shared do-nothing trace used when tracing is disabled.
+class NullTrace(Trace):
+    """Trace sink that drops everything (zero overhead bookkeeping)."""
+
+    def add_message(self, rec: MessageRecord) -> None:  # noqa: D102
+        pass
+
+    def add_phase(self, rec: PhaseRecord) -> None:  # noqa: D102
+        pass
+
+
+NULL_TRACE = NullTrace()

@@ -1,0 +1,54 @@
+"""Tests for the simulation result cache."""
+
+import json
+
+import pytest
+
+from repro.analysis import SimCache
+
+
+class TestSimCache:
+    def test_memoizes(self, tmp_path):
+        cache = SimCache(tmp_path / "c.json")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 4.2
+
+        assert cache.get_or_compute("k", compute) == 4.2
+        assert cache.get_or_compute("k", compute) == 4.2
+        assert len(calls) == 1
+
+    def test_persists_to_disk(self, tmp_path):
+        path = tmp_path / "c.json"
+        SimCache(path).get_or_compute("k", lambda: 7.0)
+        fresh = SimCache(path)
+        assert fresh.get_or_compute("k", lambda: (_ for _ in ()).throw(AssertionError)) == 7.0
+
+    def test_corrupt_cache_rebuilt(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("{not json")
+        cache = SimCache(path)
+        assert len(cache) == 0
+        assert cache.get_or_compute("k", lambda: 1.0) == 1.0
+
+    def test_memory_only_mode(self):
+        cache = SimCache()
+        cache.get_or_compute("k", lambda: 1.0)
+        assert len(cache) == 1
+
+    def test_clear(self, tmp_path):
+        path = tmp_path / "c.json"
+        cache = SimCache(path)
+        cache.get_or_compute("k", lambda: 1.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert not path.exists()
+
+    def test_distinct_keys(self, tmp_path):
+        cache = SimCache(tmp_path / "c.json")
+        cache.get_or_compute("a", lambda: 1.0)
+        cache.get_or_compute("b", lambda: 2.0)
+        stored = json.loads((tmp_path / "c.json").read_text())
+        assert stored == {"a": 1.0, "b": 2.0}

@@ -1,0 +1,65 @@
+"""Tests for the calibration machinery (tiny grids)."""
+
+import pytest
+
+from repro.analysis.calibrate import (
+    Anchor,
+    anchors_from_table11,
+    evaluate,
+    fit,
+)
+from repro.machine import CM5Params
+
+
+class TestAnchors:
+    def test_default_anchor_set(self):
+        anchors = anchors_from_table11()
+        assert len(anchors) == 6  # 2 algorithms x 3 densities x 1 size
+        labels = {a.label for a in anchors}
+        assert any("pairwise" in l for l in labels)
+        assert any("linear" in l for l in labels)
+
+    def test_anchor_values_come_from_table11(self):
+        (a,) = anchors_from_table11(
+            algorithms=("pairwise",), densities=(0.50,), sizes=(256,)
+        )
+        assert a.paper_ms == pytest.approx(6.324)
+
+
+class TestEvaluate:
+    def test_default_params_fit_within_factor_two(self):
+        """The frozen defaults are the product of this machinery: the
+        anchor error must stay under one octave on average."""
+        result = evaluate(CM5Params(), anchors_from_table11())
+        assert result.mean_abs_log_error < 1.0
+        for label, (model, paper) in result.per_anchor.items():
+            assert model > 0 and paper > 0
+
+    def test_report_mentions_every_anchor(self):
+        anchors = anchors_from_table11(densities=(0.50,))
+        text = evaluate(CM5Params(), anchors).report()
+        for a in anchors:
+            assert a.label in text
+
+
+class TestFit:
+    def test_single_point_grid_returns_that_point(self):
+        result = fit(
+            anchors=anchors_from_table11(densities=(0.50,), algorithms=("pairwise",)),
+            recv_overheads=(55e-6,),
+            send_overheads=(30e-6,),
+            contentions=(0.12,),
+        )
+        assert result.params.recv_overhead == 55e-6
+        assert result.params.switch_contention == 0.12
+
+    def test_fit_preserves_zero_byte_latency(self):
+        result = fit(
+            anchors=anchors_from_table11(densities=(0.50,), algorithms=("pairwise",)),
+            recv_overheads=(40e-6, 60e-6),
+            send_overheads=(20e-6,),
+            contentions=(0.12,),
+        )
+        assert result.params.zero_byte_latency == pytest.approx(
+            CM5Params().zero_byte_latency
+        )

@@ -1,0 +1,74 @@
+"""Tests for shape-check helpers."""
+
+import pytest
+
+from repro.analysis import (
+    check_order,
+    check_ratio_at_least,
+    check_within_factor,
+    crossover_x,
+    summarize,
+)
+
+
+class TestCheckOrder:
+    def test_winner_passes(self):
+        c = check_order("t", {"a": 1.0, "b": 2.0}, "a")
+        assert c.passed
+
+    def test_loser_fails(self):
+        c = check_order("t", {"a": 1.0, "b": 2.0}, "b")
+        assert not c.passed
+
+    def test_tolerance_allows_near_ties(self):
+        c = check_order("t", {"a": 1.0, "b": 1.05}, "b", tolerance=0.10)
+        assert c.passed
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            check_order("t", {"a": 1.0}, "z")
+
+    def test_detail_is_sorted(self):
+        c = check_order("t", {"slow": 9.0, "fast": 1.0}, "fast")
+        assert c.detail.index("fast") < c.detail.index("slow")
+
+
+class TestRatios:
+    def test_ratio_at_least(self):
+        assert check_ratio_at_least("t", 10.0, 2.0, 4.0).passed
+        assert not check_ratio_at_least("t", 7.0, 2.0, 4.0).passed
+
+    def test_ratio_requires_positive_fast(self):
+        with pytest.raises(ValueError):
+            check_ratio_at_least("t", 1.0, 0.0, 2.0)
+
+    def test_within_factor_symmetric(self):
+        assert check_within_factor("t", 2.0, 3.0, 2.0).passed
+        assert check_within_factor("t", 3.0, 2.0, 2.0).passed
+        assert not check_within_factor("t", 1.0, 5.0, 2.0).passed
+
+
+class TestCrossover:
+    def test_finds_crossing(self):
+        x = crossover_x([1, 2, 3], [1.0, 2.0, 3.0], [3.0, 2.5, 1.0])
+        assert 2 < x < 3
+
+    def test_no_crossing(self):
+        assert crossover_x([1, 2], [1.0, 1.0], [2.0, 2.0]) is None
+
+    def test_exact_tie_point(self):
+        assert crossover_x([1, 2, 3], [1.0, 2.0, 9.0], [1.0, 3.0, 1.0]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover_x([1], [1.0, 2.0], [1.0])
+
+
+def test_summarize_counts():
+    checks = [
+        check_ratio_at_least("a", 10.0, 1.0, 2.0),
+        check_ratio_at_least("b", 1.0, 1.0, 2.0),
+    ]
+    text = summarize(checks)
+    assert "1/2 shape checks passed" in text
+    assert "[PASS] a" in text and "[FAIL] b" in text

@@ -1,0 +1,53 @@
+"""Tests for the parameter-sensitivity sweep utility."""
+
+import pytest
+
+from repro.analysis.sensitivity import sweep_parameter
+from repro.machine import CM5Params, MachineConfig
+from repro.schedules import execute_schedule, pairwise_exchange
+
+
+def exchange_metric(params: CM5Params) -> float:
+    cfg = MachineConfig(8, params.scaled(routing_jitter=0.0))
+    return execute_schedule(pairwise_exchange(8, 1024), cfg).time
+
+
+class TestSweep:
+    def test_bandwidth_elasticity_is_negative(self):
+        """More level-1 bandwidth -> less time (within a cluster)."""
+        res = sweep_parameter("bw_level1", exchange_metric, factors=(0.5, 1.0, 2.0))
+        assert res.elasticity is not None
+        assert res.elasticity < 0
+
+    def test_recv_overhead_elasticity_is_positive(self):
+        res = sweep_parameter(
+            "recv_overhead", exchange_metric, factors=(0.5, 1.0, 2.0)
+        )
+        assert res.elasticity is not None
+        assert res.elasticity > 0
+
+    def test_points_cover_factors(self):
+        res = sweep_parameter(
+            "memcpy_bandwidth", lambda p: p.memcpy_time(1000), factors=(0.5, 1.0, 2.0)
+        )
+        assert len(res.points) == 3
+        # memcpy time ~ 1/bandwidth: elasticity -1 exactly.
+        assert res.elasticity == pytest.approx(-1.0, abs=1e-9)
+
+    def test_table_rendering(self):
+        res = sweep_parameter(
+            "node_flops", lambda p: p.compute_time(1e6), factors=(1.0, 2.0)
+        )
+        text = res.table()
+        assert "node_flops" in text
+
+    def test_non_float_field_rejected(self):
+        with pytest.raises((TypeError, AttributeError)):
+            sweep_parameter("not_a_field", exchange_metric)
+
+    def test_metric_sign_guard(self):
+        # Metric <= 0 on one side: elasticity is None, points still given.
+        res = sweep_parameter(
+            "bw_level1", lambda p: -1.0, factors=(0.5, 1.0, 2.0)
+        )
+        assert res.elasticity is None

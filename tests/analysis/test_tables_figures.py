@@ -1,0 +1,80 @@
+"""Tests for table formatting, figure rendering, and CSV output."""
+
+import pytest
+
+from repro.analysis import FigureData, format_comparison, format_table
+from repro.analysis.tables import paired_rows
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 22.0]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.12345], [123.456], [5.0]])
+        assert "0.1234" in out or "0.1235" in out
+        assert "123.5" in out
+
+
+class TestComparison:
+    def test_paired_rows_inserts_paper_line(self):
+        rows = paired_rows("case", {"a": 1.0}, {"a": 2.0}, ["a"])
+        assert len(rows) == 2
+        assert rows[0][1] == "measured" and rows[1][1] == "paper"
+
+    def test_paired_rows_without_paper(self):
+        rows = paired_rows("case", {"a": 1.0}, None, ["a"])
+        assert len(rows) == 1
+
+    def test_format_comparison(self):
+        out = format_comparison(
+            "T", ["alg"], [("c1", {"alg": 1.0}, {"alg": 1.1})]
+        )
+        assert "measured" in out and "paper" in out and "alg (ms)" in out
+
+
+class TestFigureData:
+    def fig(self):
+        f = FigureData("demo", "x", "t")
+        f.add("a", [1, 2, 4], [1.0, 2.0, 4.0])
+        f.add("b", [1, 2, 4], [4.0, 2.0, 1.0])
+        return f
+
+    def test_series_length_checked(self):
+        f = FigureData("demo", "x", "t")
+        with pytest.raises(ValueError):
+            f.add("bad", [1, 2], [1.0])
+
+    def test_csv_long_format(self):
+        csv = self.fig().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "series,x,t"
+        assert len(lines) == 1 + 6
+        assert lines[1].startswith("a,1,")
+
+    def test_ascii_plot_contains_legend_and_marks(self):
+        out = self.fig().render()
+        assert "o=a" in out and "x=b" in out
+        assert "demo" in out
+
+    def test_log_scale_skips_nonpositive(self):
+        f = FigureData("demo", "x", "t")
+        f.add("a", [1, 2], [0.0, 10.0])
+        out = f.render(logy=True)
+        assert "demo" in out  # renders without error
+
+    def test_empty_figure(self):
+        f = FigureData("empty", "x", "y")
+        assert "no data" in f.render()

@@ -1,0 +1,74 @@
+"""Tests for ASCII topology and Gantt rendering, plus idle metrics."""
+
+import pytest
+
+from repro.analysis import render_fat_tree, render_message_gantt
+from repro.machine import CM5Params, MachineConfig
+from repro.schedules import (
+    analyze,
+    execute_schedule,
+    greedy_schedule,
+    linear_exchange,
+    linear_schedule,
+    paper_pattern_P,
+    pairwise_exchange,
+)
+from repro.sim.trace import Trace
+
+
+class TestFatTreeRendering:
+    def test_mentions_every_level(self):
+        out = render_fat_tree(MachineConfig(32))
+        assert "32 nodes" in out
+        assert "level 3" in out and "level 1" in out
+        assert "20 / 10 / 5" in out
+
+    def test_small_partition(self):
+        out = render_fat_tree(MachineConfig(4))
+        assert "4 nodes" in out and "1 fat-tree level" in out
+
+
+class TestGantt:
+    def test_empty_trace(self):
+        assert "no messages" in render_message_gantt(Trace(), 4)
+
+    def test_lex_staircase(self):
+        cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+        res = execute_schedule(linear_exchange(8, 256), cfg, trace=True)
+        out = render_message_gantt(res.sim.trace, 8, width=40)
+        lines = [l for l in out.splitlines() if l.strip().startswith("r") and "|" in l]
+        assert len(lines) == 8
+        # Receiver 0's lane is busy early, receiver 7's lane late.
+        first_busy = [l.index("#") for l in lines]
+        assert first_busy[0] < first_busy[-1]
+
+    def test_pex_lanes_all_busy(self):
+        cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+        res = execute_schedule(pairwise_exchange(8, 256), cfg, trace=True)
+        out = render_message_gantt(res.sim.trace, 8, width=40)
+        for line in out.splitlines():
+            if line.strip().startswith("r") and "|" in line:
+                assert "#" in line
+
+
+class TestIdleMetrics:
+    def test_greedy_packs_better_than_linear(self):
+        P = paper_pattern_P()
+        cfg = MachineConfig(8)
+        ls = analyze(linear_schedule(P), cfg)
+        gs = analyze(greedy_schedule(P), cfg)
+        assert gs.idle_slots < ls.idle_slots
+        assert gs.utilization > ls.utilization
+
+    def test_complete_exchange_has_no_idle(self):
+        cfg = MachineConfig(8)
+        m = analyze(pairwise_exchange(8, 64), cfg)
+        assert m.idle_slots == 0
+        assert m.utilization == 1.0
+
+    def test_utilization_bounds(self):
+        P = paper_pattern_P()
+        cfg = MachineConfig(8)
+        for build in (linear_schedule, greedy_schedule):
+            u = analyze(build(P), cfg).utilization
+            assert 0.0 < u <= 1.0

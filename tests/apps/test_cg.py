@@ -1,0 +1,76 @@
+"""Tests for the distributed conjugate-gradient solver."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.apps import DistributedCG, mesh_system, rcb_partition, structured_triangle_mesh
+from repro.machine import CM5Params, MachineConfig
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return structured_triangle_mesh(12, 12)
+
+
+@pytest.fixture(scope="module")
+def cfg8():
+    return MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+
+class TestMeshSystem:
+    def test_spd(self, mesh):
+        a, b = mesh_system(mesh, alpha=1.0)
+        x = np.random.default_rng(0).standard_normal(a.shape[0])
+        assert x @ (a @ x) > 0
+        assert (a != a.T).nnz == 0
+
+    def test_alpha_must_be_positive(self, mesh):
+        with pytest.raises(ValueError):
+            mesh_system(mesh, alpha=0.0)
+
+    def test_rhs_deterministic(self, mesh):
+        _, b1 = mesh_system(mesh, seed=3)
+        _, b2 = mesh_system(mesh, seed=3)
+        assert np.array_equal(b1, b2)
+
+
+class TestDistributedCG:
+    @pytest.mark.parametrize("algorithm", ["greedy", "pairwise", "balanced", "linear"])
+    def test_converges_to_true_solution(self, mesh, cfg8, algorithm):
+        solver = DistributedCG(mesh, rcb_partition(mesh.points, 8), cfg8, algorithm)
+        res = solver.solve(tol=1e-10, max_iter=500)
+        assert res.converged
+        a, b = mesh_system(mesh)
+        assert np.linalg.norm(a @ res.x - b) <= 1e-8 * np.linalg.norm(b)
+
+    def test_matches_scipy_direct(self, mesh, cfg8):
+        solver = DistributedCG(mesh, rcb_partition(mesh.points, 8), cfg8)
+        res = solver.solve(tol=1e-12, max_iter=600)
+        a, b = mesh_system(mesh)
+        ref = spla.spsolve(a.tocsc(), b)
+        assert np.allclose(res.x, ref, atol=1e-7)
+
+    def test_residuals_decrease_overall(self, mesh, cfg8):
+        solver = DistributedCG(mesh, rcb_partition(mesh.points, 8), cfg8)
+        res = solver.solve(tol=1e-10)
+        assert res.residual_norms[-1] < 1e-8 * res.residual_norms[0]
+
+    def test_same_iterates_for_every_schedule(self, mesh, cfg8):
+        """Scheduling changes time, never numerics."""
+        xs = []
+        for alg in ("greedy", "linear"):
+            solver = DistributedCG(mesh, rcb_partition(mesh.points, 8), cfg8, alg)
+            xs.append(solver.solve(tol=1e-10).x)
+        assert np.allclose(xs[0], xs[1], atol=1e-12)
+
+    def test_sim_time_positive_and_algorithm_dependent(self, mesh, cfg8):
+        labels = rcb_partition(mesh.points, 8)
+        t_greedy = DistributedCG(mesh, labels, cfg8, "greedy").solve(tol=1e-8).sim_time
+        t_linear = DistributedCG(mesh, labels, cfg8, "linear").solve(tol=1e-8).sim_time
+        assert 0 < t_greedy < t_linear
+
+    def test_empty_partition_rejected(self, mesh, cfg8):
+        labels = np.zeros(mesh.n_vertices, dtype=int)  # all on rank 0
+        with pytest.raises(ValueError, match="without vertices"):
+            DistributedCG(mesh, labels, cfg8)

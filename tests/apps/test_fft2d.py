@@ -1,0 +1,103 @@
+"""Tests for the distributed 2-D FFT (Table 5's application)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import fft2d_time, fft_flops
+from repro.apps.fft2d import distributed_fft2d
+from repro.apps.transpose import (
+    EXCHANGE_ALGORITHMS,
+    block_bytes,
+    local_transpose_blocks,
+    transpose_schedule,
+)
+from repro.machine import CM5Params, MachineConfig
+
+
+@pytest.fixture(scope="module")
+def cfg8():
+    return MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+
+class TestTransposeSubstrate:
+    def test_block_bytes(self):
+        assert block_bytes(256, 32) == 8 * 8 * 8
+        assert block_bytes(2048, 256, elem_bytes=16) == 8 * 8 * 16
+
+    def test_block_bytes_divisibility(self):
+        with pytest.raises(ValueError):
+            block_bytes(100, 32)
+
+    def test_schedule_generation_for_all_algorithms(self):
+        for alg in EXCHANGE_ALGORITHMS:
+            s = transpose_schedule(256, 8, alg)
+            assert s.nprocs == 8
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            transpose_schedule(256, 8, "quantum")
+
+    def test_local_transpose_blocks(self):
+        n, p, rank = 8, 4, 1
+        rng = np.random.default_rng(0)
+        full = rng.standard_normal((n, n))
+        blk = n // p
+        rows = full[rank * blk : (rank + 1) * blk]
+        received = [
+            None if src == rank else full[src * blk : (src + 1) * blk, rank * blk : (rank + 1) * blk]
+            for src in range(p)
+        ]
+        out = local_transpose_blocks(rows, p, received, rank)
+        assert np.allclose(out, full.T[rank * blk : (rank + 1) * blk])
+
+
+class TestFunctionalFFT:
+    @pytest.mark.parametrize("n,procs", [(16, 4), (32, 8), (64, 16)])
+    def test_matches_numpy(self, n, procs):
+        rng = np.random.default_rng(n)
+        a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        cfg = MachineConfig(procs, CM5Params(routing_jitter=0.0))
+        out, t = distributed_fft2d(a, cfg)
+        assert np.allclose(out, np.fft.fft2(a))
+        assert t > 0
+
+    def test_real_input(self, cfg8):
+        a = np.random.default_rng(1).standard_normal((32, 32))
+        out, _ = distributed_fft2d(a, cfg8)
+        assert np.allclose(out, np.fft.fft2(a))
+
+    def test_shape_validation(self, cfg8):
+        with pytest.raises(ValueError):
+            distributed_fft2d(np.zeros((8, 16)), cfg8)
+        with pytest.raises(ValueError):
+            distributed_fft2d(np.zeros((12, 12)), cfg8)
+
+
+class TestTimingModel:
+    def test_fft_flops_formula(self):
+        assert fft_flops(256) == pytest.approx(5 * 256 * 8)
+        with pytest.raises(ValueError):
+            fft_flops(100)
+
+    def test_breakdown_sums(self, cfg8):
+        t = fft2d_time(64, cfg8, "pairwise")
+        assert t.total_time > t.compute_time + t.shuffle_time
+        assert t.comm_time > 0
+
+    def test_linear_is_slowest(self, cfg8):
+        times = {
+            alg: fft2d_time(64, cfg8, alg).total_time
+            for alg in EXCHANGE_ALGORITHMS
+        }
+        assert max(times, key=times.get) == "linear"
+
+    def test_larger_arrays_cost_more(self, cfg8):
+        a = fft2d_time(64, cfg8, "pairwise").total_time
+        b = fft2d_time(256, cfg8, "pairwise").total_time
+        assert b > 4 * a
+
+    def test_validation(self, cfg8):
+        with pytest.raises(ValueError):
+            fft2d_time(100, cfg8, "pairwise")
+        with pytest.raises(ValueError):
+            fft2d_time(64, cfg8, "quantum")

@@ -1,0 +1,136 @@
+"""Tests for RCB partitioning and halo-exchange analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    build_halo,
+    delaunay_mesh,
+    halo_pattern,
+    partition_sizes,
+    random_partition,
+    rcb_partition,
+    structured_triangle_mesh,
+)
+
+
+class TestRCB:
+    def test_balanced_parts(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((1000, 2))
+        labels = rcb_partition(pts, 8)
+        sizes = partition_sizes(labels, 8)
+        assert sizes.sum() == 1000
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_non_power_of_two_parts(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((300, 2))
+        labels = rcb_partition(pts, 6)
+        sizes = partition_sizes(labels, 6)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_single_part(self):
+        pts = np.random.default_rng(2).random((10, 2))
+        assert set(rcb_partition(pts, 1)) == {0}
+
+    def test_geometric_locality(self):
+        """RCB on a line splits into contiguous runs."""
+        pts = np.column_stack([np.arange(100.0), np.zeros(100)])
+        labels = rcb_partition(pts, 4)
+        # Each part must be one contiguous index range.
+        for part in range(4):
+            idx = np.flatnonzero(labels == part)
+            assert (np.diff(idx) == 1).all()
+
+    def test_errors(self):
+        pts = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            rcb_partition(pts, 6)
+        with pytest.raises(ValueError):
+            rcb_partition(pts, 0)
+        with pytest.raises(ValueError):
+            rcb_partition(np.zeros(5), 2)
+
+    @given(
+        n=st.integers(16, 200),
+        parts=st.sampled_from([2, 4, 8]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_properties(self, n, parts, seed):
+        pts = np.random.default_rng(seed).random((n, 2))
+        labels = rcb_partition(pts, parts)
+        sizes = partition_sizes(labels, parts)
+        assert sizes.sum() == n
+        assert (sizes > 0).all()
+        assert sizes.max() - sizes.min() <= 1
+
+
+class TestRandomPartition:
+    def test_balanced(self):
+        labels = random_partition(100, 8, seed=1)
+        sizes = partition_sizes(labels, 8)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_destroys_locality_vs_rcb(self):
+        mesh = delaunay_mesh(800, seed=7)
+        rcb = halo_pattern(mesh, rcb_partition(mesh.points, 8), 8)
+        rnd = halo_pattern(mesh, random_partition(800, 8, seed=7), 8)
+        assert rnd.total_bytes > 2 * rcb.total_bytes
+
+
+class TestHalo:
+    def test_symmetry_of_ghost_relation(self):
+        mesh = structured_triangle_mesh(8, 8)
+        labels = rcb_partition(mesh.points, 4)
+        halo = build_halo(mesh, labels, 4)
+        # i sends to j  iff  j sends to i (edge adjacency is symmetric).
+        for i in range(4):
+            for j in halo.send_lists[i]:
+                assert i in halo.send_lists[j]
+
+    def test_sent_vertices_are_owned_and_adjacent(self):
+        mesh = structured_triangle_mesh(10, 10)
+        labels = rcb_partition(mesh.points, 4)
+        halo = build_halo(mesh, labels, 4)
+        adj = mesh.vertex_adjacency
+        for i in range(4):
+            for j, verts in halo.send_lists[i].items():
+                for v in verts:
+                    assert labels[v] == i
+                    # v has at least one neighbour owned by j.
+                    assert any(labels[u] == j for u in adj[v])
+
+    def test_pattern_bytes(self):
+        mesh = structured_triangle_mesh(6, 6)
+        labels = rcb_partition(mesh.points, 4)
+        halo = build_halo(mesh, labels, 4)
+        pat = halo.pattern(word_bytes=8, words_per_vertex=3)
+        for i in range(4):
+            for j, verts in halo.send_lists[i].items():
+                assert pat[i, j] == 24 * len(verts)
+
+    def test_single_partition_has_no_halo(self):
+        mesh = structured_triangle_mesh(5, 5)
+        labels = np.zeros(mesh.n_vertices, dtype=int)
+        halo = build_halo(mesh, labels, 1)
+        assert halo.total_ghost_vertices == 0
+
+    def test_label_validation(self):
+        mesh = structured_triangle_mesh(4, 4)
+        with pytest.raises(ValueError):
+            build_halo(mesh, np.zeros(3, dtype=int), 2)
+        bad = np.zeros(mesh.n_vertices, dtype=int)
+        bad[0] = 5
+        with pytest.raises(ValueError):
+            build_halo(mesh, bad, 2)
+
+    def test_pattern_parameter_validation(self):
+        mesh = structured_triangle_mesh(4, 4)
+        labels = rcb_partition(mesh.points, 2)
+        halo = build_halo(mesh, labels, 2)
+        with pytest.raises(ValueError):
+            halo.pattern(word_bytes=0)

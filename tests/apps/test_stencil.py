@@ -1,0 +1,66 @@
+"""Tests for the distributed Jacobi stencil application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import DistributedJacobi, jacobi_reference
+from repro.machine import CM5Params, MachineConfig
+
+
+@pytest.fixture(scope="module")
+def cfg8():
+    return MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+
+class TestReference:
+    def test_boundary_held_fixed(self):
+        grid = np.zeros((8, 8))
+        grid[0, :] = 1.0
+        out = jacobi_reference(grid, 5)
+        assert np.array_equal(out[0], grid[0])
+        assert np.array_equal(out[-1], grid[-1])
+
+    def test_converges_to_harmonic(self):
+        # Laplace with linear boundary data converges to the linear field.
+        n = 16
+        x = np.linspace(0, 1, n)
+        exact = np.tile(x, (n, 1))
+        grid = exact.copy()
+        grid[1:-1, 1:-1] = 0.0
+        out = jacobi_reference(grid, 2000)
+        assert np.abs(out - exact).max() < 1e-3
+
+    def test_fixed_point(self):
+        n = 8
+        x = np.linspace(0, 1, n)
+        exact = np.tile(x, (n, 1))
+        out = jacobi_reference(exact, 3)
+        assert np.allclose(out, exact, atol=1e-12)
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("steps", [1, 7])
+    def test_matches_sequential_exactly(self, cfg8, steps):
+        grid = np.random.default_rng(3).random((32, 32))
+        out, t = DistributedJacobi(cfg8, grid).run(steps)
+        assert np.array_equal(out, jacobi_reference(grid, steps))
+        assert t > 0
+
+    def test_two_ranks(self):
+        cfg = MachineConfig(2, CM5Params(routing_jitter=0.0))
+        grid = np.random.default_rng(4).random((8, 8))
+        out, _ = DistributedJacobi(cfg, grid).run(4)
+        assert np.array_equal(out, jacobi_reference(grid, 4))
+
+    def test_time_scales_with_steps(self, cfg8):
+        grid = np.random.default_rng(5).random((32, 32))
+        dj = DistributedJacobi(cfg8, grid)
+        _, t2 = dj.run(2)
+        _, t8 = dj.run(8)
+        assert t8 > 3 * t2
+
+    def test_shape_validation(self, cfg8):
+        with pytest.raises(ValueError):
+            DistributedJacobi(cfg8, np.zeros((8, 16)))
+        with pytest.raises(ValueError):
+            DistributedJacobi(cfg8, np.zeros((12, 12)))

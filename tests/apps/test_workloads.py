@@ -1,0 +1,49 @@
+"""Tests for the packaged Table 12 workloads."""
+
+import pytest
+
+from repro.apps import PAPER_TABLE12_STATS, paper_workload, workload_names
+
+
+class TestWorkloads:
+    def test_names_follow_table12_order(self):
+        assert workload_names() == [
+            "cg16k",
+            "euler545",
+            "euler2k",
+            "euler3k",
+            "euler9k",
+        ]
+
+    @pytest.mark.parametrize("name", ["euler545", "euler2k"])
+    def test_pattern_is_consistent_with_halo(self, name):
+        wl = paper_workload(name)
+        assert wl.pattern.nprocs == 32
+        assert wl.pattern.total_bytes > 0
+        # Pattern symmetry of *structure*: i talks to j iff j talks to i.
+        m = wl.pattern.matrix
+        assert (((m > 0) == (m.T > 0))).all()
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_stats_land_in_the_papers_regime(self, name):
+        """Density within a factor ~2 and mean bytes within a factor ~2
+        of Table 12's header statistics (documented substitution)."""
+        wl = paper_workload(name)
+        s = wl.pattern.stats()
+        paper_density, paper_bytes = PAPER_TABLE12_STATS[name]
+        assert s.density_percent < 50.0  # the regime where greedy wins
+        assert paper_density / 2.2 <= s.density_percent <= paper_density * 2.2
+        assert paper_bytes / 2.2 <= s.avg_bytes_per_op <= paper_bytes * 2.2
+
+    def test_describe_mentions_both_sources(self):
+        wl = paper_workload("euler545")
+        text = wl.describe()
+        assert "paper" in text and "ours" in text
+
+    def test_scaling_to_other_machine_sizes(self):
+        wl = paper_workload("euler545", nprocs=16)
+        assert wl.pattern.nprocs == 16
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            paper_workload("weather1k")

@@ -1,0 +1,92 @@
+"""Unit tests for the Comm facade and the SPMD runner."""
+
+import pytest
+
+from repro.cmmd import Comm, run_programs, run_spmd
+from repro.machine import CM5Params, MachineConfig
+from repro.sim.process import Delay, Recv, Send
+
+
+@pytest.fixture
+def cfg4():
+    return MachineConfig(4, CM5Params(routing_jitter=0.0))
+
+
+class TestComm:
+    def test_properties(self, cfg4):
+        comm = Comm(2, cfg4)
+        assert comm.rank == 2
+        assert comm.size == 4
+        assert comm.params is cfg4.params
+
+    def test_send_builds_request(self, cfg4):
+        req = Comm(0, cfg4).send(1, 128, payload="p", tag=3)
+        assert isinstance(req, Send)
+        assert (req.dst, req.nbytes, req.payload, req.tag) == (1, 128, "p", 3)
+
+    def test_recv_defaults_to_wildcards(self, cfg4):
+        req = Comm(0, cfg4).recv()
+        assert isinstance(req, Recv)
+        assert req.src == -1 and req.tag == -1
+
+    def test_compute_converts_flops(self, cfg4):
+        req = Comm(0, cfg4).compute(cfg4.params.node_flops)
+        assert isinstance(req, Delay)
+        assert req.seconds == pytest.approx(1.0)
+
+    def test_memcpy_converts_bytes(self, cfg4):
+        req = Comm(0, cfg4).memcpy(int(cfg4.params.memcpy_bandwidth))
+        assert req.seconds == pytest.approx(1.0)
+
+    def test_swap_with_self_rejected(self, cfg4):
+        with pytest.raises(ValueError):
+            list(Comm(1, cfg4).swap(1, 8))
+
+    def test_negative_sizes_rejected(self, cfg4):
+        comm = Comm(0, cfg4)
+        with pytest.raises(ValueError):
+            comm.send(1, -1)
+        with pytest.raises(ValueError):
+            comm.delay(-0.1)
+
+
+class TestRunners:
+    def test_run_spmd_passes_extra_args(self, cfg4):
+        def prog(comm, base, scale=1):
+            yield comm.delay(0)
+            return base + comm.rank * scale
+
+        res = run_spmd(cfg4, prog, 100, scale=2)
+        assert res.results == [100, 102, 104, 106]
+
+    def test_run_programs_mpmd(self, cfg4):
+        def talker(comm):
+            yield comm.send(1, 16, payload="hi")
+
+        def listener(comm):
+            return (yield comm.recv(0))
+
+        def idle(comm):
+            yield comm.delay(0)
+
+        comms = [Comm(r, cfg4) for r in range(4)]
+        res = run_programs(
+            cfg4, [talker(comms[0]), listener(comms[1]), idle(comms[2]), idle(comms[3])]
+        )
+        assert res.results[1] == "hi"
+
+    def test_rank_result_accessor(self, cfg4):
+        def prog(comm):
+            yield comm.delay(0)
+            return comm.rank
+
+        res = run_spmd(cfg4, prog)
+        assert res.rank_result(3) == 3
+
+    def test_makespan_is_max_finish(self, cfg4):
+        def prog(comm):
+            yield comm.delay(comm.rank * 1e-3)
+
+        res = run_spmd(cfg4, prog)
+        assert res.makespan == pytest.approx(3e-3)
+        assert res.finish_times == sorted(res.finish_times)

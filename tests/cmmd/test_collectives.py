@@ -1,0 +1,128 @@
+"""Tests for the user-level collective idioms."""
+
+import pytest
+
+from repro.cmmd import (
+    alltoall_pairwise,
+    broadcast_linear,
+    broadcast_recursive,
+    gather_linear,
+    run_spmd,
+)
+from repro.machine import CM5Params, MachineConfig
+
+
+@pytest.fixture
+def cfg8():
+    return MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+
+@pytest.fixture
+def cfg16():
+    return MachineConfig(16, CM5Params(routing_jitter=0.0))
+
+
+class TestBroadcastLinear:
+    def test_delivers_payload(self, cfg8):
+        def prog(comm):
+            return (
+                yield from broadcast_linear(
+                    comm, 2, 64, payload="msg" if comm.rank == 2 else None
+                )
+            )
+
+        res = run_spmd(cfg8, prog)
+        assert res.results == ["msg"] * 8
+
+    def test_cost_scales_linearly(self, cfg8, cfg16):
+        def prog(comm):
+            yield from broadcast_linear(comm, 0, 256)
+
+        t8 = run_spmd(cfg8, prog).makespan
+        t16 = run_spmd(cfg16, prog).makespan
+        # 15 sequential sends vs 7: about 2x.
+        assert 1.6 < t16 / t8 < 2.6
+
+
+class TestBroadcastRecursive:
+    @pytest.mark.parametrize("root", [0, 3, 7])
+    def test_delivers_from_any_root(self, cfg8, root):
+        def prog(comm):
+            return (
+                yield from broadcast_recursive(
+                    comm, root, 64, payload="x" if comm.rank == root else None
+                )
+            )
+
+        res = run_spmd(cfg8, prog)
+        assert res.results == ["x"] * 8
+
+    def test_selective_group(self, cfg16):
+        group = [2, 3, 6, 7]
+
+        def prog(comm):
+            if comm.rank in group:
+                got = yield from broadcast_recursive(
+                    comm, 3, 64, payload="row" if comm.rank == 3 else None,
+                    group=group,
+                )
+                return got
+            return "outside"
+
+        res = run_spmd(cfg16, prog)
+        for r in range(16):
+            assert res.results[r] == ("row" if r in group else "outside")
+
+    def test_log_steps_beat_linear(self, cfg16):
+        def lib(comm):
+            yield from broadcast_linear(comm, 0, 1024)
+
+        def reb(comm):
+            yield from broadcast_recursive(comm, 0, 1024)
+
+        assert run_spmd(cfg16, reb).makespan < run_spmd(cfg16, lib).makespan / 2
+
+    def test_non_power_of_two_group_rejected(self, cfg8):
+        def prog(comm):
+            if comm.rank < 3:
+                yield from broadcast_recursive(comm, 0, 8, group=[0, 1, 2])
+
+        with pytest.raises(ValueError, match="power of two"):
+            run_spmd(cfg8, prog)
+
+    def test_root_outside_group_rejected(self, cfg8):
+        def prog(comm):
+            if comm.rank in (1, 2):
+                yield from broadcast_recursive(comm, 0, 8, group=[1, 2])
+
+        with pytest.raises(ValueError, match="root"):
+            run_spmd(cfg8, prog)
+
+
+class TestGatherAndAllToAll:
+    def test_gather_order(self, cfg8):
+        def prog(comm):
+            return (
+                yield from gather_linear(comm, 0, 32, payload=comm.rank * 10)
+            )
+
+        res = run_spmd(cfg8, prog)
+        assert res.results[0] == [0, 10, 20, 30, 40, 50, 60, 70]
+        assert res.results[1] is None
+
+    def test_alltoall_moves_every_block(self, cfg8):
+        def prog(comm):
+            payloads = [f"{comm.rank}->{dst}" for dst in range(comm.size)]
+            got = yield from alltoall_pairwise(comm, 32, payloads)
+            return got
+
+        res = run_spmd(cfg8, prog)
+        for dst in range(8):
+            assert res.results[dst] == [f"{src}->{dst}" for src in range(8)]
+
+    def test_alltoall_wrong_payload_count(self, cfg8):
+        def prog(comm):
+            yield from alltoall_pairwise(comm, 32, ["only-one"])
+
+        with pytest.raises(ValueError, match="payload blocks"):
+            run_spmd(cfg8, prog)

@@ -1,0 +1,62 @@
+"""Tests for scatter and ring-allgather collectives."""
+
+import pytest
+
+from repro.cmmd import allgather_ring, run_spmd, scatter_linear
+from repro.machine import CM5Params, MachineConfig
+
+
+@pytest.fixture
+def cfg8():
+    return MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+
+class TestScatter:
+    def test_each_rank_gets_its_block(self, cfg8):
+        def prog(comm):
+            blocks = (
+                [f"blk{i}" for i in range(8)] if comm.rank == 3 else None
+            )
+            return (yield from scatter_linear(comm, 3, 64, blocks))
+
+        res = run_spmd(cfg8, prog)
+        assert res.results == [f"blk{i}" for i in range(8)]
+
+    def test_wrong_block_count(self, cfg8):
+        def prog(comm):
+            blocks = ["a"] if comm.rank == 0 else None
+            yield from scatter_linear(comm, 0, 64, blocks)
+
+        with pytest.raises(ValueError):
+            run_spmd(cfg8, prog)
+
+
+class TestAllgatherRing:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_everyone_collects_everything(self, n):
+        cfg = MachineConfig(n, CM5Params(routing_jitter=0.0))
+
+        def prog(comm):
+            return (
+                yield from allgather_ring(comm, 32, payload=f"p{comm.rank}")
+            )
+
+        res = run_spmd(cfg, prog)
+        expected = [f"p{i}" for i in range(n)]
+        for r in range(n):
+            assert res.results[r] == expected
+
+    def test_uses_n_minus_1_rounds_of_messages(self, cfg8):
+        def prog(comm):
+            yield from allgather_ring(comm, 32, payload=comm.rank)
+
+        res = run_spmd(cfg8, prog)
+        assert res.message_count == 8 * 7
+
+    def test_nearest_neighbour_traffic_only(self, cfg8):
+        def prog(comm):
+            yield from allgather_ring(comm, 32, payload=comm.rank)
+
+        res = run_spmd(cfg8, prog, trace=True)
+        for m in res.trace.messages:
+            assert m.dst == (m.src + 1) % 8

@@ -1,0 +1,44 @@
+"""Shared fixtures: small machine configurations and fast parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import CM5Params, MachineConfig
+
+
+@pytest.fixture(scope="session")
+def params() -> CM5Params:
+    """The calibrated default parameter set."""
+    return CM5Params()
+
+
+@pytest.fixture(scope="session")
+def nojitter_params() -> CM5Params:
+    """Deterministic-wire parameters (exact arithmetic in timing tests)."""
+    return CM5Params(routing_jitter=0.0)
+
+
+@pytest.fixture
+def cfg4(params: CM5Params) -> MachineConfig:
+    return MachineConfig(4, params)
+
+
+@pytest.fixture
+def cfg8(params: CM5Params) -> MachineConfig:
+    return MachineConfig(8, params)
+
+
+@pytest.fixture
+def cfg16(params: CM5Params) -> MachineConfig:
+    return MachineConfig(16, params)
+
+
+@pytest.fixture
+def cfg32(params: CM5Params) -> MachineConfig:
+    return MachineConfig(32, params)
+
+
+@pytest.fixture
+def cfg8_nojitter(nojitter_params: CM5Params) -> MachineConfig:
+    return MachineConfig(8, nojitter_params)

@@ -1,0 +1,147 @@
+"""Unit and property tests for max-min fair allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.bandwidth import build_incidence, max_min_rates
+
+
+def rates_for(paths, caps, flow_caps=None):
+    ptr, links = build_incidence(paths)
+    nlinks = max((max(p) for p in paths if p), default=-1) + 1
+    link_caps = np.asarray(caps, dtype=float)
+    assert len(link_caps) >= nlinks
+    fc = (
+        np.full(len(paths), np.inf)
+        if flow_caps is None
+        else np.asarray(flow_caps, dtype=float)
+    )
+    return max_min_rates(link_caps, ptr, links, fc)
+
+
+class TestBasic:
+    def test_single_flow_gets_bottleneck(self):
+        r = rates_for([[0, 1]], [10.0, 4.0])
+        assert r[0] == pytest.approx(4.0)
+
+    def test_equal_sharing(self):
+        r = rates_for([[0], [0]], [10.0])
+        assert r.tolist() == pytest.approx([5.0, 5.0])
+
+    def test_docstring_example(self):
+        r = rates_for([[0], [0, 1]], [10.0, 3.0])
+        assert r.tolist() == pytest.approx([7.0, 3.0])
+
+    def test_flow_cap_binds(self):
+        r = rates_for([[0], [0]], [10.0], flow_caps=[2.0, np.inf])
+        assert r.tolist() == pytest.approx([2.0, 8.0])
+
+    def test_three_level_waterfill(self):
+        # Flows: A on link0 only; B on link0+link1; C on link1 only.
+        r = rates_for([[0], [0, 1], [1]], [10.0, 4.0])
+        assert r[1] == pytest.approx(2.0)
+        assert r[2] == pytest.approx(2.0)
+        assert r[0] == pytest.approx(8.0)
+
+    def test_empty_problem(self):
+        out = max_min_rates(np.array([1.0]), np.array([0]), np.array([], dtype=int), np.array([]))
+        assert out.size == 0
+
+    def test_flow_without_links_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_rates(
+                np.array([1.0]),
+                np.array([0, 0]),
+                np.array([], dtype=int),
+                np.array([np.inf]),
+            )
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            rates_for([[0]], [0.0])
+
+    def test_nonpositive_flow_cap_rejected(self):
+        with pytest.raises(ValueError):
+            rates_for([[0]], [1.0], flow_caps=[0.0])
+
+
+@st.composite
+def allocation_problems(draw):
+    nlinks = draw(st.integers(1, 6))
+    nflows = draw(st.integers(1, 12))
+    caps = draw(
+        st.lists(
+            st.floats(0.5, 100.0, allow_nan=False), min_size=nlinks, max_size=nlinks
+        )
+    )
+    paths = [
+        draw(
+            st.lists(
+                st.integers(0, nlinks - 1), min_size=1, max_size=nlinks, unique=True
+            )
+        )
+        for _ in range(nflows)
+    ]
+    flow_caps = draw(
+        st.lists(
+            st.one_of(st.just(float("inf")), st.floats(0.1, 50.0)),
+            min_size=nflows,
+            max_size=nflows,
+        )
+    )
+    return caps, paths, flow_caps
+
+
+class TestProperties:
+    @given(allocation_problems())
+    @settings(max_examples=200, deadline=None)
+    def test_feasibility_and_positivity(self, problem):
+        caps, paths, flow_caps = problem
+        rates = rates_for(paths, caps, flow_caps)
+        # Positivity: every flow gets something.
+        assert (rates > 0).all()
+        # Flow caps respected.
+        for r, c in zip(rates, flow_caps):
+            assert r <= c * (1 + 1e-9)
+        # Link capacities respected.
+        load = np.zeros(len(caps))
+        for path, r in zip(paths, rates):
+            for l in path:
+                load[l] += r
+        assert (load <= np.asarray(caps) * (1 + 1e-6)).all()
+
+    @given(allocation_problems())
+    @settings(max_examples=200, deadline=None)
+    def test_every_flow_is_bottlenecked(self, problem):
+        """Max-min property: each flow is limited by its cap or a
+        saturated link on which it has a maximal rate."""
+        caps, paths, flow_caps = problem
+        rates = rates_for(paths, caps, flow_caps)
+        load = np.zeros(len(caps))
+        for path, r in zip(paths, rates):
+            for l in path:
+                load[l] += r
+        for i, (path, r) in enumerate(zip(paths, rates)):
+            if r >= flow_caps[i] * (1 - 1e-6):
+                continue  # capped
+            bottleneck = False
+            for l in path:
+                if load[l] >= caps[l] * (1 - 1e-6):
+                    # r must be maximal among flows through l.
+                    peers = [
+                        rates[j] for j, p in enumerate(paths) if l in p
+                    ]
+                    if r >= max(peers) * (1 - 1e-6):
+                        bottleneck = True
+                        break
+            assert bottleneck, f"flow {i} is neither capped nor bottlenecked"
+
+    @given(allocation_problems())
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, problem):
+        caps, paths, flow_caps = problem
+        a = rates_for(paths, caps, flow_caps)
+        b = rates_for(paths, caps, flow_caps)
+        assert np.array_equal(a, b)

@@ -1,0 +1,152 @@
+"""Unit tests for the fluid-flow contention network."""
+
+import pytest
+
+from repro.machine import CM5Params, FluidNetwork, MachineConfig, fat_tree_for
+from repro.machine.params import wire_bytes
+
+
+def make_net(nprocs=16, **overrides):
+    params = CM5Params(routing_jitter=0.0, **overrides)
+    return FluidNetwork(fat_tree_for(MachineConfig(nprocs, params)))
+
+
+class TestSingleFlow:
+    def test_intra_cluster_rate(self):
+        net = make_net()
+        net.add_flow("f", 0, 1, 1600)
+        assert net.snapshot_rates()["f"] == pytest.approx(20e6)
+
+    def test_remote_flow_capped_at_level_bandwidth(self):
+        net = make_net()
+        net.add_flow("f", 0, 4, 1600)
+        assert net.snapshot_rates()["f"] == pytest.approx(10e6)
+
+    def test_completion_time(self):
+        net = make_net()
+        net.add_flow("f", 0, 1, 1600)  # 2000 wire bytes at 20 MB/s
+        t = net.earliest_completion()
+        assert t == pytest.approx(2000 / 20e6)
+
+    def test_pop_completed(self):
+        net = make_net()
+        net.add_flow("f", 0, 1, 160)
+        t = net.earliest_completion()
+        done = net.pop_completed(t)
+        assert [f.key for f in done] == ["f"]
+        assert net.active_count == 0
+
+
+class TestSharing:
+    def test_two_flows_share_a_saturated_uplink(self):
+        # With contention disabled, 4 remote flows out of one cluster
+        # split the 40 MB/s cluster uplink evenly.
+        net = make_net(switch_contention=0.0)
+        for i in range(4):
+            net.add_flow(i, i, i + 4, 16000)
+        rates = net.snapshot_rates()
+        for i in range(4):
+            assert rates[i] == pytest.approx(10e6)
+
+    def test_contention_penalty_degrades_shared_links(self):
+        clean = make_net(switch_contention=0.0)
+        dirty = make_net(switch_contention=0.3)
+        for net in (clean, dirty):
+            for i in range(4):
+                net.add_flow(i, i, i + 4, 16000)
+        assert max(dirty.snapshot_rates().values()) < min(
+            clean.snapshot_rates().values()
+        )
+
+    def test_contention_cap_bounds_the_penalty(self):
+        capped = make_net(switch_contention=10.0, contention_cap=2.0)
+        for i in range(4):
+            capped.add_flow(i, i, i + 4, 16000)
+        # Penalty factor is capped at 2: 40 MB/s / 2 / 4 flows = 5 MB/s.
+        for r in capped.snapshot_rates().values():
+            assert r == pytest.approx(5e6)
+
+    def test_disjoint_flows_do_not_interact(self):
+        net = make_net()
+        net.add_flow("a", 0, 1, 16000)
+        net.add_flow("b", 8, 9, 16000)
+        rates = net.snapshot_rates()
+        assert rates["a"] == pytest.approx(20e6)
+        assert rates["b"] == pytest.approx(20e6)
+
+
+class TestDynamics:
+    def test_time_cannot_go_backwards(self):
+        net = make_net()
+        net.advance_to(1.0)
+        with pytest.raises(ValueError):
+            net.advance_to(0.5)
+
+    def test_duplicate_key_rejected(self):
+        net = make_net()
+        net.add_flow("f", 0, 1, 16)
+        with pytest.raises(ValueError):
+            net.add_flow("f", 2, 3, 16)
+
+    def test_rates_rebalance_when_flow_departs(self):
+        net = make_net(switch_contention=0.0)
+        net.add_flow("short", 0, 4, 160)
+        net.add_flow("long", 1, 5, 160000)
+        t = net.earliest_completion()
+        done = net.pop_completed(t)
+        assert [f.key for f in done] == ["short"]
+        # The survivor now runs at its full level cap.
+        assert net.snapshot_rates()["long"] == pytest.approx(10e6)
+
+    def test_progress_accounting(self):
+        net = make_net()
+        net.add_flow("f", 0, 1, 1600)  # 2000 wire bytes @ 20 MB/s = 100 us
+        net.advance_to(50e-6)
+        t = net.earliest_completion()
+        assert t == pytest.approx(100e-6)
+
+    def test_reset(self):
+        net = make_net()
+        net.add_flow("f", 0, 1, 16)
+        net.reset()
+        assert net.active_count == 0
+        assert net.now == 0.0
+
+
+class TestJitter:
+    def test_jitter_inflates_wire_volume(self):
+        params = CM5Params(routing_jitter=2.0)
+        tree = fat_tree_for(MachineConfig(16, params))
+        base = wire_bytes(256)
+        durations = []
+        for s in range(64):
+            net = FluidNetwork(tree, seed=s)
+            net.add_flow("f", 0, 1, 256)
+            durations.append(net.earliest_completion())
+        floor = base / 20e6
+        assert min(durations) >= floor - 1e-12
+        assert max(durations) > floor * 1.2  # some messages are unlucky
+
+    def test_jitter_is_deterministic_per_seed(self):
+        params = CM5Params(routing_jitter=1.0)
+        tree = fat_tree_for(MachineConfig(16, params))
+        a = FluidNetwork(tree, seed=3)
+        b = FluidNetwork(tree, seed=3)
+        a.add_flow("f", 0, 9, 512)
+        b.add_flow("f", 0, 9, 512)
+        assert a.earliest_completion() == b.earliest_completion()
+
+    def test_relative_jitter_shrinks_for_long_messages(self):
+        params = CM5Params(routing_jitter=2.0)
+        tree = fat_tree_for(MachineConfig(16, params))
+
+        def spread(payload):
+            outs = []
+            for s in range(40):
+                net = FluidNetwork(tree, seed=s)
+                net.add_flow("f", 0, 1, payload)
+                outs.append(net.earliest_completion())
+            lo, hi = min(outs), max(outs)
+            return (hi - lo) / lo
+
+        assert spread(64) > spread(65536)

@@ -1,0 +1,56 @@
+"""Unit tests for the control-network model and node cost facade."""
+
+import pytest
+
+from repro.machine import CM5Params, ControlNetwork, NodeCostModel
+
+
+@pytest.fixture
+def ctrl():
+    return ControlNetwork(CM5Params())
+
+
+class TestControlNetwork:
+    def test_barrier_is_cheap(self, ctrl):
+        assert ctrl.barrier(256) < 50e-6
+
+    def test_broadcast_grows_with_payload(self, ctrl):
+        assert ctrl.broadcast(8192, 32) > ctrl.broadcast(64, 32)
+
+    def test_broadcast_flat_in_machine_size(self, ctrl):
+        # The paper's Figure 11: one curve suffices for the system
+        # broadcast because partition size barely matters.
+        t32 = ctrl.broadcast(2048, 32)
+        t256 = ctrl.broadcast(2048, 256)
+        assert (t256 - t32) / t32 < 0.02
+
+    def test_reduce_depth_term(self, ctrl):
+        assert ctrl.reduce(8, 256) > ctrl.reduce(8, 4)
+
+    def test_scan_equals_reduce_shape(self, ctrl):
+        assert ctrl.scan(64, 32) == ctrl.reduce(64, 32)
+
+    def test_invalid_inputs(self, ctrl):
+        with pytest.raises(ValueError):
+            ctrl.broadcast(-1, 32)
+        with pytest.raises(ValueError):
+            ctrl.reduce(8, 0)
+
+
+class TestNodeCostModel:
+    def test_overheads_match_params(self):
+        p = CM5Params()
+        node = NodeCostModel(p)
+        assert node.send_setup() == p.send_overhead
+        assert node.recv_service() == p.recv_overhead
+
+    def test_pack_unpack_rate(self):
+        p = CM5Params()
+        node = NodeCostModel(p)
+        assert node.pack(p.memcpy_bandwidth) == pytest.approx(1.0)
+        assert node.unpack(0) == 0.0
+
+    def test_compute_rate(self):
+        p = CM5Params()
+        node = NodeCostModel(p)
+        assert node.compute(p.node_flops) == pytest.approx(1.0)

@@ -1,0 +1,172 @@
+"""Tests for the PARTI-style inspector/executor runtime layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import delaunay_mesh, rcb_partition
+from repro.machine import CM5Params, MachineConfig
+from repro.runtime import Distribution, build_plan, run_gather
+
+
+@pytest.fixture(scope="module")
+def cfg8():
+    return MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+
+class TestDistribution:
+    def test_block_is_balanced_and_contiguous(self):
+        d = Distribution.block(100, 8)
+        sizes = [d.local_size(r) for r in range(8)]
+        assert sum(sizes) == 100
+        assert max(sizes) - min(sizes) <= 1
+        for r in range(8):
+            owned = d.owned[r]
+            assert (np.diff(owned) == 1).all()
+
+    def test_locate_roundtrip(self):
+        d = Distribution.block(50, 4)
+        g = np.arange(50)
+        owners, offsets = d.locate(g)
+        for gi, r, off in zip(g, owners, offsets):
+            assert d.to_global(r, np.array([off]))[0] == gi
+
+    def test_from_labels(self):
+        labels = np.array([2, 0, 1, 0, 2, 1])
+        d = Distribution.from_labels(labels)
+        assert d.nprocs == 3
+        assert d.local_size(0) == 2
+
+    def test_scatter_gather_roundtrip(self):
+        d = Distribution.from_labels(np.array([1, 0, 1, 0, 1]))
+        data = np.arange(5.0)
+        segs = d.scatter_array(data)
+        assert np.array_equal(d.gather_array(segs), data)
+
+    def test_locate_bounds(self):
+        d = Distribution.block(10, 2)
+        with pytest.raises(IndexError):
+            d.locate(np.array([10]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Distribution(np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            Distribution.block(3, 8)
+
+
+class TestInspector:
+    def test_local_references_are_free(self):
+        d = Distribution.block(80, 8)
+        # Every rank requests only its own elements.
+        requests = [d.owned[r] for r in range(8)]
+        plan = build_plan(d, requests)
+        assert plan.pattern.n_operations == 0
+        assert plan.schedule.nsteps == 0
+
+    def test_duplicates_deduplicated(self):
+        d = Distribution.block(80, 8)
+        requests = [np.zeros(50, dtype=int) for _ in range(8)]  # all want g=0
+        plan = build_plan(d, requests, word_bytes=8)
+        # Ranks 1..7 each receive exactly one 8-byte value from rank 0.
+        for r in range(1, 8):
+            assert plan.pattern[0, r] == 8
+
+    def test_pattern_matches_requests(self):
+        d = Distribution.block(64, 8)
+        rng = np.random.default_rng(1)
+        requests = [rng.integers(0, 64, size=12) for _ in range(8)]
+        plan = build_plan(d, requests, word_bytes=4)
+        for r in range(8):
+            offproc = {
+                int(g)
+                for g in np.unique(requests[r])
+                if d.owner[g] != r
+            }
+            assert plan.ghost_count(r) == len(offproc)
+
+    def test_algorithm_choice(self):
+        d = Distribution.block(64, 8)
+        requests = [np.arange(64) for _ in range(8)]  # everyone reads all
+        for alg in ("linear", "pairwise", "balanced", "greedy"):
+            plan = build_plan(d, requests, algorithm=alg)
+            assert plan.pattern.density == 1.0
+
+    def test_bad_requests(self):
+        d = Distribution.block(64, 8)
+        with pytest.raises(ValueError):
+            build_plan(d, [np.array([0])] * 3)
+        with pytest.raises(IndexError):
+            build_plan(d, [np.array([64])] + [np.array([0])] * 7)
+
+
+class TestExecutor:
+    def test_resolves_everything(self, cfg8):
+        d = Distribution.block(120, 8)
+        rng = np.random.default_rng(2)
+        requests = [rng.integers(0, 120, size=25) for _ in range(8)]
+        plan = build_plan(d, requests)
+        data = rng.standard_normal(120)
+        res = run_gather(plan, cfg8, data)
+        for r in range(8):
+            for g in np.unique(requests[r]):
+                assert res.resolved[r][int(g)] == pytest.approx(data[g])
+
+    def test_message_count_matches_plan(self, cfg8):
+        d = Distribution.block(64, 8)
+        rng = np.random.default_rng(3)
+        requests = [rng.integers(0, 64, size=10) for _ in range(8)]
+        plan = build_plan(d, requests)
+        res = run_gather(plan, cfg8, np.arange(64.0))
+        assert res.message_count == plan.pattern.n_operations
+
+    def test_mesh_based_distribution(self, cfg8):
+        """The full Section 4 pipeline via the runtime layer: mesh
+        vertices distributed by RCB, each rank requesting its edge
+        neighbours."""
+        mesh = delaunay_mesh(300, dim=2, seed=4)
+        labels = rcb_partition(mesh.points, 8)
+        d = Distribution.from_labels(labels)
+        adj = mesh.vertex_adjacency
+        requests = [
+            np.concatenate([adj[v] for v in d.owned[r]])
+            if len(d.owned[r])
+            else np.zeros(0, dtype=int)
+            for r in range(8)
+        ]
+        plan = build_plan(d, requests)
+        data = np.random.default_rng(5).standard_normal(300)
+        res = run_gather(plan, cfg8, data)
+        for r in range(8):
+            for g in np.unique(requests[r]):
+                assert res.resolved[r][int(g)] == pytest.approx(data[g])
+
+    def test_wrong_machine_size(self):
+        d = Distribution.block(64, 8)
+        plan = build_plan(d, [np.array([0])] * 8)
+        with pytest.raises(ValueError):
+            run_gather(plan, MachineConfig(4), np.zeros(64))
+
+
+@given(
+    n_global=st.integers(16, 120),
+    seed=st.integers(0, 200),
+)
+@settings(max_examples=25, deadline=None)
+def test_gather_property(n_global, seed):
+    """Any request set over any block distribution resolves exactly."""
+    nprocs = 4
+    rng = np.random.default_rng(seed)
+    d = Distribution.block(n_global, nprocs)
+    requests = [
+        rng.integers(0, n_global, size=rng.integers(1, 15))
+        for _ in range(nprocs)
+    ]
+    plan = build_plan(d, requests)
+    data = rng.standard_normal(n_global)
+    cfg = MachineConfig(nprocs, CM5Params(routing_jitter=0.0))
+    res = run_gather(plan, cfg, data)
+    for r in range(nprocs):
+        for g in np.unique(requests[r]):
+            assert res.resolved[r][int(g)] == pytest.approx(data[g])

@@ -1,0 +1,139 @@
+"""Executor tests: schedules run deadlock-free and price correctly."""
+
+import pytest
+
+from repro.cmmd import run_spmd
+from repro.machine import CM5Params, MachineConfig
+from repro.schedules import (
+    CommPattern,
+    ExecutionResult,
+    balanced_exchange,
+    balanced_schedule,
+    execute_schedule,
+    greedy_schedule,
+    linear_exchange,
+    linear_schedule,
+    paper_pattern_P,
+    pairwise_exchange,
+    pairwise_schedule,
+    recursive_exchange,
+    schedule_program,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg8():
+    return MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+
+ALL_BUILDERS = [
+    lambda p: linear_schedule(p),
+    lambda p: pairwise_schedule(p),
+    lambda p: balanced_schedule(p),
+    lambda p: greedy_schedule(p),
+]
+
+
+class TestDeadlockFreedom:
+    @pytest.mark.parametrize("build", ALL_BUILDERS)
+    def test_paper_pattern_runs(self, cfg8, build):
+        sched = build(paper_pattern_P().scaled(64))
+        res = execute_schedule(sched, cfg8)
+        assert res.time > 0
+        assert res.sim.message_count == 34
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("density", [0.1, 0.5, 0.9])
+    def test_random_patterns_run_under_greedy(self, cfg8, seed, density):
+        """GS steps can contain directed paths and cycles; the rank
+        ordering rule must never wedge."""
+        pat = CommPattern.synthetic(8, density, 128, seed=seed)
+        res = execute_schedule(greedy_schedule(pat), cfg8)
+        assert res.sim.message_count == pat.n_operations
+
+    def test_pure_cycle_step_does_not_deadlock(self, cfg8):
+        """A one-directional ring is the worst case for synchronous
+        sends; greedy can emit it as a single step."""
+        m = [[0] * 8 for _ in range(8)]
+        for i in range(8):
+            m[i][(i + 1) % 8] = 64
+        pat = CommPattern(m)
+        sched = greedy_schedule(pat)
+        assert sched.nsteps == 1  # the full ring fits one step
+        res = execute_schedule(sched, cfg8)
+        assert res.sim.message_count == 8
+
+    def test_rex_runs_with_pack_charges(self, cfg8):
+        res = execute_schedule(recursive_exchange(8, 256), cfg8, trace=True)
+        assert res.sim.message_count == 3 * 8  # lg(8) steps x 8 nodes
+        # Every wire transfer carries the staged n*N/2 bytes.
+        for m in res.sim.trace.messages:
+            assert m.nbytes == 256 * 4
+
+
+class TestPricing:
+    def test_empty_rank_is_free(self, cfg8):
+        pat = CommPattern(
+            [[0, 8] + [0] * 6, [8] + [0] * 7] + [[0] * 8 for _ in range(6)]
+        )
+        res = execute_schedule(pairwise_schedule(pat), cfg8)
+        assert res.sim.finish_times[7] == 0.0
+
+    def test_more_bytes_cost_more(self, cfg8):
+        small = execute_schedule(pairwise_exchange(8, 64), cfg8).time
+        large = execute_schedule(pairwise_exchange(8, 4096), cfg8).time
+        assert large > small * 2
+
+    def test_rex_pays_memcpy(self):
+        fast_copy = CM5Params(routing_jitter=0.0, memcpy_bandwidth=1e9)
+        slow_copy = CM5Params(routing_jitter=0.0, memcpy_bandwidth=2e6)
+        a = execute_schedule(
+            recursive_exchange(8, 1024), MachineConfig(8, fast_copy)
+        ).time
+        b = execute_schedule(
+            recursive_exchange(8, 1024), MachineConfig(8, slow_copy)
+        ).time
+        assert b > a * 1.5
+
+    def test_lex_serializes_at_receiver(self, cfg8):
+        lex = execute_schedule(linear_exchange(8, 256), cfg8).time
+        pex = execute_schedule(pairwise_exchange(8, 256), cfg8).time
+        # At 8 processors the serialization factor is ~2.5x; it grows
+        # with machine size (the integration tests check 32 nodes).
+        assert lex > 2.0 * pex
+
+    def test_result_repr_and_units(self, cfg8):
+        res = execute_schedule(pairwise_exchange(8, 64), cfg8)
+        assert isinstance(res, ExecutionResult)
+        assert res.time_ms == pytest.approx(res.time * 1e3)
+        assert "PEX" in repr(res)
+
+    def test_config_size_mismatch_rejected(self, cfg8):
+        with pytest.raises(ValueError):
+            execute_schedule(pairwise_exchange(16, 64), cfg8)
+
+
+class TestPayloadMode:
+    def test_outbox_inbox_roundtrip(self, cfg8):
+        pat = paper_pattern_P().scaled(64)
+        sched = greedy_schedule(pat)
+
+        def prog(comm):
+            outbox = {
+                dst: f"{comm.rank}->{dst}" for dst, _ in pat.sends_of(comm.rank)
+            }
+            inbox = {}
+            yield from schedule_program(comm, sched, outbox=outbox, inbox=inbox)
+            return inbox
+
+        res = run_spmd(cfg8, prog)
+        for rank in range(8):
+            inbox = res.results[rank]
+            expected = {src: f"{src}->{rank}" for src, _ in pat.recvs_of(rank)}
+            assert inbox == expected
+
+    def test_determinism_across_runs(self, cfg8):
+        sched = balanced_exchange(8, 512)
+        a = execute_schedule(sched, cfg8, seed=11).time
+        b = execute_schedule(sched, cfg8, seed=11).time
+        assert a == b

@@ -1,0 +1,68 @@
+"""Tests for schedule locality metrics."""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.schedules import (
+    analyze,
+    balanced_exchange,
+    linear_exchange,
+    pairwise_exchange,
+    recursive_exchange,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg16():
+    return MachineConfig(16)
+
+
+class TestAnalyze:
+    def test_counts_add_up(self, cfg16):
+        m = analyze(pairwise_exchange(16, 8), cfg16)
+        for s in m.per_step:
+            assert s.n_local + s.n_global == s.n_transfers
+            assert s.bytes_local + s.bytes_global == 8 * s.n_transfers
+
+    def test_pex_first_steps_are_all_local(self, cfg16):
+        m = analyze(pairwise_exchange(16, 8), cfg16)
+        for s in m.per_step[:3]:  # j = 1..3 stay inside clusters of 4
+            assert s.n_global == 0
+        for s in m.per_step[3:]:
+            assert s.n_local == 0
+
+    def test_root_bytes_only_on_top_level(self, cfg16):
+        m = analyze(pairwise_exchange(16, 8), cfg16)
+        # On 16 nodes (2 levels), level-2 routes are root routes.
+        assert m.peak_root_bytes > 0
+        assert sum(s.bytes_through_root for s in m.per_step) == sum(
+            s.bytes_global for s in m.per_step
+        )
+
+    def test_rex_total_bytes(self, cfg16):
+        m = analyze(recursive_exchange(16, 10), cfg16)
+        # lg(16)=4 steps x 16 transfers x 10*8 bytes.
+        assert m.total_bytes == 4 * 16 * 80
+
+    def test_global_balance_zero_when_no_global(self):
+        cfg4 = MachineConfig(4)
+        m = analyze(pairwise_exchange(4, 8), cfg4)
+        assert m.n_global_total == 0
+        assert m.global_balance == 0.0
+
+    def test_lex_metrics(self, cfg16):
+        m = analyze(linear_exchange(16, 8), cfg16)
+        assert m.nsteps == 16
+        assert m.n_messages == 16 * 15
+
+    def test_size_mismatch_rejected(self, cfg16):
+        with pytest.raises(ValueError):
+            analyze(pairwise_exchange(8, 8), cfg16)
+
+    def test_bex_summary_fields(self, cfg16):
+        m = analyze(balanced_exchange(16, 8), cfg16)
+        assert m.name == "BEX"
+        assert m.nprocs == 16
+        assert len(m.per_step) == m.nsteps == 15
+        assert len(m.global_counts) == 15
+        assert len(m.root_bytes_per_step) == 15

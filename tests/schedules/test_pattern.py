@@ -1,0 +1,120 @@
+"""Unit and property tests for CommPattern."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedules import CommPattern, paper_pattern_P
+
+
+class TestConstruction:
+    def test_complete_exchange(self):
+        p = CommPattern.complete_exchange(4, 100)
+        assert p.total_bytes == 4 * 3 * 100
+        assert p.is_complete_exchange
+        assert p.density == 1.0
+
+    def test_diagonal_must_be_zero(self):
+        m = np.ones((4, 4), dtype=int)
+        with pytest.raises(ValueError, match="diagonal"):
+            CommPattern(m)
+
+    def test_negative_entries_rejected(self):
+        m = np.zeros((4, 4), dtype=int)
+        m[0, 1] = -5
+        with pytest.raises(ValueError):
+            CommPattern(m)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            CommPattern(np.zeros((3, 4), dtype=int))
+
+    def test_matrix_is_immutable(self):
+        p = CommPattern.complete_exchange(4, 8)
+        with pytest.raises(ValueError):
+            p.matrix[0, 1] = 99
+
+    def test_broadcast_pattern(self):
+        p = CommPattern.broadcast(8, 3, 64)
+        assert p.n_operations == 7
+        assert all(src == 3 for src, _, _ in p.operations())
+
+
+class TestSynthetic:
+    @pytest.mark.parametrize("density", [0.10, 0.25, 0.50, 0.75])
+    def test_exact_density(self, density):
+        p = CommPattern.synthetic(32, density, 256, seed=1)
+        slots = 32 * 31
+        assert p.n_operations == round(density * slots)
+        assert p.density == pytest.approx(density, abs=1 / slots)
+
+    def test_deterministic_in_seed(self):
+        a = CommPattern.synthetic(16, 0.3, 128, seed=9)
+        b = CommPattern.synthetic(16, 0.3, 128, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = CommPattern.synthetic(16, 0.3, 128, seed=1)
+        b = CommPattern.synthetic(16, 0.3, 128, seed=2)
+        assert a != b
+
+    def test_uniform_message_size(self):
+        p = CommPattern.synthetic(16, 0.5, 512, seed=0)
+        assert p.avg_bytes_per_op == 512
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(ValueError):
+            CommPattern.synthetic(8, 1.5, 64)
+
+
+class TestQueries:
+    def test_sends_and_recvs_consistency(self):
+        p = paper_pattern_P()
+        for i in range(8):
+            for j, nbytes in p.sends_of(i):
+                assert p[i, j] == nbytes
+            for j, nbytes in p.recvs_of(i):
+                assert p[j, i] == nbytes
+
+    def test_paper_pattern_stats(self):
+        p = paper_pattern_P()
+        assert p.nprocs == 8
+        # Count the ones in Table 6.
+        assert p.n_operations == 34
+        assert p.total_bytes == 34
+
+    def test_symmetrized(self):
+        p = paper_pattern_P()
+        s = p.symmetrized()
+        assert s.is_symmetric
+        assert (s.matrix >= p.matrix).all()
+
+    def test_scaled(self):
+        p = paper_pattern_P().scaled(256)
+        assert p.avg_bytes_per_op == 256
+
+    def test_hash_and_eq(self):
+        a = CommPattern.complete_exchange(4, 8)
+        b = CommPattern.complete_exchange(4, 8)
+        assert a == b and hash(a) == hash(b)
+        assert a != CommPattern.complete_exchange(4, 9)
+
+    def test_repr_mentions_density(self):
+        assert "density" in repr(paper_pattern_P())
+
+
+@given(
+    n=st.sampled_from([4, 8, 16]),
+    density=st.floats(0.05, 0.95),
+    nbytes=st.integers(1, 4096),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_synthetic_invariants(n, density, nbytes, seed):
+    p = CommPattern.synthetic(n, density, nbytes, seed=seed)
+    assert np.diagonal(p.matrix).sum() == 0
+    ops = list(p.operations())
+    assert len(ops) == p.n_operations
+    assert sum(b for _, _, b in ops) == p.total_bytes
+    assert all(b == nbytes for _, _, b in ops)

@@ -1,0 +1,138 @@
+"""Unit tests for the schedule IR and its validators."""
+
+import pytest
+
+from repro.schedules import (
+    CommPattern,
+    Schedule,
+    ScheduleError,
+    Step,
+    Transfer,
+    check_covers_pattern,
+    validate_structure,
+)
+
+
+def sched(steps, n=4, name="t"):
+    return Schedule(nprocs=n, steps=tuple(Step(tuple(s)) for s in steps), name=name)
+
+
+class TestTransfer:
+    def test_self_transfer_rejected(self):
+        with pytest.raises(ScheduleError):
+            Transfer(1, 1, 8)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ScheduleError):
+            Transfer(0, 1, -8)
+        with pytest.raises(ScheduleError):
+            Transfer(0, 1, 8, pack_bytes=-1)
+
+    def test_pair_is_unordered(self):
+        assert Transfer(2, 1, 8).pair == (1, 2)
+        assert Transfer(1, 2, 8).pair == (1, 2)
+
+
+class TestStep:
+    def test_duplicate_directed_transfer_rejected(self):
+        with pytest.raises(ScheduleError):
+            Step((Transfer(0, 1, 8), Transfer(0, 1, 16)))
+
+    def test_participants(self):
+        s = Step((Transfer(0, 1, 8), Transfer(2, 3, 8)))
+        assert s.participants == {0, 1, 2, 3}
+
+    def test_exchange_detection(self):
+        s = Step((Transfer(0, 1, 8), Transfer(1, 0, 8), Transfer(2, 3, 8)))
+        exchanges, singles = s.exchanges_and_singles()
+        assert len(exchanges) == 1
+        assert exchanges[0][0].src == 0  # low end first
+        assert [t.src for t in singles] == [2]
+
+    def test_render(self):
+        s = Step((Transfer(0, 1, 8), Transfer(1, 0, 8), Transfer(2, 3, 8)))
+        assert s.render() == "0<->1  2->3"
+
+
+class TestSchedule:
+    def test_out_of_range_transfer_rejected(self):
+        with pytest.raises(ScheduleError):
+            sched([[Transfer(0, 5, 8)]], n=4)
+
+    def test_unknown_exchange_order_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule(4, (), exchange_order="sideways")
+
+    def test_counts(self):
+        s = sched([[Transfer(0, 1, 8)], [Transfer(1, 0, 16)]])
+        assert s.nsteps == 2
+        assert s.n_messages == 2
+        assert s.total_bytes == 24
+
+    def test_rank_ops(self):
+        s = sched([[Transfer(0, 1, 8), Transfer(2, 0, 4)]])
+        sends, recvs = s.rank_ops(0, 0)
+        assert [t.dst for t in sends] == [1]
+        assert [t.src for t in recvs] == [2]
+
+    def test_render_table_contains_steps(self):
+        text = sched([[Transfer(0, 1, 8)]], name="demo").render_table()
+        assert "demo" in text and "Step 1" in text
+
+
+class TestValidateStructure:
+    def test_double_send_rejected(self):
+        s = sched([[Transfer(0, 1, 8), Transfer(0, 2, 8)]])
+        with pytest.raises(ScheduleError, match="sends 2"):
+            validate_structure(s)
+
+    def test_double_recv_rejected_by_default(self):
+        s = sched([[Transfer(1, 0, 8), Transfer(2, 0, 8)]])
+        with pytest.raises(ScheduleError, match="receives 2"):
+            validate_structure(s)
+
+    def test_multi_recv_allowed_for_linear_family(self):
+        s = sched([[Transfer(1, 0, 8), Transfer(2, 0, 8)]])
+        validate_structure(s, allow_multi_recv=True)
+
+    def test_clean_schedule_passes(self):
+        s = sched([[Transfer(0, 1, 8), Transfer(1, 0, 8), Transfer(2, 3, 8)]])
+        validate_structure(s)
+
+
+class TestCoverage:
+    def pattern(self):
+        return CommPattern([[0, 8, 0, 0], [0, 0, 4, 0], [0, 0, 0, 0], [2, 0, 0, 0]])
+
+    def test_exact_coverage_passes(self):
+        s = sched([[Transfer(0, 1, 8), Transfer(3, 0, 2)], [Transfer(1, 2, 4)]])
+        check_covers_pattern(s, self.pattern())
+
+    def test_missing_transfer_detected(self):
+        s = sched([[Transfer(0, 1, 8)], [Transfer(1, 2, 4)]])
+        with pytest.raises(ScheduleError, match="missing"):
+            check_covers_pattern(s, self.pattern())
+
+    def test_wrong_bytes_detected(self):
+        s = sched([[Transfer(0, 1, 9), Transfer(3, 0, 2)], [Transfer(1, 2, 4)]])
+        with pytest.raises(ScheduleError, match="carries"):
+            check_covers_pattern(s, self.pattern())
+
+    def test_spurious_transfer_detected(self):
+        s = sched(
+            [[Transfer(0, 1, 8), Transfer(3, 0, 2)], [Transfer(1, 2, 4), Transfer(2, 1, 4)]]
+        )
+        with pytest.raises(ScheduleError, match="spurious"):
+            check_covers_pattern(s, self.pattern())
+
+    def test_duplicate_transfer_detected(self):
+        s = sched(
+            [[Transfer(0, 1, 8), Transfer(3, 0, 2)], [Transfer(1, 2, 4)], [Transfer(0, 1, 8)]]
+        )
+        with pytest.raises(ScheduleError, match="duplicate"):
+            check_covers_pattern(s, self.pattern())
+
+    def test_size_mismatch_detected(self):
+        s = sched([[Transfer(0, 1, 8)]], n=8)
+        with pytest.raises(ScheduleError, match="procs"):
+            check_covers_pattern(s, self.pattern())

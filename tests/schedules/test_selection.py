@@ -1,0 +1,81 @@
+"""Tests for algorithm selection (the paper's decision rule + auto)."""
+
+import pytest
+
+from repro.machine import CM5Params, MachineConfig
+from repro.schedules import CommPattern, execute_schedule
+from repro.schedules.selection import auto_schedule, paper_rule
+
+
+@pytest.fixture(scope="module")
+def cfg32():
+    return MachineConfig(32, CM5Params(routing_jitter=0.0))
+
+
+class TestPaperRule:
+    def test_sparse_picks_greedy(self):
+        pat = CommPattern.synthetic(32, 0.25, 256, seed=0)
+        assert paper_rule(pat) == "greedy"
+
+    def test_dense_picks_balanced(self):
+        pat = CommPattern.synthetic(32, 0.75, 256, seed=0)
+        assert paper_rule(pat) == "balanced"
+
+    def test_boundary(self):
+        pat = CommPattern.complete_exchange(8, 64)
+        assert paper_rule(pat) == "balanced"
+
+
+class TestAutoSchedule:
+    def test_never_picks_linear(self, cfg32):
+        for density in (0.1, 0.5, 0.9):
+            pat = CommPattern.synthetic(32, density, 256, seed=1)
+            res = auto_schedule(pat, cfg32)
+            assert res.algorithm != "linear"
+
+    def test_estimates_cover_all_candidates(self, cfg32):
+        pat = CommPattern.synthetic(32, 0.3, 256, seed=2)
+        res = auto_schedule(pat, cfg32)
+        assert set(res.estimates) == {
+            "linear",
+            "pairwise",
+            "balanced",
+            "greedy",
+            "coloring",
+        }
+        assert res.estimated_time == min(res.estimates.values())
+
+    def test_without_optimal_candidate(self, cfg32):
+        pat = CommPattern.synthetic(32, 0.3, 256, seed=2)
+        res = auto_schedule(pat, cfg32, include_optimal=False)
+        assert "coloring" not in res.estimates
+
+    def test_restricted_candidates(self, cfg32):
+        pat = CommPattern.synthetic(32, 0.3, 256, seed=3)
+        res = auto_schedule(
+            pat, cfg32, include_optimal=False, candidates=("pairwise",)
+        )
+        assert res.algorithm == "pairwise"
+
+    def test_selection_is_competitive_when_simulated(self, cfg32):
+        """The auto-selected schedule, actually simulated, is within 30%
+        of the best simulated candidate — the estimator is good enough
+        to select with."""
+        pat = CommPattern.synthetic(32, 0.25, 256, seed=4)
+        res = auto_schedule(pat, cfg32)
+        t_selected = execute_schedule(res.schedule, cfg32).time
+        from repro.schedules import schedule_irregular
+
+        best = min(
+            execute_schedule(schedule_irregular(pat, a), cfg32).time
+            for a in ("pairwise", "balanced", "greedy")
+        )
+        assert t_selected <= best * 1.3
+
+    def test_agrees_with_paper_rule_in_its_regimes(self, cfg32):
+        """At clearly-sparse densities both approaches land on schedules
+        of comparable estimated cost (not necessarily the same name)."""
+        pat = CommPattern.synthetic(32, 0.10, 256, seed=5)
+        res = auto_schedule(pat, cfg32, include_optimal=False)
+        rule = paper_rule(pat)
+        assert res.estimates[rule] <= min(res.estimates.values()) * 1.25

@@ -1,0 +1,85 @@
+"""Round-trip tests for schedule serialization."""
+
+import pytest
+
+from repro.schedules import (
+    ScheduleError,
+    balanced_schedule,
+    greedy_schedule,
+    load_schedule,
+    paper_pattern_P,
+    pairwise_exchange,
+    recursive_exchange,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: pairwise_exchange(8, 256),
+            lambda: recursive_exchange(8, 64),  # carries pack/unpack bytes
+            lambda: greedy_schedule(paper_pattern_P().scaled(128)),
+            lambda: balanced_schedule(paper_pattern_P()),
+        ],
+    )
+    def test_json_roundtrip_exact(self, build):
+        original = build()
+        restored = schedule_from_json(schedule_to_json(original))
+        assert restored.steps == original.steps
+        assert restored.name == original.name
+        assert restored.nprocs == original.nprocs
+        assert restored.exchange_order == original.exchange_order
+
+    def test_file_roundtrip(self, tmp_path):
+        sched = pairwise_exchange(8, 512)
+        path = save_schedule(sched, tmp_path / "plans" / "pex.json")
+        assert path.exists()
+        assert load_schedule(path).steps == sched.steps
+
+    def test_replay_gives_identical_timing(self, tmp_path):
+        from repro.machine import CM5Params, MachineConfig
+        from repro.schedules import execute_schedule
+
+        cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+        sched = greedy_schedule(paper_pattern_P().scaled(256))
+        path = save_schedule(sched, tmp_path / "gs.json")
+        t_orig = execute_schedule(sched, cfg).time
+        t_replay = execute_schedule(load_schedule(path), cfg).time
+        assert t_replay == t_orig
+
+
+class TestValidation:
+    def test_garbage_rejected(self):
+        with pytest.raises(ScheduleError, match="JSON"):
+            schedule_from_json("{nope")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ScheduleError, match="not a serialized"):
+            schedule_from_json('{"format": "something-else"}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ScheduleError, match="version"):
+            schedule_from_json(
+                '{"format": "repro-schedule", "version": 99}'
+            )
+
+    def test_malformed_steps_rejected(self):
+        with pytest.raises(ScheduleError, match="malformed"):
+            schedule_from_json(
+                '{"format": "repro-schedule", "version": 1, "name": "x",'
+                ' "nprocs": 4, "exchange_order": "lower_recv_first",'
+                ' "steps": [[[0]]]}'
+            )
+
+    def test_invalid_transfer_rejected(self):
+        # Self-transfer inside an otherwise well-formed document.
+        with pytest.raises(ScheduleError):
+            schedule_from_json(
+                '{"format": "repro-schedule", "version": 1, "name": "x",'
+                ' "nprocs": 4, "exchange_order": "lower_recv_first",'
+                ' "steps": [[[1, 1, 8, 0, 0]]]}'
+            )

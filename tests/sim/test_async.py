@@ -1,0 +1,109 @@
+"""Tests for non-blocking sends (Isend/Wait)."""
+
+import pytest
+
+from repro.cmmd import run_spmd
+from repro.machine import CM5Params, MachineConfig
+from repro.sim import DeadlockError
+
+
+@pytest.fixture
+def cfg2():
+    return MachineConfig(2, CM5Params(routing_jitter=0.0))
+
+
+class TestIsend:
+    def test_sender_does_not_block(self, cfg2):
+        """With Isend the sender finishes its local work even though the
+        receiver posts its receive very late."""
+        delay = 10e-3
+
+        def prog(comm):
+            if comm.rank == 0:
+                h = yield comm.isend(1, 64)
+                yield comm.delay(1e-6)  # proceeds immediately
+                local_done = True
+                yield comm.wait(h)
+                return local_done
+            yield comm.delay(delay)
+            yield comm.recv(0)
+
+        res = run_spmd(cfg2, prog)
+        assert res.results[0] is True
+        # Rank 0 still finishes only after the rendezvous completes.
+        assert res.finish_times[0] >= delay
+
+    def test_wait_after_completion_returns_immediately(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                h = yield comm.isend(1, 0)
+                yield comm.delay(5e-3)  # message long since delivered
+                t_before = True
+                yield comm.wait(h)
+                return t_before
+            yield comm.recv(0)
+
+        res = run_spmd(cfg2, prog)
+        assert res.finish_times[0] == pytest.approx(
+            cfg2.params.send_overhead + 5e-3, rel=1e-6
+        )
+
+    def test_payload_travels(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                h = yield comm.isend(1, 32, payload=[1, 2, 3])
+                yield comm.wait(h)
+                return None
+            return (yield comm.recv(0))
+
+        res = run_spmd(cfg2, prog)
+        assert res.results[1] == [1, 2, 3]
+
+    def test_multiple_outstanding_sends(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                handles = []
+                for i in range(5):
+                    handles.append((yield comm.isend(1, 64, payload=i)))
+                for h in handles:
+                    yield comm.wait(h)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield comm.recv(0)))
+            return got
+
+        res = run_spmd(cfg2, prog)
+        assert res.results[1] == [0, 1, 2, 3, 4]  # non-overtaking holds
+
+    def test_unreceived_isend_deadlocks_at_wait(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                h = yield comm.isend(1, 64)
+                yield comm.wait(h)
+            else:
+                yield comm.delay(0)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(cfg2, prog)
+
+    def test_isend_to_self_rejected(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.isend(0, 8)
+
+        with pytest.raises(ValueError):
+            run_spmd(cfg2, prog)
+
+    def test_head_to_head_isends_do_not_deadlock(self, cfg2):
+        """The classic mutual-send deadlock disappears with Isend."""
+
+        def prog(comm):
+            other = 1 - comm.rank
+            h = yield comm.isend(other, 64, payload=comm.rank)
+            got = yield comm.recv(other)
+            yield comm.wait(h)
+            return got
+
+        res = run_spmd(cfg2, prog)
+        assert res.results == [1, 0]

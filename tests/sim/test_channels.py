@@ -1,0 +1,71 @@
+"""Unit tests for synchronous rendezvous matching."""
+
+from repro.sim.channels import RendezvousTable
+from repro.sim.process import ANY_SOURCE, ANY_TAG
+
+
+class TestMatching:
+    def test_send_then_recv(self):
+        t = RendezvousTable()
+        send, matched = t.post_send(0, 1, 64, "data", 0, now=1.0)
+        assert matched is None
+        recv, matched_send = t.post_recv(1, 0, 0, now=2.0)
+        assert matched_send is send
+
+    def test_recv_then_send(self):
+        t = RendezvousTable()
+        recv, none = t.post_recv(1, 0, 0, now=0.0)
+        assert none is None
+        send, matched_recv = t.post_send(0, 1, 64, None, 0, now=1.0)
+        assert matched_recv is recv
+
+    def test_tag_mismatch_blocks(self):
+        t = RendezvousTable()
+        t.post_recv(1, 0, tag=7, now=0.0)
+        _, matched = t.post_send(0, 1, 64, None, 3, now=0.0)
+        assert matched is None
+
+    def test_any_tag_matches(self):
+        t = RendezvousTable()
+        t.post_recv(1, 0, ANY_TAG, now=0.0)
+        _, matched = t.post_send(0, 1, 64, None, 99, now=0.0)
+        assert matched is not None
+
+    def test_any_source_matches(self):
+        t = RendezvousTable()
+        t.post_recv(3, ANY_SOURCE, ANY_TAG, now=0.0)
+        _, matched = t.post_send(2, 3, 64, None, 0, now=0.0)
+        assert matched is not None
+
+    def test_source_specific_recv_ignores_other_senders(self):
+        t = RendezvousTable()
+        t.post_send(5, 1, 64, None, 0, now=0.0)
+        _, matched = t.post_recv(1, 4, ANY_TAG, now=0.0)
+        assert matched is None
+
+    def test_fifo_per_pair(self):
+        t = RendezvousTable()
+        s1, _ = t.post_send(0, 1, 64, "first", 0, now=0.0)
+        s2, _ = t.post_send(0, 1, 64, "second", 0, now=1.0)
+        _, m1 = t.post_recv(1, 0, ANY_TAG, now=2.0)
+        _, m2 = t.post_recv(1, 0, ANY_TAG, now=3.0)
+        assert m1.payload == "first"
+        assert m2.payload == "second"
+
+    def test_wildcard_recv_takes_earliest_posted_send(self):
+        t = RendezvousTable()
+        t.post_send(7, 1, 64, "late", 0, now=5.0)  # posted first in time order
+        t.post_send(2, 1, 64, "early", 0, now=0.0)
+        # Sequence numbers, not timestamps, define FIFO: sender 7 posted first.
+        _, matched = t.post_recv(1, ANY_SOURCE, ANY_TAG, now=9.0)
+        assert matched.src == 7
+
+    def test_pending_counts_and_description(self):
+        t = RendezvousTable()
+        assert t.describe_pending() == "(none)"
+        t.post_send(0, 1, 64, None, 0, now=0.0)
+        t.post_recv(2, 3, 0, now=0.0)
+        assert t.pending_sends() == 1
+        assert t.pending_recvs() == 1
+        desc = t.describe_pending()
+        assert "send 0->1" in desc and "recv 3->2" in desc

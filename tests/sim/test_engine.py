@@ -1,0 +1,247 @@
+"""Integration tests for the discrete-event engine."""
+
+import operator
+
+import pytest
+
+from repro.cmmd import Comm, run_spmd
+from repro.machine import CM5Params, MachineConfig
+from repro.sim import DeadlockError, Engine
+
+
+@pytest.fixture
+def cfg2():
+    return MachineConfig(2, CM5Params(routing_jitter=0.0))
+
+
+@pytest.fixture
+def cfg8nj():
+    return MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+
+class TestPointToPoint:
+    def test_zero_byte_latency(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(1, 0)
+            else:
+                yield comm.recv(0)
+
+        res = run_spmd(cfg2, prog)
+        # send_overhead + wire_latency + 20 B / 20 MB/s + recv_overhead.
+        p = cfg2.params
+        expected = p.zero_byte_latency + 20 / 20e6
+        assert res.makespan == pytest.approx(expected, rel=1e-9)
+
+    def test_payload_delivery(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(1, 64, payload={"k": 41})
+                return None
+            got = yield comm.recv(0)
+            return got["k"] + 1
+
+        res = run_spmd(cfg2, prog)
+        assert res.results[1] == 42
+
+    def test_sender_blocks_until_delivery(self, cfg2):
+        # Receiver delays before posting its receive; the synchronous
+        # sender cannot finish earlier.
+        delay = 5e-3
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(1, 0)
+            else:
+                yield comm.delay(delay)
+                yield comm.recv(0)
+
+        res = run_spmd(cfg2, prog)
+        assert res.finish_times[0] >= delay
+
+    def test_messages_between_same_pair_stay_ordered(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    yield comm.send(1, 32, payload=i)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield comm.recv(0)))
+            return got
+
+        res = run_spmd(cfg2, prog)
+        assert res.results[1] == [0, 1, 2, 3, 4]
+
+    def test_self_send_rejected(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(0, 8)
+
+        with pytest.raises(ValueError):
+            run_spmd(cfg2, prog)
+
+    def test_swap_exchanges_payloads(self, cfg8nj):
+        def prog(comm):
+            partner = comm.rank ^ 1
+            got = yield from comm.swap(partner, 16, payload=comm.rank)
+            return got
+
+        res = run_spmd(cfg8nj, prog)
+        assert res.results == [1, 0, 3, 2, 5, 4, 7, 6]
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self, cfg8nj):
+        def prog(comm):
+            yield comm.delay(comm.rank * 1e-4)
+            yield comm.barrier()
+
+        res = run_spmd(cfg8nj, prog)
+        slowest = 7e-4
+        for t in res.finish_times:
+            assert t >= slowest
+
+    def test_sys_broadcast_delivers_root_payload(self, cfg8nj):
+        def prog(comm):
+            got = yield comm.sys_broadcast(3, 128, payload="hello" if comm.rank == 3 else None)
+            return got
+
+        res = run_spmd(cfg8nj, prog)
+        assert res.results == ["hello"] * 8
+
+    def test_reduce_combines_in_rank_order(self, cfg8nj):
+        def prog(comm):
+            total = yield comm.reduce(comm.rank + 1, 8)
+            return total
+
+        res = run_spmd(cfg8nj, prog)
+        assert res.results == [36] * 8
+
+    def test_reduce_custom_op(self, cfg8nj):
+        def prog(comm):
+            best = yield comm.reduce(comm.rank * 7 % 5, 8, op=max)
+            return best
+
+        res = run_spmd(cfg8nj, prog)
+        assert res.results == [max(r * 7 % 5 for r in range(8))] * 8
+
+    def test_mismatched_collectives_raise(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.sys_broadcast(0, 8)
+            else:
+                yield comm.reduce(1, 8)
+
+        with pytest.raises(RuntimeError, match="collective mismatch"):
+            run_spmd(cfg2, prog)
+
+
+class TestDeadlock:
+    def test_unmatched_recv_deadlocks_with_diagnostics(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.recv(1)
+
+        with pytest.raises(DeadlockError, match="rank 0"):
+            run_spmd(cfg2, prog)
+
+    def test_incomplete_barrier_deadlocks(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.barrier()
+
+        with pytest.raises(DeadlockError, match="barrier"):
+            run_spmd(cfg2, prog)
+
+    def test_mutual_sends_deadlock(self, cfg2):
+        # Both synchronous senders wait forever: the classic head-to-head.
+        def prog(comm):
+            yield comm.send(1 - comm.rank, 64)
+            yield comm.recv(1 - comm.rank)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(cfg2, prog)
+
+
+class TestDeterminismAndTrace:
+    def test_identical_seeds_identical_timelines(self):
+        cfg = MachineConfig(8)  # default params include jitter
+
+        def prog(comm):
+            partner = comm.rank ^ 3
+            yield from comm.swap(partner, 512)
+
+        a = run_spmd(cfg, prog, seed=5)
+        b = run_spmd(cfg, prog, seed=5)
+        assert a.finish_times == b.finish_times
+
+    def test_different_seeds_differ(self):
+        cfg = MachineConfig(8)
+
+        def prog(comm):
+            partner = comm.rank ^ 3
+            yield from comm.swap(partner, 2048)
+
+        a = run_spmd(cfg, prog, seed=1)
+        b = run_spmd(cfg, prog, seed=2)
+        assert a.makespan != b.makespan
+
+    def test_trace_records_messages(self, cfg2):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(1, 96)
+            else:
+                yield comm.recv(0)
+
+        res = run_spmd(cfg2, prog, trace=True)
+        assert res.message_count == 1
+        (m,) = res.trace.messages
+        assert (m.src, m.dst, m.nbytes) == (0, 1, 96)
+        assert m.delivered_at > m.matched_at >= m.send_posted
+        assert m.route_level == 1
+
+    def test_engine_rejects_wrong_program_count(self, cfg2):
+        eng = Engine(cfg2)
+        with pytest.raises(ValueError):
+            eng.run([iter(())])
+
+
+class TestWildcardReceive:
+    def test_any_source_master_worker(self):
+        """CMMD's receive-from-anybody: a master drains results in
+        arrival order, whatever that order is."""
+        from repro.sim.process import ANY_SOURCE
+
+        cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+        def prog(comm):
+            if comm.rank == 0:
+                got = []
+                for _ in range(7):
+                    got.append((yield comm.recv(ANY_SOURCE)))
+                return sorted(got)
+            # Staggered workers: higher ranks finish their "work" sooner.
+            yield comm.delay((8 - comm.rank) * 1e-4)
+            yield comm.send(0, 64, payload=comm.rank)
+
+        res = run_spmd(cfg, prog)
+        assert res.results[0] == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_any_source_arrival_order_follows_timing(self):
+        from repro.sim.process import ANY_SOURCE
+
+        cfg = MachineConfig(4, CM5Params(routing_jitter=0.0))
+
+        def prog(comm):
+            if comm.rank == 0:
+                first = yield comm.recv(ANY_SOURCE)
+                rest = []
+                for _ in range(2):
+                    rest.append((yield comm.recv(ANY_SOURCE)))
+                return [first] + sorted(rest)
+            yield comm.delay(comm.rank * 1e-3)  # rank 1 sends first
+            yield comm.send(0, 32, payload=comm.rank)
+
+        res = run_spmd(cfg, prog)
+        assert res.results[0][0] == 1

@@ -1,0 +1,67 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(3.0, lambda: fired.append("c"))
+        while q:
+            _, cb = q.pop()
+            cb()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous(self):
+        q = EventQueue()
+        fired = []
+        for name in "abcde":
+            q.push(1.0, lambda n=name: fired.append(n))
+        while q:
+            q.pop()[1]()
+        assert fired == list("abcde")
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        q.push(4.0, lambda: None)
+        assert q.peek_time() == 4.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, lambda: None)
+        assert len(q) == 1 and q
+
+    def test_pop_batch_merges_equal_times(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        t, batch = q.pop_batch()
+        assert t == 1.0
+        assert len(batch) == 2
+        assert len(q) == 1
+
+    def test_pop_batch_tolerance(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(1.0 + 1e-13, lambda: None)
+        _, batch = q.pop_batch(atol=1e-12)
+        assert len(batch) == 2
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(IndexError):
+            q.pop_batch()
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), lambda: None)

@@ -1,0 +1,60 @@
+"""Unit tests for trace records and queries."""
+
+from repro.sim.trace import NULL_TRACE, MessageRecord, PhaseRecord, Trace
+
+
+def rec(src=0, dst=1, nbytes=64, t0=0.0, t1=1.0, t2=2.0, level=1):
+    return MessageRecord(
+        src=src,
+        dst=dst,
+        nbytes=nbytes,
+        tag=0,
+        send_posted=t0,
+        matched_at=t1,
+        delivered_at=t2,
+        route_level=level,
+    )
+
+
+class TestTrace:
+    def test_message_properties(self):
+        m = rec(t1=1.0, t2=3.5, level=3)
+        assert m.wire_time == 2.5
+        assert m.is_global
+
+    def test_local_message(self):
+        assert not rec(level=1).is_global
+
+    def test_messages_between_overlap_semantics(self):
+        t = Trace()
+        t.add_message(rec(t1=0.0, t2=1.0))
+        t.add_message(rec(t1=2.0, t2=3.0))
+        assert len(t.messages_between(0.5, 1.5)) == 1
+        assert len(t.messages_between(0.0, 5.0)) == 2
+        assert len(t.messages_between(1.0, 2.0)) == 0  # half-open interval
+
+    def test_global_fraction(self):
+        t = Trace()
+        t.add_message(rec(level=1))
+        t.add_message(rec(src=2, dst=9, level=2))
+        assert t.global_fraction() == 0.5
+
+    def test_global_fraction_empty(self):
+        assert Trace().global_fraction() == 0.0
+
+    def test_total_bytes(self):
+        t = Trace()
+        t.add_message(rec(nbytes=10))
+        t.add_message(rec(src=3, nbytes=30))
+        assert t.total_bytes() == 40
+
+    def test_phases(self):
+        t = Trace()
+        t.add_phase(PhaseRecord(0, "compute", 0.0, 1.0))
+        assert t.phases[0].label == "compute"
+
+    def test_null_trace_drops_everything(self):
+        NULL_TRACE.add_message(rec())
+        NULL_TRACE.add_phase(PhaseRecord(0, "x", 0.0, 1.0))
+        assert NULL_TRACE.messages == []
+        assert NULL_TRACE.phases == []

@@ -1,0 +1,58 @@
+"""Per-rank communication wait accounting in the engine."""
+
+import pytest
+
+from repro.cmmd import run_spmd
+from repro.machine import CM5Params, MachineConfig
+from repro.schedules import execute_schedule, linear_exchange, pairwise_exchange
+
+
+@pytest.fixture(scope="module")
+def cfg8():
+    return MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+
+class TestWaitTimes:
+    def test_pure_compute_has_no_wait(self, cfg8):
+        def prog(comm):
+            yield comm.delay(1e-3)
+
+        res = run_spmd(cfg8, prog)
+        assert res.total_wait == 0.0
+        assert res.wait_times == [0.0] * 8
+
+    def test_blocked_sender_accumulates_wait(self):
+        cfg = MachineConfig(2, CM5Params(routing_jitter=0.0))
+        delay = 4e-3
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(1, 0)
+            else:
+                yield comm.delay(delay)
+                yield comm.recv(0)
+
+        res = run_spmd(cfg, prog)
+        # Rank 0 waited roughly the receiver's delay.
+        assert res.wait_times[0] >= delay * 0.9
+        # Rank 1's wait is only the short transfer, not its own delay.
+        assert res.wait_times[1] < 1e-3
+
+    def test_lex_waits_far_more_than_pex(self, cfg8):
+        lex = execute_schedule(linear_exchange(8, 256), cfg8).sim
+        pex = execute_schedule(pairwise_exchange(8, 256), cfg8).sim
+        assert lex.total_wait > 2 * pex.total_wait
+
+    def test_wait_bounded_by_span(self, cfg8):
+        res = execute_schedule(pairwise_exchange(8, 1024), cfg8).sim
+        for w, f in zip(res.wait_times, res.finish_times):
+            assert 0.0 <= w <= f + 1e-12
+
+    def test_barrier_wait_charged_to_early_arrivals(self, cfg8):
+        def prog(comm):
+            yield comm.delay(comm.rank * 1e-4)
+            yield comm.barrier()
+
+        res = run_spmd(cfg8, prog)
+        # Rank 0 arrives first and waits the longest.
+        assert res.wait_times[0] > res.wait_times[7]

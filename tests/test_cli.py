@@ -1,0 +1,74 @@
+"""CLI smoke tests (quick mode)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    import repro.analysis.cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "_DEFAULT", None)
+    yield
+
+
+class TestCLI:
+    def test_schedules_prints_paper_tables(self, capsys):
+        assert main(["schedules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("LEX", "PEX", "REX", "BEX", "LS", "PS", "BS", "GS"):
+            assert name in out
+        assert "Pattern 'P'" in out
+
+    def test_table11_quick(self, capsys):
+        assert main(["table11", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 11" in out and "greedy" in out
+
+    def test_fig10_quick_with_csv(self, capsys, tmp_path):
+        assert main(["fig10", "--quick", "--csv", str(tmp_path / "csv")]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        files = list((tmp_path / "csv").glob("*.csv"))
+        assert len(files) == 1
+        assert "series," in files[0].read_text()
+
+    def test_fig5_quick(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_table12_quick(self, capsys):
+        assert main(["table12", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "euler545" in out and "cg16k" in out
+
+    def test_calibrate_quick(self, capsys):
+        assert main(["calibrate", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "model ms" in out and "best parameters" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["warp-drive"])
+
+    def test_topology_quick(self, capsys):
+        assert main(["topology", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fat-tree" in out and "MB/s" in out
+
+    def test_gantt_quick(self, capsys):
+        assert main(["gantt", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "LEX" in out and "PEX" in out and "#" in out
+
+    def test_report_writes_file(self, tmp_path, monkeypatch, capsys):
+        import repro.analysis.report as report
+
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr(
+            report, "build_experiments_markdown", lambda: "# stub\n"
+        )
+        assert main(["report"]) == 0
+        assert (tmp_path / "EXPERIMENTS.md").read_text() == "# stub\n"

@@ -1,0 +1,22 @@
+"""Doctests embedded in module docstrings stay correct."""
+
+import doctest
+
+import pytest
+
+import repro.cmmd.program
+import repro.machine.bandwidth
+import repro.machine.params
+
+MODULES = [
+    repro.machine.params,
+    repro.machine.bandwidth,
+    repro.cmmd.program,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert result.failed == 0

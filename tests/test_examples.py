@@ -1,0 +1,36 @@
+"""Smoke tests: every example script compiles; the fast ones run."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_SCRIPTS = sorted(EXAMPLES.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in ALL_SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(ALL_SCRIPTS) >= 5
+
+
+@pytest.mark.parametrize("script", ALL_SCRIPTS, ids=lambda p: p.name)
+def test_examples_compile(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+@pytest.mark.parametrize(
+    "script", ["stencil_shift.py", "parti_runtime.py"]
+)
+def test_fast_examples_run(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
