@@ -215,6 +215,91 @@ def cmd_topology(args: argparse.Namespace) -> None:
         print()
 
 
+def _parse_fault_plan(args: argparse.Namespace):
+    """Build a FaultPlan from the CLI's fault options."""
+    from .faults import (
+        FaultPlan,
+        LinkDegrade,
+        MessageDelay,
+        MessageDrop,
+        NodeStraggler,
+    )
+
+    if args.plan is not None:
+        return FaultPlan.from_json(Path(args.plan).read_text())
+    faults = []
+    for spec in args.straggler or ():
+        rank, _, factor = spec.partition(":")
+        faults.append(NodeStraggler(int(rank), float(factor or 8.0)))
+    for spec in args.degrade or ():
+        try:
+            level, index, factor = spec.split(":")
+        except ValueError as exc:
+            raise SystemExit(
+                f"--degrade wants LEVEL:INDEX:FACTOR, got {spec!r}"
+            ) from exc
+        faults.append(LinkDegrade(int(level), int(index), float(factor)))
+    if args.drop:
+        faults.append(MessageDrop(args.drop))
+    if args.delay:
+        prob, _, seconds = args.delay.partition(":")
+        faults.append(MessageDelay(float(prob), float(seconds or 500e-6)))
+    if not faults:
+        # Default demo: one 8x straggler mid-machine plus light loss.
+        faults = [NodeStraggler(5, 8.0), MessageDrop(0.02)]
+    return FaultPlan(tuple(faults), seed=args.fault_seed)
+
+
+def cmd_faults(args: argparse.Namespace) -> None:
+    """Degraded-mode demo: healthy vs faulty vs repaired schedules.
+
+    Runs the four complete-exchange algorithms (and greedy on the same
+    pattern) under a fault plan given by ``--straggler/--degrade/--drop/
+    --delay`` (or ``--plan FILE``), printing healthy time, degraded
+    time, repaired-schedule time, and retry counts.
+    """
+    from .machine import CM5Params, MachineConfig
+    from .schedules import (
+        CommPattern,
+        ScheduleError,
+        balanced_exchange,
+        execute_schedule,
+        greedy_schedule,
+        pairwise_exchange,
+        recursive_exchange,
+        repair_schedule,
+    )
+
+    n = 8 if args.quick else 32
+    nbytes = 256 if args.quick else 512
+    cfg = MachineConfig(n, CM5Params(routing_jitter=0.0))
+    plan = _parse_fault_plan(args)
+    print(f"fault plan: {plan.describe()}  (seed {plan.seed}, {n} nodes)")
+    print(f"{'algorithm':<10} {'healthy':>10} {'faulty':>10} {'repaired':>10} {'retries':>8}")
+    builders = [
+        ("PEX", lambda: pairwise_exchange(n, nbytes)),
+        ("BEX", lambda: balanced_exchange(n, nbytes)),
+        ("REX", lambda: recursive_exchange(n, nbytes)),
+        ("GS", lambda: greedy_schedule(CommPattern.complete_exchange(n, nbytes))),
+    ]
+    for label, build in builders:
+        sched = build()
+        base = execute_schedule(sched, cfg).time_ms
+        faulty = execute_schedule(sched, cfg, faults=plan, trace=True)
+        try:
+            repaired_sched = repair_schedule(sched, plan, cfg)
+            repaired = execute_schedule(repaired_sched, cfg, faults=plan)
+            repaired_ms = f"{repaired.time_ms:10.3f}"
+        except ScheduleError:
+            # Store-and-forward (REX) cannot be re-sequenced.
+            repaired_ms = f"{'n/a':>10}"
+        retries = faulty.sim.trace.summary().retry_count
+        print(
+            f"{label:<10} {base:10.3f} {faulty.time_ms:10.3f} "
+            f"{repaired_ms} {retries:8d}"
+        )
+
+
 def cmd_calibrate(args: argparse.Namespace) -> None:
     from .analysis.calibrate import fit
 
@@ -245,6 +330,7 @@ COMMANDS = {
     "table11": cmd_table11,
     "table12": cmd_table12,
     "topology": cmd_topology,
+    "faults": cmd_faults,
     "gantt": cmd_gantt,
     "report": cmd_report,
     "calibrate": cmd_calibrate,
@@ -281,6 +367,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         metavar="DIR",
         help="also write figure data as CSV under DIR",
+    )
+    fault_group = parser.add_argument_group(
+        "fault injection (the `faults` experiment)"
+    )
+    fault_group.add_argument(
+        "--straggler",
+        action="append",
+        metavar="RANK:FACTOR",
+        help="slow one rank's local work by FACTOR (repeatable)",
+    )
+    fault_group.add_argument(
+        "--degrade",
+        action="append",
+        metavar="LEVEL:INDEX:FACTOR",
+        help="scale one fat-tree link's bandwidth by FACTOR (repeatable)",
+    )
+    fault_group.add_argument(
+        "--drop",
+        type=float,
+        default=0.0,
+        metavar="PROB",
+        help="drop each message with probability PROB (repaired by retries)",
+    )
+    fault_group.add_argument(
+        "--delay",
+        metavar="PROB[:SECONDS]",
+        help="delay each message with probability PROB by SECONDS",
+    )
+    fault_group.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for fault decisions"
+    )
+    fault_group.add_argument(
+        "--plan",
+        metavar="FILE",
+        help="load a FaultPlan from a JSON file (overrides the flags above)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "all":

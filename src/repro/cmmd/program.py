@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence
 
+from ..faults.plan import FaultPlan
 from ..machine.params import MachineConfig
 from ..sim.engine import Engine, SimResult
 from ..sim.process import RankProgram
@@ -39,6 +40,8 @@ def run_spmd(
     *args: Any,
     trace: bool = False,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    max_trace_records: Optional[int] = None,
     **kwargs: Any,
 ) -> SimResult:
     """Run ``program(comm, *args, **kwargs)`` on every rank of ``config``.
@@ -46,11 +49,19 @@ def run_spmd(
     ``program`` must be a generator function taking a :class:`Comm` as
     its first argument.  Extra positional/keyword arguments are passed
     through to every rank (ranks distinguish themselves via
-    ``comm.rank``).
+    ``comm.rank``).  ``faults`` optionally injects a seeded
+    :class:`~repro.faults.FaultPlan`; ``max_trace_records`` caps the
+    retained trace lists on large sweeps.
     """
     comms = [Comm(rank, config) for rank in range(config.nprocs)]
     gens = [program(c, *args, **kwargs) for c in comms]
-    engine = Engine(config, trace=trace, seed=seed)
+    engine = Engine(
+        config,
+        trace=trace,
+        seed=seed,
+        faults=faults,
+        max_trace_records=max_trace_records,
+    )
     return engine.run(gens)
 
 
@@ -59,7 +70,15 @@ def run_programs(
     programs: Sequence[RankProgram],
     trace: bool = False,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    max_trace_records: Optional[int] = None,
 ) -> SimResult:
     """Run pre-built generators (one per rank) — the MPMD entry point."""
-    engine = Engine(config, trace=trace, seed=seed)
+    engine = Engine(
+        config,
+        trace=trace,
+        seed=seed,
+        faults=faults,
+        max_trace_records=max_trace_records,
+    )
     return engine.run(list(programs))

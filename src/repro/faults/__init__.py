@@ -1,0 +1,35 @@
+"""Fault injection and degraded-mode machinery.
+
+Declarative, seeded :class:`FaultPlan`\\ s (link degradation, straggler
+nodes, message delays/drops) are interpreted by a :class:`FaultModel`
+and injected into the fluid network, the discrete-event engine, and the
+CMMD messaging layer.  The scheduling side degrades gracefully:
+:meth:`repro.cmmd.api.Comm.reliable_send` retries dropped messages with
+backoff, and :func:`repro.schedules.repair.repair_schedule` re-sequences
+a schedule around known-degraded resources.
+
+See ``docs/MODEL.md`` (section "Fault model") for timing semantics and
+``benchmarks/bench_fault_sensitivity.py`` for the headline result:
+store-and-forward (REX) amplifies a single straggler while the direct
+exchanges (PEX/BEX/GS) shrug it off.
+"""
+
+from .plan import (
+    HEALTHY,
+    FaultPlan,
+    LinkDegrade,
+    MessageDelay,
+    MessageDrop,
+    NodeStraggler,
+)
+from .model import FaultModel
+
+__all__ = [
+    "HEALTHY",
+    "FaultPlan",
+    "FaultModel",
+    "LinkDegrade",
+    "MessageDelay",
+    "MessageDrop",
+    "NodeStraggler",
+]

@@ -32,6 +32,7 @@ def max_min_rates(
     flow_ptr: np.ndarray,
     flow_links: np.ndarray,
     flow_caps: np.ndarray,
+    link_scales: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Compute max-min fair rates for a set of flows.
 
@@ -47,6 +48,10 @@ def max_min_rates(
         Concatenated link indices of all flow paths.
     flow_caps:
         ``(F,)`` per-flow intrinsic rate caps (may be ``inf``).
+    link_scales:
+        Optional ``(L,)`` capacity multipliers in ``(0, 1]`` — the fault
+        layer's degraded-link injection (:mod:`repro.faults`).  ``None``
+        means a healthy network.
 
     Returns
     -------
@@ -75,6 +80,17 @@ def max_min_rates(
     path_lens = np.diff(flow_ptr)
     if np.any(path_lens < 1):
         raise ValueError("every flow must traverse at least one link")
+
+    if link_scales is not None:
+        scales = np.asarray(link_scales, dtype=float)
+        if scales.shape != np.shape(link_caps):
+            raise ValueError(
+                f"link_scales shape {scales.shape} != link_caps shape "
+                f"{np.shape(link_caps)}"
+            )
+        if np.any(scales <= 0) or np.any(scales > 1):
+            raise ValueError("link_scales must lie in (0, 1]")
+        link_caps = np.asarray(link_caps, dtype=float) * scales
 
     remaining_cap = np.asarray(link_caps, dtype=float).copy()
     if np.any(remaining_cap <= 0):

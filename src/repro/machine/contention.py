@@ -65,13 +65,26 @@ class FluidNetwork:
     exactly reproducible for a given seed.
     """
 
-    def __init__(self, tree: FatTree, seed: int = 0):
+    def __init__(
+        self,
+        tree: FatTree,
+        seed: int = 0,
+        link_scales: Optional[Dict[LinkId, float]] = None,
+    ):
         self.tree = tree
         link_ids = sorted(tree.links)
         self._link_index: Dict[LinkId, int] = {l: i for i, l in enumerate(link_ids)}
         self._link_caps = np.array(
             [tree.capacity(l) for l in link_ids], dtype=float
         )
+        # Degraded-link injection (repro.faults): capacity multipliers
+        # applied inside the max-min allocation, leaving the healthy
+        # capacities untouched for diagnostics.
+        self._link_scales: Optional[np.ndarray] = None
+        if link_scales:
+            self._link_scales = np.array(
+                [link_scales.get(l, 1.0) for l in link_ids], dtype=float
+            )
         self._flows: Dict[Hashable, FlowState] = {}
         self._now = 0.0
         self._dirty = False
@@ -193,7 +206,9 @@ class FluidNetwork:
                     self.tree.params.contention_cap,
                 )
                 caps = caps / penalty
-            rates = max_min_rates(caps, flow_ptr, flow_links, flow_caps)
+            rates = max_min_rates(
+                caps, flow_ptr, flow_links, flow_caps, self._link_scales
+            )
             for f, r in zip(flows, rates):
                 f.rate = float(r)
         self._dirty = False

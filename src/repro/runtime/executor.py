@@ -16,12 +16,13 @@ in their own SPMD programs (the distributed CG/Euler solvers in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..cmmd.api import Comm
 from ..cmmd.program import run_spmd
+from ..faults.plan import FaultPlan
 from ..machine.params import MachineConfig
 from ..schedules.executor import schedule_program
 from .inspector import CommunicationPlan
@@ -77,8 +78,14 @@ def run_gather(
     config: MachineConfig,
     global_array: np.ndarray,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
 ) -> GatherResult:
-    """Execute the plan once over a known global array (validation path)."""
+    """Execute the plan once over a known global array (validation path).
+
+    ``faults`` optionally injects a :class:`~repro.faults.FaultPlan`:
+    because the executor's sends are reliable, gathered values stay
+    correct even under message drops — only the timing degrades.
+    """
     if config.nprocs != plan.nprocs:
         raise ValueError(
             f"plan is for {plan.nprocs} ranks, machine has {config.nprocs}"
@@ -89,7 +96,7 @@ def run_gather(
         out = yield from gather_ops(comm, plan, segments[comm.rank])
         return out
 
-    sim = run_spmd(config, program, seed=seed)
+    sim = run_spmd(config, program, seed=seed, faults=faults)
     return GatherResult(
         resolved=list(sim.results),
         sim_time=sim.makespan,

@@ -45,6 +45,7 @@ from .coloring import coloring_schedule, optimal_step_count
 from .estimate import estimate_schedule_time, estimate_step_time
 from .shift import shift_schedule
 from .mesh2d import ProcessorMesh
+from .repair import repair_schedule, step_cost_estimate
 from .selection import SelectionResult, auto_schedule, paper_rule
 from .serialize import (
     load_schedule,
@@ -98,6 +99,8 @@ __all__ = [
     "SelectionResult",
     "auto_schedule",
     "paper_rule",
+    "repair_schedule",
+    "step_cost_estimate",
     "load_schedule",
     "save_schedule",
     "schedule_from_json",

@@ -23,6 +23,11 @@ Ordering rules inside one step, per rank:
 
 Pack/unpack bytes on a transfer are charged as local memcpy around the
 wire operation (REX's store-and-forward reshuffle).
+
+All sends go through :meth:`Comm.reliable_send` — free on a healthy
+machine, and under a fault plan with message drops every schedule still
+completes via timeout/retry-with-backoff (the retries are visible in the
+trace).
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from ..cmmd.api import Comm
 from ..cmmd.program import run_spmd
+from ..faults.plan import FaultPlan
 from ..machine.params import MachineConfig
 from ..sim.engine import SimResult
 from ..sim.process import RankProgram
@@ -77,7 +83,7 @@ def _exchange_ops(
         if rank < partner:
             if out.pack_bytes:
                 yield comm.memcpy(out.pack_bytes)
-            yield comm.send(partner, out.nbytes, payload, tag=tag)
+            yield from comm.reliable_send(partner, out.nbytes, payload, tag=tag)
             got = yield comm.recv(partner, tag=tag)
             if inc.unpack_bytes:
                 yield comm.memcpy(inc.unpack_bytes)
@@ -87,7 +93,7 @@ def _exchange_ops(
                 yield comm.memcpy(inc.unpack_bytes)
             if out.pack_bytes:
                 yield comm.memcpy(out.pack_bytes)
-            yield comm.send(partner, out.nbytes, payload, tag=tag)
+            yield from comm.reliable_send(partner, out.nbytes, payload, tag=tag)
     else:
         # Figure 2: lower rank receives first.
         if rank < partner:
@@ -96,11 +102,11 @@ def _exchange_ops(
                 yield comm.memcpy(inc.unpack_bytes)
             if out.pack_bytes:
                 yield comm.memcpy(out.pack_bytes)
-            yield comm.send(partner, out.nbytes, payload, tag=tag)
+            yield from comm.reliable_send(partner, out.nbytes, payload, tag=tag)
         else:
             if out.pack_bytes:
                 yield comm.memcpy(out.pack_bytes)
-            yield comm.send(partner, out.nbytes, payload, tag=tag)
+            yield from comm.reliable_send(partner, out.nbytes, payload, tag=tag)
             got = yield comm.recv(partner, tag=tag)
             if inc.unpack_bytes:
                 yield comm.memcpy(inc.unpack_bytes)
@@ -114,7 +120,7 @@ def _send_ops(
     if t.pack_bytes:
         yield comm.memcpy(t.pack_bytes)
     payload = outbox.get(t.dst) if outbox is not None else None
-    yield comm.send(t.dst, t.nbytes, payload, tag=tag)
+    yield from comm.reliable_send(t.dst, t.nbytes, payload, tag=tag)
 
 
 def _recv_ops(
@@ -187,14 +193,31 @@ def execute_schedule(
     config: MachineConfig,
     trace: bool = False,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    max_trace_records: Optional[int] = None,
 ) -> ExecutionResult:
-    """Run ``schedule`` on the machine model and return its makespan."""
+    """Run ``schedule`` on the machine model and return its makespan.
+
+    ``faults`` injects a seeded :class:`~repro.faults.FaultPlan`
+    (degraded links, stragglers, message delays/drops); dropped
+    messages are repaired transparently by the retry layer and show up
+    as retry records in the trace.  ``max_trace_records`` caps retained
+    trace lists on large fault sweeps.
+    """
     if schedule.nprocs != config.nprocs:
         raise ValueError(
             f"schedule is for {schedule.nprocs} procs, machine has "
             f"{config.nprocs}"
         )
-    sim = run_spmd(config, schedule_program, schedule, trace=trace, seed=seed)
+    sim = run_spmd(
+        config,
+        schedule_program,
+        schedule,
+        trace=trace,
+        seed=seed,
+        faults=faults,
+        max_trace_records=max_trace_records,
+    )
     return ExecutionResult(
         schedule_name=schedule.name,
         nprocs=config.nprocs,

@@ -33,6 +33,8 @@ import operator
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..faults.model import FaultModel
+from ..faults.plan import FaultPlan
 from ..machine.contention import FluidNetwork
 from ..machine.control import ControlNetwork
 from ..machine.fattree import fat_tree_for
@@ -41,6 +43,7 @@ from ..machine.params import MachineConfig
 from .channels import PostedRecv, PostedSend, RendezvousTable
 from .events import EventQueue
 from .process import (
+    DROPPED,
     Barrier,
     Delay,
     Isend,
@@ -54,7 +57,7 @@ from .process import (
     SysBroadcast,
     Wait,
 )
-from .trace import NULL_TRACE, MessageRecord, PhaseRecord, Trace
+from .trace import NULL_TRACE, MessageRecord, PhaseRecord, RetryRecord, Trace
 
 __all__ = ["Engine", "SimResult", "DeadlockError"]
 
@@ -99,22 +102,56 @@ class _InFlight:
     matched_at: float
     #: Handle for a non-blocking send (sender already resumed).
     handle: Optional[SendHandle] = None
+    #: Delivery attempt index of this logical message (fault layer).
+    attempt: int = 0
+    #: None = clean delivery; else seconds after the wire drains at
+    #: which the sender's loss timeout fires (the message is dropped).
+    drop_detect: Optional[float] = None
 
 
 class Engine:
-    """One simulation run over a machine configuration."""
+    """One simulation run over a machine configuration.
 
-    def __init__(self, config: MachineConfig, trace: bool = False, seed: int = 0):
+    ``faults`` optionally injects a :class:`~repro.faults.FaultPlan`:
+    degraded links reduce fluid-network capacities, stragglers stretch a
+    rank's local Delay work (and optionally its per-message overheads),
+    and message delays/drops perturb individual transfers.  A dropped
+    synchronous send resumes its sender with the :data:`DROPPED`
+    sentinel after the loss-detection timeout; the receiver's posted
+    receive is silently re-posted, so a retry (see
+    :meth:`repro.cmmd.api.Comm.reliable_send`) can complete the
+    rendezvous.  Non-blocking sends (the async ablation) are exempt
+    from drops.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        trace: bool = False,
+        seed: int = 0,
+        faults: Optional[FaultPlan] = None,
+        max_trace_records: Optional[int] = None,
+    ):
         self.config = config
         self.params = config.params
         self.tree = fat_tree_for(config)
-        self.net = FluidNetwork(self.tree, seed=seed)
+        self.faults = FaultModel(faults, self.tree)
+        self.net = FluidNetwork(
+            self.tree, seed=seed, link_scales=self.faults.link_scales
+        )
         self.costs = NodeCostModel(self.params)
         self.control = ControlNetwork(self.params)
         self.queue = EventQueue()
         self.rendezvous = RendezvousTable()
         self.now = 0.0
-        self.trace: Trace = Trace() if trace else NULL_TRACE
+        self.trace: Trace = (
+            Trace(max_records=max_trace_records) if trace else NULL_TRACE
+        )
+        # Plain floats: numpy scalars would leak into every timestamp.
+        self._compute_slow = [float(x) for x in self.faults.compute_slowdowns()]
+        self._overhead_slow = [float(x) for x in self.faults.overhead_slowdowns()]
+        #: Delivery-attempt counter per (src, dst, tag) logical message.
+        self._attempts: Dict[Tuple[int, int, int], int] = {}
         self.procs: List[Process] = []
         self._flow_seq = itertools.count()
         self._net_gen = 0
@@ -205,7 +242,7 @@ class Engine:
             proc.waiting_on = f"send to {request.dst} ({request.nbytes}B)"
             self._check_dst(proc, request.dst)
             self._schedule(
-                self.now + self.costs.send_setup(),
+                self.now + self.costs.send_setup() * self._overhead_slow[proc.rank],
                 lambda: self._post_send(proc, request),
             )
         elif isinstance(request, Isend):
@@ -214,7 +251,7 @@ class Engine:
             # The sender pays the software setup, then proceeds; the
             # message completes (and the handle flips) on its own.
             self._schedule(
-                self.now + self.costs.send_setup(),
+                self.now + self.costs.send_setup() * self._overhead_slow[proc.rank],
                 lambda: self._post_isend(proc, request, handle),
             )
         elif isinstance(request, Wait):
@@ -237,8 +274,10 @@ class Engine:
         elif isinstance(request, Delay):
             proc.state = ProcState.DELAYED
             proc.waiting_on = f"delay {request.seconds:.2e}s"
+            # Stragglers stretch local work (compute, pack/unpack).
             self._schedule(
-                self.now + request.seconds, lambda: self._resume(proc, None)
+                self.now + request.seconds * self._compute_slow[proc.rank],
+                lambda: self._resume(proc, None),
             )
         elif isinstance(request, Barrier):
             proc.state = ProcState.BLOCKED_BARRIER
@@ -294,16 +333,34 @@ class Engine:
 
     def _start_transfer(self, send: PostedSend, recv: PostedRecv) -> None:
         key = next(self._flow_seq)
+        handle = self._send_handles.pop(send.seq, None)
+        extra_latency = 0.0
+        attempt = 0
+        drop_detect = None
+        if self.faults.has_message_faults:
+            msg_key = (send.src, send.dst, send.tag)
+            attempt = self._attempts.get(msg_key, 0)
+            self._attempts[msg_key] = attempt + 1
+            extra_latency = self.faults.message_delay(send.src, send.dst, attempt)
+            if handle is None:
+                # Drops apply to blocking (rendezvous) sends only: a
+                # non-blocking sender has already moved on and has no
+                # timeout to fire.
+                drop_detect = self.faults.message_drop(
+                    send.src, send.dst, attempt
+                )
         self._in_flight[key] = _InFlight(
             send=send,
             recv=recv,
             sender=self.procs[send.src],
             receiver=self.procs[send.dst],
             matched_at=self.now,
-            handle=self._send_handles.pop(send.seq, None),
+            handle=handle,
+            attempt=attempt,
+            drop_detect=drop_detect,
         )
         # First-packet pipeline fill before the fluid drain begins.
-        start_at = self.now + self.params.wire_latency
+        start_at = self.now + self.params.wire_latency + extra_latency
         self._schedule(start_at, lambda: self._flow_begin(key))
 
     def _flow_begin(self, key: int) -> None:
@@ -313,6 +370,13 @@ class Engine:
 
     def _flow_complete(self, key: int) -> None:
         inf = self._in_flight.pop(key)
+        if inf.drop_detect is not None:
+            self._drop_message(inf)
+            return
+        if self.faults.has_message_faults:
+            # Clean delivery closes the logical message: a later message
+            # between the same endpoints/tag gets a fresh attempt count.
+            self._attempts.pop((inf.send.src, inf.send.dst, inf.send.tag), None)
         self._messages_done += 1
         if inf.handle is not None:
             # Non-blocking send: flip the handle, release any waiter.
@@ -324,7 +388,9 @@ class Engine:
             # Synchronous send: the rendezvous ack resumes the sender.
             self._schedule(self.now, lambda: self._resume(inf.sender, None))
         # Receiver pays its software service time, then gets the payload.
-        done_at = self.now + self.costs.recv_service()
+        done_at = self.now + self.costs.recv_service() * self._overhead_slow[
+            inf.send.dst
+        ]
         payload = inf.send.payload
         self._schedule(done_at, lambda: self._resume(inf.receiver, payload))
         self.trace.add_message(
@@ -338,6 +404,38 @@ class Engine:
                 delivered_at=done_at,
                 route_level=self.config.route_level(inf.send.src, inf.send.dst),
             )
+        )
+
+    def _drop_message(self, inf: _InFlight) -> None:
+        """A transfer whose data was lost in flight (fault injection).
+
+        The wire time was spent, but the receiver never sees the
+        message: its receive is re-posted as if never matched, and the
+        sender is resumed with :data:`DROPPED` once its ack timeout
+        (``detect_seconds`` after the drain) fires.  The retry layer
+        (:meth:`repro.cmmd.api.Comm.reliable_send`) backs off and
+        resends.
+        """
+        self.trace.add_retry(
+            RetryRecord(
+                src=inf.send.src,
+                dst=inf.send.dst,
+                nbytes=inf.send.nbytes,
+                tag=inf.send.tag,
+                attempt=inf.attempt,
+                posted_at=inf.send.posted_at,
+                failed_at=self.now,
+            )
+        )
+        recv, send = self.rendezvous.post_recv(
+            inf.recv.dst, inf.recv.src, inf.recv.tag, self.now
+        )
+        if send is not None:
+            # The re-posted receive matched some other pending send.
+            self._start_transfer(send, recv)
+        sender = inf.sender
+        self._schedule(
+            self.now + inf.drop_detect, lambda: self._resume(sender, DROPPED)
         )
 
     def _arm_network_event(self) -> None:

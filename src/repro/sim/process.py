@@ -19,6 +19,7 @@ from typing import Any, Generator, Optional
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "DROPPED",
     "Send",
     "Isend",
     "SendHandle",
@@ -37,6 +38,30 @@ __all__ = [
 ANY_SOURCE = -1
 #: Wildcard message tag.
 ANY_TAG = -1
+
+
+class _Dropped:
+    """Singleton resumption value of a synchronous send the fault layer
+    lost in flight: the sender's ack timeout fired instead of the
+    rendezvous completion.  Handle it with
+    :meth:`repro.cmmd.api.Comm.reliable_send`; a plain ``comm.send``
+    ignores the value and the data is simply gone."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Dropped":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "DROPPED"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+DROPPED = _Dropped()
 
 
 @dataclass(frozen=True)

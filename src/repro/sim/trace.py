@@ -3,14 +3,27 @@
 Tracing is optional (it costs time and memory on big runs) but invaluable
 for unit tests and for the ablation analyses: the per-step root-traffic
 breakdown behind BEX's win is computed from message records.
+
+Fault runs additionally record :class:`RetryRecord`\\ s — one per dropped
+delivery attempt — so straggler/retry impact is observable per
+algorithm.  Large fault sweeps can cap memory with ``max_records``:
+aggregate counters (message/retry counts, delivered and lost bytes) stay
+exact while the per-record lists stop growing past the cap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["MessageRecord", "PhaseRecord", "Trace"]
+__all__ = [
+    "MessageRecord",
+    "PhaseRecord",
+    "RetryRecord",
+    "Trace",
+    "TraceSummary",
+]
 
 
 @dataclass(frozen=True)
@@ -46,34 +59,151 @@ class PhaseRecord:
     end: float
 
 
+@dataclass(frozen=True)
+class RetryRecord:
+    """One dropped delivery attempt (the fault layer's loss injection).
+
+    ``attempt`` counts delivery attempts of the same logical message
+    (0 = first try).  The sender notices the loss at ``failed_at`` (its
+    ack timeout) and the retry layer backs off and resends.
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: int
+    attempt: int
+    posted_at: float
+    failed_at: float
+    reason: str = "drop"
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Exact aggregate accounting of one traced run."""
+
+    message_count: int
+    retry_count: int
+    delivered_bytes: int
+    #: Bytes of messages that were dropped at least once and never
+    #: subsequently delivered.  Zero means the retry layer repaired
+    #: every loss.
+    lost_bytes: int
+
+    def render(self) -> str:
+        return (
+            f"{self.message_count} messages, {self.retry_count} retries, "
+            f"{self.delivered_bytes} B delivered, {self.lost_bytes} B lost"
+        )
+
+
 @dataclass
 class Trace:
-    """Accumulated records from one simulation run."""
+    """Accumulated records from one simulation run.
+
+    ``max_records`` caps the *retained* length of each record list (None
+    = unbounded).  Counters and the :meth:`summary` accounting are exact
+    regardless of the cap; the convenience queries below reflect only the
+    retained records and note so in their docstrings.
+    """
 
     messages: List[MessageRecord] = field(default_factory=list)
     phases: List[PhaseRecord] = field(default_factory=list)
+    retries: List[RetryRecord] = field(default_factory=list)
+    max_records: Optional[int] = None
+
+    # Exact counters (immune to the max_records cap).
+    message_count: int = 0
+    retry_count: int = 0
+    delivered_bytes: int = 0
+    #: Messages dropped at least once and not yet redelivered, keyed by
+    #: (src, dst, tag) -> nbytes.  Drained on delivery, so it stays small.
+    _outstanding: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_records is not None and self.max_records < 0:
+            raise ValueError(f"max_records must be >= 0, got {self.max_records}")
+        # Allow construction from pre-built record lists (tests do this).
+        self.message_count = self.message_count or len(self.messages)
+        self.retry_count = self.retry_count or len(self.retries)
+        self.delivered_bytes = self.delivered_bytes or sum(
+            m.nbytes for m in self.messages
+        )
+
+    def _retain(self, records: list) -> bool:
+        return self.max_records is None or len(records) < self.max_records
 
     def add_message(self, rec: MessageRecord) -> None:
-        self.messages.append(rec)
+        self.message_count += 1
+        self.delivered_bytes += rec.nbytes
+        self._outstanding.pop((rec.src, rec.dst, rec.tag), None)
+        if self._retain(self.messages):
+            self.messages.append(rec)
 
     def add_phase(self, rec: PhaseRecord) -> None:
-        self.phases.append(rec)
+        if self._retain(self.phases):
+            self.phases.append(rec)
 
-    # -- convenience queries -------------------------------------------
+    def add_retry(self, rec: RetryRecord) -> None:
+        self.retry_count += 1
+        self._outstanding[(rec.src, rec.dst, rec.tag)] = rec.nbytes
+        if self._retain(self.retries):
+            self.retries.append(rec)
+
+    # -- aggregate accounting ------------------------------------------
+    @property
+    def lost_bytes(self) -> int:
+        """Bytes dropped at least once and never redelivered (exact)."""
+        return sum(self._outstanding.values())
+
+    def summary(self) -> TraceSummary:
+        return TraceSummary(
+            message_count=self.message_count,
+            retry_count=self.retry_count,
+            delivered_bytes=self.delivered_bytes,
+            lost_bytes=self.lost_bytes,
+        )
+
+    # -- convenience queries (over retained records) -------------------
     def messages_between(self, t0: float, t1: float) -> List[MessageRecord]:
-        """Messages whose transfer overlapped [t0, t1)."""
+        """Retained messages whose transfer overlapped [t0, t1)."""
         return [
             m for m in self.messages if m.matched_at < t1 and m.delivered_at > t0
         ]
 
     def global_fraction(self) -> float:
-        """Fraction of messages that crossed out of their 4-node cluster."""
+        """Fraction of retained messages that left their 4-node cluster."""
         if not self.messages:
             return 0.0
         return sum(m.is_global for m in self.messages) / len(self.messages)
 
     def total_bytes(self) -> int:
-        return sum(m.nbytes for m in self.messages)
+        """Total delivered payload bytes (exact counter)."""
+        return self.delivered_bytes
+
+    # -- canonical serialization ---------------------------------------
+    def event_stream(self) -> str:
+        """Deterministic JSON-lines rendering of every retained record.
+
+        Two runs of the same seeded program + fault plan must produce
+        byte-identical streams — the replay regression test asserts
+        exactly this.  Floats are serialized via ``repr`` (shortest
+        round-trip form), so equality is bit-level.
+        """
+        lines = []
+        for kind, records in (
+            ("message", self.messages),
+            ("phase", self.phases),
+            ("retry", self.retries),
+        ):
+            for rec in records:
+                lines.append(
+                    json.dumps(
+                        {"kind": kind, **asdict(rec)}, sort_keys=True
+                    )
+                )
+        lines.append(json.dumps({"kind": "summary", **asdict(self.summary())}))
+        return "\n".join(lines)
 
 
 #: Shared do-nothing trace used when tracing is disabled.
@@ -84,6 +214,9 @@ class NullTrace(Trace):
         pass
 
     def add_phase(self, rec: PhaseRecord) -> None:  # noqa: D102
+        pass
+
+    def add_retry(self, rec: RetryRecord) -> None:  # noqa: D102
         pass
 
 

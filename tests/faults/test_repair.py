@@ -1,0 +1,142 @@
+"""Property tests: schedule repair preserves every structural invariant.
+
+:func:`repro.schedules.repair_schedule` only permutes steps, so for any
+pattern and any fault plan the repaired schedule must still be
+contention-free per step (``validate_structure``) and deliver every
+pattern byte exactly once (``check_covers_pattern``) — and the executor
+must still drive it to completion under the same faults.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, LinkDegrade, NodeStraggler
+from repro.machine import CM5Params, MachineConfig
+from repro.schedules import (
+    CommPattern,
+    ScheduleError,
+    balanced_schedule,
+    check_covers_pattern,
+    execute_schedule,
+    greedy_schedule,
+    pairwise_schedule,
+    recursive_exchange,
+    repair_schedule,
+    validate_structure,
+)
+
+BUILDERS = {
+    "pairwise": pairwise_schedule,
+    "balanced": balanced_schedule,
+    "greedy": greedy_schedule,
+}
+
+
+@st.composite
+def patterns(draw, sizes=(4, 8)):
+    n = draw(st.sampled_from(sizes))
+    density = draw(st.floats(0.05, 1.0))
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    m = np.zeros((n, n), dtype=np.int64)
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < density:
+                m[i, j] = int(rng.integers(1, 2048))
+    if m.sum() == 0:
+        m[0, 1] = 64
+    return CommPattern(m)
+
+
+@st.composite
+def fault_plans(draw, nprocs=8):
+    faults = []
+    for _ in range(draw(st.integers(0, 2))):
+        faults.append(
+            NodeStraggler(
+                draw(st.integers(0, nprocs - 1)),
+                draw(st.floats(1.0, 16.0)),
+                overhead_factor=draw(st.floats(1.0, 4.0)),
+            )
+        )
+    for _ in range(draw(st.integers(0, 2))):
+        level = draw(st.integers(1, 2))
+        index = draw(st.integers(0, nprocs // 4 - 1 if level == 2 else nprocs - 1))
+        faults.append(
+            LinkDegrade(level, index, draw(st.floats(0.05, 1.0)))
+        )
+    return FaultPlan(tuple(faults), seed=draw(st.integers(0, 100)))
+
+
+def _step_multiset(sched):
+    """Canonical, order-insensitive rendering of a schedule's steps."""
+    return sorted(
+        sorted((t.src, t.dst, t.nbytes, t.pack_bytes, t.unpack_bytes) for t in s)
+        for s in sched.steps
+    )
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+@given(pattern=patterns(sizes=(8,)), plan=fault_plans())
+@settings(max_examples=40, deadline=None)
+def test_repair_preserves_coverage_and_structure(name, pattern, plan):
+    sched = BUILDERS[name](pattern)
+    cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+    repaired = repair_schedule(sched, plan, cfg)
+    validate_structure(repaired)
+    check_covers_pattern(repaired, pattern)
+    assert repaired.nsteps == sched.nsteps
+    assert _step_multiset(repaired) == _step_multiset(sched)
+
+
+@given(pattern=patterns(sizes=(4,)), plan=fault_plans(nprocs=4))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_repaired_schedule_executes_under_its_faults(pattern, plan):
+    cfg = MachineConfig(4, CM5Params(routing_jitter=0.0))
+    repaired = repair_schedule(greedy_schedule(pattern), plan, cfg)
+    res = execute_schedule(repaired, cfg, faults=plan)
+    assert res.sim.message_count == pattern.n_operations
+
+
+@given(pattern=patterns(sizes=(8,)), plan=fault_plans())
+@settings(max_examples=20, deadline=None)
+def test_repair_is_deterministic(pattern, plan):
+    cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+    sched = pairwise_schedule(pattern)
+    assert (
+        repair_schedule(sched, plan, cfg).steps
+        == repair_schedule(sched, plan, cfg).steps
+    )
+
+
+def test_repair_noop_without_structural_faults():
+    cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+    sched = pairwise_schedule(CommPattern.complete_exchange(8, 64))
+    # Message-level faults don't reorder anything: same object back.
+    assert repair_schedule(sched, FaultPlan(), cfg) is sched
+
+
+def test_repair_renames_when_it_reorders():
+    cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+    sched = pairwise_schedule(CommPattern.complete_exchange(8, 64))
+    plan = FaultPlan((LinkDegrade(1, 3, 0.1),))
+    assert repair_schedule(sched, plan, cfg).name == f"{sched.name}+repair"
+
+
+def test_repair_rejects_store_and_forward():
+    cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+    plan = FaultPlan((NodeStraggler(1, 2.0),))
+    with pytest.raises(ScheduleError, match="store-and-forward"):
+        repair_schedule(recursive_exchange(8, 64), plan, cfg)
+
+
+def test_repair_rejects_wrong_machine_size():
+    cfg = MachineConfig(16, CM5Params(routing_jitter=0.0))
+    sched = pairwise_schedule(CommPattern.complete_exchange(8, 64))
+    with pytest.raises(ScheduleError, match="16"):
+        repair_schedule(sched, FaultPlan((NodeStraggler(1, 2.0),)), cfg)
