@@ -7,7 +7,9 @@
 * :mod:`repro.analysis.compare` — shape checks (orderings, factors,
   crossovers);
 * :mod:`repro.analysis.calibrate` — provenance of the model constants;
-* :mod:`repro.analysis.cache` — persistent memo of expensive runs.
+* :mod:`repro.analysis.cache` — persistent memo of expensive runs;
+* :mod:`repro.analysis.perf` / :mod:`repro.analysis.perfcmp` — hot-path
+  wall-clock benchmark (``BENCH_sim.json``) and regression diffing.
 """
 
 from .cache import SimCache, default_cache
@@ -46,6 +48,14 @@ from .experiments import (
     table12_data,
 )
 from .calibrate import Anchor, CalibrationResult, anchors_from_table11, evaluate, fit
+from .perf import perf_workloads, render_report, run_perf, write_bench
+from .perfcmp import (
+    PerfComparison,
+    PerfDelta,
+    compare_benches,
+    load_bench,
+    render_comparison,
+)
 from .visualize import render_fat_tree, render_message_gantt
 from .sensitivity import SensitivityResult, sweep_parameter
 
@@ -84,6 +94,15 @@ __all__ = [
     "table5_data",
     "table11_data",
     "table12_data",
+    "perf_workloads",
+    "render_report",
+    "run_perf",
+    "write_bench",
+    "PerfComparison",
+    "PerfDelta",
+    "compare_benches",
+    "load_bench",
+    "render_comparison",
     "Anchor",
     "CalibrationResult",
     "anchors_from_table11",

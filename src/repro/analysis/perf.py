@@ -1,0 +1,198 @@
+"""Hot-path performance benchmark: canonical workloads, machine-readable.
+
+The fluid-network hot path (struct-of-arrays flow store + compiled
+progressive-filling kernel, see :mod:`repro.machine.contention` and
+:mod:`repro.machine.bandwidth`) is a performance surface that regresses
+silently: traces stay byte-identical while wall-clock drifts.  This
+module times a fixed set of canonical workloads end to end and writes
+the results as a ``BENCH_sim.json`` file that
+:mod:`repro.analysis.perfcmp` can diff across revisions.
+
+Workloads (full scale):
+
+* complete exchanges — PEX / BEX / REX at 32, 128 and 256 nodes, 512 B
+  per pair (the Fig. 5-8 regime; 256-node PEX is the headline number);
+* irregular — greedy schedules of the Table 11 synthetic patterns
+  (32 nodes, densities 25/50/75 %, 512 B);
+* fault-injected — a 16-node PEX under a straggler + message drops + a
+  degraded link, exercising the retry and degraded-allocation paths.
+
+``quick=True`` shrinks the exchange sweep to 16/32 nodes and one
+density for CI smoke runs.
+
+The JSON schema (``repro-bench-sim/1``)::
+
+    {
+      "schema": "repro-bench-sim/1",
+      "scale": "full" | "quick",
+      "kernel": "<fastfill kernel state>",
+      "workloads": {
+        "<name>": {
+          "wall_seconds": <host seconds to simulate>,
+          "sim_ms": <simulated milliseconds (the model's answer)>,
+          "messages": <point-to-point message count>
+        }, ...
+      }
+    }
+
+``wall_seconds`` is the perf payload; ``sim_ms`` doubles as a cheap
+correctness canary (it must not move at all between revisions unless
+the model itself changed).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..faults import FaultPlan, LinkDegrade, MessageDrop, NodeStraggler
+from ..machine import CM5Params, MachineConfig
+from ..machine._fastfill import kernel_description
+from ..schedules import (
+    CommPattern,
+    balanced_exchange,
+    execute_schedule,
+    greedy_schedule,
+    pairwise_exchange,
+    recursive_exchange,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "perf_workloads",
+    "run_perf",
+    "render_report",
+    "write_bench",
+]
+
+BENCH_SCHEMA = "repro-bench-sim/1"
+
+_EXCHANGES = (
+    ("pex", pairwise_exchange),
+    ("bex", balanced_exchange),
+    ("rex", recursive_exchange),
+)
+
+#: Bytes per pair in the exchange sweep (Fig. 7's size).
+_EXCHANGE_BYTES = 512
+#: Table 11 regime for the irregular workloads.
+_IRR_NPROCS = 32
+_IRR_BYTES = 512
+_IRR_SEED = 42
+
+_FAULT_PLAN = FaultPlan(
+    (NodeStraggler(5, 8.0), MessageDrop(0.02), LinkDegrade(2, 0, 0.5)),
+    seed=7,
+)
+
+
+@dataclass(frozen=True)
+class _Workload:
+    name: str
+    run: Callable[[], "object"]  # -> ExecutionResult
+
+
+def perf_workloads(quick: bool = False) -> List[_Workload]:
+    """The canonical workload list, in execution order."""
+    machines = (16, 32) if quick else (32, 128, 256)
+    densities = (0.50,) if quick else (0.25, 0.50, 0.75)
+    loads: List[_Workload] = []
+    for n in machines:
+        for label, build in _EXCHANGES:
+            loads.append(
+                _Workload(
+                    f"{label}_n{n}_b{_EXCHANGE_BYTES}",
+                    # Bind loop variables now, run (and build) at call time
+                    # so schedule construction is not on the clock... it is
+                    # cheap, but keeping only simulation under the timer
+                    # makes the numbers attributable to the hot path.
+                    lambda n=n, build=build: execute_schedule(
+                        build(n, _EXCHANGE_BYTES), MachineConfig(n)
+                    ),
+                )
+            )
+    for d in densities:
+        pattern = CommPattern.synthetic(_IRR_NPROCS, d, _IRR_BYTES, seed=_IRR_SEED)
+        loads.append(
+            _Workload(
+                f"irr_d{int(d * 100)}_greedy",
+                lambda pattern=pattern: execute_schedule(
+                    greedy_schedule(pattern), MachineConfig(_IRR_NPROCS)
+                ),
+            )
+        )
+    loads.append(
+        _Workload(
+            "fault_pex_n16_b256",
+            lambda: execute_schedule(
+                pairwise_exchange(16, 256),
+                MachineConfig(16, CM5Params(routing_jitter=0.0)),
+                faults=_FAULT_PLAN,
+                trace=True,
+            ),
+        )
+    )
+    return loads
+
+
+def run_perf(
+    quick: bool = False, progress: "Callable[[str], None] | None" = None
+) -> Dict[str, object]:
+    """Time every canonical workload; returns the BENCH document."""
+    # Untimed warm-up: absorb one-off costs (kernel dlopen, NumPy ufunc
+    # setup, import side effects) so the first timed workload is
+    # comparable to the rest — and quick vs full runs to each other.
+    execute_schedule(pairwise_exchange(8, 64), MachineConfig(8))
+    workloads: Dict[str, Dict[str, float]] = {}
+    for wl in perf_workloads(quick):
+        # Short workloads are re-run and the minimum kept: scheduler
+        # noise on sub-second timings easily exceeds any regression
+        # threshold, while the minute-scale sweeps stay single-shot.
+        wall = float("inf")
+        for rep in range(3):
+            t0 = time.perf_counter()
+            res = wl.run()
+            wall = min(wall, time.perf_counter() - t0)
+            if wall >= 1.0:
+                break
+        workloads[wl.name] = {
+            "wall_seconds": round(wall, 4),
+            "sim_ms": res.time_ms,
+            "messages": res.sim.message_count,
+        }
+        if progress is not None:
+            progress(
+                f"{wl.name:<24} {wall:8.2f}s wall   "
+                f"{res.time_ms:10.3f} sim-ms"
+            )
+    return {
+        "schema": BENCH_SCHEMA,
+        "scale": "quick" if quick else "full",
+        "kernel": kernel_description(),
+        "workloads": workloads,
+    }
+
+
+def render_report(bench: Dict[str, object]) -> str:
+    """Fixed-width text rendering of one BENCH document."""
+    lines = [
+        f"Hot-path perf benchmark ({bench['scale']} scale)",
+        f"allocation kernel: {bench['kernel']}",
+        "",
+        f"{'workload':<24} {'wall s':>10} {'sim ms':>12} {'messages':>9}",
+    ]
+    for name, row in bench["workloads"].items():
+        lines.append(
+            f"{name:<24} {row['wall_seconds']:10.2f} "
+            f"{row['sim_ms']:12.3f} {row['messages']:9d}"
+        )
+    return "\n".join(lines)
+
+
+def write_bench(bench: Dict[str, object], path) -> None:
+    """Serialize one BENCH document (stable key order, trailing newline)."""
+    with open(path, "w") as fh:
+        json.dump(bench, fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,140 @@
+"""Diff two ``BENCH_sim.json`` files and flag wall-clock regressions.
+
+The perf harness (:mod:`repro.analysis.perf`) emits machine-readable
+timing documents; this module compares a *baseline* against a *current*
+run::
+
+    python -m repro perfcmp --baseline benchmarks/BENCH_baseline.json \
+        --current BENCH_sim.json --threshold 0.25
+
+A workload regresses when its wall time exceeds the baseline by more
+than ``threshold`` (default 10 %).  ``sim_ms`` is also cross-checked:
+simulated time must be *identical* between runs of the same workload —
+a drift there is a correctness problem masquerading as a perf delta,
+and is reported as such (machine differences change wall clock, never
+simulated milliseconds).
+
+Workloads present in only one file are listed but never counted as
+regressions, so a baseline captured at full scale can be compared
+against a ``--quick`` run (the intersection is what is judged).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = ["PerfDelta", "PerfComparison", "load_bench", "compare_benches", "render_comparison"]
+
+#: Default relative wall-clock slack before a workload counts as regressed.
+DEFAULT_THRESHOLD = 0.10
+
+
+def load_bench(path) -> Dict[str, object]:
+    """Load and minimally validate one BENCH document."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or "workloads" not in doc:
+        raise ValueError(f"{path}: not a BENCH document (no 'workloads' key)")
+    schema = doc.get("schema", "")
+    if not str(schema).startswith("repro-bench-sim/"):
+        raise ValueError(f"{path}: unknown BENCH schema {schema!r}")
+    return doc
+
+
+@dataclass(frozen=True)
+class PerfDelta:
+    """One workload's baseline-vs-current comparison."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+    #: (current - baseline) / baseline
+    ratio: float
+    regressed: bool
+    #: Simulated time moved between runs — a correctness red flag.
+    sim_drift: bool
+
+
+@dataclass
+class PerfComparison:
+    """Full comparison of two BENCH documents."""
+
+    threshold: float
+    deltas: List[PerfDelta] = field(default_factory=list)
+    only_baseline: List[str] = field(default_factory=list)
+    only_current: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[PerfDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def sim_drifts(self) -> List[PerfDelta]:
+        return [d for d in self.deltas if d.sim_drift]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.sim_drifts
+
+
+def compare_benches(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> PerfComparison:
+    """Compare per-workload wall times; see the module docstring."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    base_wl: Dict[str, dict] = baseline["workloads"]  # type: ignore[assignment]
+    cur_wl: Dict[str, dict] = current["workloads"]  # type: ignore[assignment]
+    cmp = PerfComparison(threshold=threshold)
+    cmp.only_baseline = sorted(set(base_wl) - set(cur_wl))
+    cmp.only_current = sorted(set(cur_wl) - set(base_wl))
+    for name in (n for n in cur_wl if n in base_wl):
+        b, c = base_wl[name], cur_wl[name]
+        base_s = float(b["wall_seconds"])
+        cur_s = float(c["wall_seconds"])
+        ratio = (cur_s - base_s) / base_s if base_s > 0 else 0.0
+        cmp.deltas.append(
+            PerfDelta(
+                name=name,
+                baseline_s=base_s,
+                current_s=cur_s,
+                ratio=ratio,
+                regressed=ratio > threshold,
+                sim_drift=b.get("sim_ms") != c.get("sim_ms"),
+            )
+        )
+    return cmp
+
+
+def render_comparison(cmp: PerfComparison) -> str:
+    """Fixed-width report; one line per compared workload."""
+    lines = [
+        f"{'workload':<24} {'base s':>9} {'cur s':>9} {'delta':>8}  verdict",
+    ]
+    for d in cmp.deltas:
+        verdict = "ok"
+        if d.regressed:
+            verdict = f"REGRESSED (> {cmp.threshold:.0%})"
+        if d.sim_drift:
+            verdict += " SIM-DRIFT"
+        lines.append(
+            f"{d.name:<24} {d.baseline_s:9.2f} {d.current_s:9.2f} "
+            f"{d.ratio:+7.1%}  {verdict}"
+        )
+    for name in cmp.only_baseline:
+        lines.append(f"{name:<24} (baseline only — skipped)")
+    for name in cmp.only_current:
+        lines.append(f"{name:<24} (current only — skipped)")
+    n_reg, n_drift = len(cmp.regressions), len(cmp.sim_drifts)
+    if cmp.ok:
+        lines.append(f"OK: no regressions beyond {cmp.threshold:.0%}")
+    else:
+        lines.append(
+            f"FAIL: {n_reg} regression(s) beyond {cmp.threshold:.0%}, "
+            f"{n_drift} simulated-time drift(s)"
+        )
+    return "\n".join(lines)

@@ -10,6 +10,10 @@ Experiments: ``schedules`` (Tables 1-4, 6-10), ``fig5``, ``fig6``,
 ``table12``, ``calibrate``, ``all``.  ``--quick`` shrinks sweeps to
 small machines for a fast smoke run; ``--csv DIR`` additionally writes
 figure data as CSV files.
+
+Performance: ``perf`` times the canonical hot-path workloads and writes
+``BENCH_sim.json``; ``perfcmp`` diffs two such files and exits non-zero
+on wall-clock regressions (see ``--baseline/--current/--threshold``).
 """
 
 from __future__ import annotations
@@ -300,6 +304,46 @@ def cmd_faults(args: argparse.Namespace) -> None:
         )
 
 
+def cmd_perf(args: argparse.Namespace) -> None:
+    """Time the canonical hot-path workloads; write BENCH_sim.json.
+
+    ``--quick`` shrinks the exchange sweep for smoke runs; ``--bench-out``
+    moves the JSON (default ``BENCH_sim.json`` in the current directory).
+    A text rendering also lands in ``results/perf_hotpath.txt``.
+    """
+    from .analysis.perf import render_report, run_perf, write_bench
+
+    bench = run_perf(quick=args.quick, progress=print)
+    out = Path(args.bench_out)
+    write_bench(bench, out)
+    report = render_report(bench)
+    results = Path("results")
+    results.mkdir(exist_ok=True)
+    (results / "perf_hotpath.txt").write_text(report + "\n")
+    print()
+    print(report)
+    print(f"[bench written to {out}]")
+
+
+def cmd_perfcmp(args: argparse.Namespace) -> None:
+    """Diff two BENCH_sim.json files; exit non-zero on regressions.
+
+    Compares ``--baseline`` (default the committed
+    ``benchmarks/BENCH_baseline.json``) against ``--current`` (default
+    ``BENCH_sim.json``); workloads slower by more than ``--threshold``
+    (fraction, default 0.10) fail the run, as does any simulated-time
+    drift.
+    """
+    from .analysis.perfcmp import compare_benches, load_bench, render_comparison
+
+    baseline = load_bench(args.baseline)
+    current = load_bench(args.current)
+    cmp = compare_benches(baseline, current, threshold=args.threshold)
+    print(render_comparison(cmp))
+    if not cmp.ok:
+        raise SystemExit(1)
+
+
 def cmd_calibrate(args: argparse.Namespace) -> None:
     from .analysis.calibrate import fit
 
@@ -334,13 +378,15 @@ COMMANDS = {
     "gantt": cmd_gantt,
     "report": cmd_report,
     "calibrate": cmd_calibrate,
+    "perf": cmd_perf,
+    "perfcmp": cmd_perfcmp,
 }
 
 
 def cmd_all(args: argparse.Namespace) -> None:
     for name, fn in COMMANDS.items():
-        if name == "report":
-            continue  # report writes EXPERIMENTS.md; run it explicitly
+        if name in ("report", "perf", "perfcmp"):
+            continue  # writes files / needs file args; run explicitly
         print(f"\n===== {name} =====")
         fn(args)
 
@@ -402,6 +448,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--plan",
         metavar="FILE",
         help="load a FaultPlan from a JSON file (overrides the flags above)",
+    )
+    perf_group = parser.add_argument_group(
+        "performance benchmarking (`perf` / `perfcmp`)"
+    )
+    perf_group.add_argument(
+        "--bench-out",
+        default="BENCH_sim.json",
+        metavar="FILE",
+        help="where `perf` writes its BENCH document",
+    )
+    perf_group.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_baseline.json",
+        metavar="FILE",
+        help="baseline BENCH document for `perfcmp`",
+    )
+    perf_group.add_argument(
+        "--current",
+        default="BENCH_sim.json",
+        metavar="FILE",
+        help="current BENCH document for `perfcmp`",
+    )
+    perf_group.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative wall-clock slack before `perfcmp` fails (default 0.10)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "all":

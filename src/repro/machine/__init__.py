@@ -22,8 +22,8 @@ from .params import (
     wire_bytes,
 )
 from .fattree import FatTree, Link, LinkId, fat_tree_for
-from .bandwidth import build_incidence, max_min_rates
-from .contention import FlowState, FluidNetwork
+from .bandwidth import AllocationWorkspace, build_incidence, max_min_rates
+from .contention import FlowState, FluidNetwork, NetworkStallError
 from .node import NodeCostModel
 from .control import ControlNetwork
 
@@ -39,10 +39,12 @@ __all__ = [
     "Link",
     "LinkId",
     "fat_tree_for",
+    "AllocationWorkspace",
     "build_incidence",
     "max_min_rates",
     "FlowState",
     "FluidNetwork",
+    "NetworkStallError",
     "NodeCostModel",
     "ControlNetwork",
 ]

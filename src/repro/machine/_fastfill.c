@@ -1,0 +1,130 @@
+/* Progressive-filling inner loop of max-min fair allocation.
+ *
+ * This is a line-for-line transliteration of the NumPy round loop in
+ * bandwidth.py (the fallback path): every floating-point operation is
+ * performed in the same order on the same IEEE-754 doubles, and every
+ * reduction used is order-independent (min / boolean-or / integer
+ * counts), so the computed rates are bit-identical to the NumPy path.
+ * Compile WITHOUT -ffast-math and with -ffp-contract=off: fused
+ * multiply-adds or reassociation would break that equivalence.
+ *
+ * Returns 0 on success, 1 for an unbounded flow, 2 when a round makes
+ * no progress, 3 when the loop fails to converge (all three map to the
+ * RuntimeErrors raised by the Python caller).
+ */
+#include <stdint.h>
+#include <math.h>
+
+int max_min_fill(
+    int64_t nflows,
+    int64_t nlinks,
+    const double *link_caps,      /* effective caps, length nlinks */
+    const int64_t *flow_ptr,      /* length nflows + 1 */
+    const int64_t *flow_links,    /* length flow_ptr[nflows] */
+    const double *flow_caps,      /* length nflows */
+    const double *sat_thresh,     /* length nlinks */
+    const double *cap_thresh,     /* length nflows */
+    double *rates,                /* out, length nflows */
+    double *remaining_cap,        /* work, length nlinks */
+    int64_t *counts,              /* work, length nlinks */
+    double *link_incr,            /* work, length nlinks */
+    double *cap_left,             /* work, length nflows */
+    uint8_t *active               /* work, length nflows */
+) {
+    int64_t f, l, s, round_;
+    int64_t remaining = nflows;
+
+    for (l = 0; l < nlinks; l++) {
+        remaining_cap[l] = link_caps[l];
+        counts[l] = 0;
+    }
+    for (s = 0; s < flow_ptr[nflows]; s++) {
+        counts[flow_links[s]]++;
+    }
+    for (f = 0; f < nflows; f++) {
+        rates[f] = 0.0;
+        cap_left[f] = flow_caps[f];
+        active[f] = 1;
+    }
+
+    for (round_ = 0; round_ <= nflows; round_++) {
+        if (remaining == 0) {
+            return 0;
+        }
+        /* Allowable uniform rate increment through each link.  Links
+         * with no active flow are never read by an active flow's path,
+         * so their value is irrelevant (NumPy path sets them to inf). */
+        for (l = 0; l < nlinks; l++) {
+            if (counts[l] > 0) {
+                link_incr[l] = remaining_cap[l] / (double)counts[l];
+            } else {
+                link_incr[l] = INFINITY;
+            }
+        }
+        /* delta = min over active flows of min(path bottleneck, cap). */
+        double delta = INFINITY;
+        for (f = 0; f < nflows; f++) {
+            if (!active[f]) {
+                continue;
+            }
+            double path_incr = INFINITY;
+            for (s = flow_ptr[f]; s < flow_ptr[f + 1]; s++) {
+                double v = link_incr[flow_links[s]];
+                if (v < path_incr) {
+                    path_incr = v;
+                }
+            }
+            double incr = cap_left[f] < path_incr ? cap_left[f] : path_incr;
+            if (incr < delta) {
+                delta = incr;
+            }
+        }
+        if (!isfinite(delta)) {
+            return 1;
+        }
+        for (f = 0; f < nflows; f++) {
+            if (active[f]) {
+                rates[f] += delta;
+                cap_left[f] -= delta;
+            }
+        }
+        /* counts == 0 links would subtract exactly 0.0: skipping them is
+         * bit-neutral (x - 0.0 == x for every IEEE double). */
+        for (l = 0; l < nlinks; l++) {
+            if (counts[l] > 0) {
+                remaining_cap[l] -= (double)counts[l] * delta;
+            }
+        }
+        /* Freeze flows that hit their cap or whose path saturated a
+         * link.  counts is only read by the NEXT round's link_incr, so
+         * decrementing it inside the freeze scan matches the NumPy
+         * path's subtract-after-the-mask exactly. */
+        int64_t frozen = 0;
+        for (f = 0; f < nflows; f++) {
+            if (!active[f]) {
+                continue;
+            }
+            int hit = cap_left[f] <= cap_thresh[f];
+            if (!hit) {
+                for (s = flow_ptr[f]; s < flow_ptr[f + 1]; s++) {
+                    if (remaining_cap[flow_links[s]] <= sat_thresh[flow_links[s]]) {
+                        hit = 1;
+                        break;
+                    }
+                }
+            }
+            if (hit) {
+                active[f] = 0;
+                frozen++;
+                remaining--;
+                for (s = flow_ptr[f]; s < flow_ptr[f + 1]; s++) {
+                    counts[flow_links[s]]--;
+                }
+            }
+        }
+        if (frozen == 0) {
+            return 2;
+        }
+    }
+    return remaining == 0 ? 0 : 3;
+}

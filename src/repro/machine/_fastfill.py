@@ -1,0 +1,124 @@
+"""Compile-on-first-use loader for the C progressive-filling kernel.
+
+The allocation inner loop (:func:`repro.machine.bandwidth.max_min_rates`)
+runs on every flow arrival/departure wave of every simulation — at 256
+nodes a single exchange sweep makes ~10^5 calls on small arrays, where
+NumPy's per-ufunc dispatch overhead dominates.  ``_fastfill.c`` is a
+bit-identical transliteration of that loop; this module compiles it with
+the system C compiler into a cached shared object and exposes it via
+:mod:`ctypes`.
+
+The kernel is strictly optional:
+
+* no compiler, a failed compile, or a failed load -> :func:`kernel`
+  returns ``None`` and callers fall back to the NumPy loop;
+* ``REPRO_NO_FASTFILL=1`` disables it explicitly (the equivalence tests
+  use this to exercise both paths).
+
+Nothing outside this module needs to know which path ran — results are
+bit-for-bit identical by construction (same IEEE-754 operation order,
+compiled with ``-ffp-contract=off`` and without ``-ffast-math``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["kernel", "kernel_description"]
+
+_SOURCE = Path(__file__).with_name("_fastfill.c")
+_BUILD_DIR = Path(__file__).with_name("_fastfill_build")
+
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
+
+_kernel = None
+_kernel_state = "unloaded"
+
+
+def _find_compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _compile() -> Optional[Path]:
+    """Build (or reuse) the cached shared object; None when impossible."""
+    if not _SOURCE.exists():
+        return None
+    cc = _find_compiler()
+    if cc is None:
+        return None
+    tag = hashlib.sha256(_SOURCE.read_bytes()).hexdigest()[:16]
+    so_path = _BUILD_DIR / f"fastfill-{tag}.so"
+    if so_path.exists():
+        return so_path
+    try:
+        _BUILD_DIR.mkdir(exist_ok=True)
+        build_dir = _BUILD_DIR
+    except OSError:
+        build_dir = Path(tempfile.mkdtemp(prefix="repro-fastfill-"))
+        so_path = build_dir / f"fastfill-{tag}.so"
+    tmp = so_path.with_suffix(f".tmp{os.getpid()}.so")
+    try:
+        subprocess.run(
+            [cc, *_CFLAGS, "-o", str(tmp), str(_SOURCE)],
+            check=True,
+            capture_output=True,
+            timeout=60,
+        )
+        os.replace(tmp, so_path)  # atomic: concurrent builds can race
+    except (OSError, subprocess.SubprocessError):
+        tmp.unlink(missing_ok=True)
+        return None
+    return so_path
+
+
+def _load() -> Optional[ctypes.CDLL]:
+    global _kernel_state
+    if os.environ.get("REPRO_NO_FASTFILL"):
+        _kernel_state = "disabled (REPRO_NO_FASTFILL)"
+        return None
+    so_path = _compile()
+    if so_path is None:
+        _kernel_state = "unavailable (no compiler or build failed)"
+        return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+        fn = lib.max_min_fill
+    except (OSError, AttributeError):
+        _kernel_state = "unavailable (load failed)"
+        return None
+    # Raw pointers, not np.ctypeslib.ndpointer: ndpointer's from_param
+    # validation costs ~60us per call on 12 array arguments, comparable
+    # to the kernel itself at typical sizes.  Callers pass
+    # ``arr.ctypes.data`` of C-contiguous arrays of the right dtype
+    # (bandwidth.max_min_rates guarantees this).
+    fn.restype = ctypes.c_int
+    fn.argtypes = [ctypes.c_int64, ctypes.c_int64] + [ctypes.c_void_p] * 12
+    _kernel_state = f"loaded ({so_path.name})"
+    return fn
+
+
+def kernel():
+    """The compiled ``max_min_fill`` entry point, or None (fallback)."""
+    global _kernel, _kernel_state
+    if _kernel_state == "unloaded":
+        _kernel = _load()
+    return _kernel
+
+
+def kernel_description() -> str:
+    """Human-readable state of the fast kernel (for perf reports)."""
+    kernel()
+    return _kernel_state

@@ -7,24 +7,75 @@ per-message level bandwidth from :meth:`FatTree.message_rate_cap`).
 
 This is the classic *progressive filling* computation: the rates of all
 unfrozen flows rise together until a link saturates or a flow reaches its
-cap; those flows freeze, and filling continues on the rest.  The
-implementation is vectorized with NumPy ``reduceat`` over a CSR-style
-flow->link incidence so a reallocation for a few hundred concurrent flows
-costs microseconds — it runs on every flow arrival/departure wave inside
-the fluid network simulation.
+cap; those flows freeze, and filling continues on the rest.  It runs on
+every flow arrival/departure wave inside the fluid network simulation —
+~10^5 times per 256-node exchange sweep — so the inner loop has two
+implementations that produce bit-identical rates:
+
+* a compiled C kernel (:mod:`repro.machine._fastfill`), used when a C
+  compiler is available;
+* a vectorized NumPy fallback over the CSR flow->link incidence, with
+  per-link flow counts maintained incrementally across rounds (one
+  ``bincount`` up front, frozen paths subtracted per round) and the
+  freeze thresholds hoisted out of the loop.
+
+Hot callers (:class:`repro.machine.contention.FluidNetwork`) pass an
+:class:`AllocationWorkspace` plus ``check=False`` so repeated calls over
+one topology reuse every buffer and skip input validation.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["max_min_rates", "build_incidence"]
+from . import _fastfill
+
+__all__ = ["AllocationWorkspace", "max_min_rates", "build_incidence"]
 
 _INF = float("inf")
 #: Relative slack used to decide that a constraint is binding.
 _REL_EPS = 1e-12
+
+
+class AllocationWorkspace:
+    """Reusable buffers for repeated allocations over one topology.
+
+    One instance per :class:`FluidNetwork`; link-sized arrays are fixed,
+    flow-sized arrays grow by doubling as waves get larger.
+    """
+
+    def __init__(self, nlinks: int):
+        self.nlinks = nlinks
+        self.remaining = np.empty(nlinks)
+        self.counts = np.empty(nlinks, dtype=np.int64)
+        self.link_incr = np.empty(nlinks)
+        self.sat_thresh = np.empty(nlinks)
+        self._fcap = 0
+        self.cap_left = np.empty(0)
+        self.cap_thresh = np.empty(0)
+        self.active = np.empty(0, dtype=np.uint8)
+        self.ensure_flows(1)
+
+    def ensure_flows(self, nflows: int) -> None:
+        if nflows > self._fcap:
+            self._fcap = max(16, 2 * self._fcap, nflows)
+            self.cap_left = np.empty(self._fcap)
+            self.cap_thresh = np.empty(self._fcap)
+            self.active = np.empty(self._fcap, dtype=np.uint8)
+        # Raw data pointers for the ctypes kernel call, refreshed only
+        # when a buffer is reallocated (ndarray.ctypes costs ~1us per
+        # access, which adds up over ~10^5 calls per run).
+        self.ptrs = (
+            self.sat_thresh.ctypes.data,
+            self.cap_thresh.ctypes.data,
+            self.remaining.ctypes.data,
+            self.counts.ctypes.data,
+            self.link_incr.ctypes.data,
+            self.cap_left.ctypes.data,
+            self.active.ctypes.data,
+        )
 
 
 def max_min_rates(
@@ -33,6 +84,10 @@ def max_min_rates(
     flow_links: np.ndarray,
     flow_caps: np.ndarray,
     link_scales: "np.ndarray | None" = None,
+    *,
+    check: bool = True,
+    workspace: Optional[AllocationWorkspace] = None,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Compute max-min fair rates for a set of flows.
 
@@ -52,6 +107,15 @@ def max_min_rates(
         Optional ``(L,)`` capacity multipliers in ``(0, 1]`` — the fault
         layer's degraded-link injection (:mod:`repro.faults`).  ``None``
         means a healthy network.
+    check:
+        Validate inputs (positive capacities, non-empty paths, scale
+        range).  Hot callers pass ``False`` to skip the per-call scans
+        and array normalization; they must then guarantee C-contiguous
+        arrays of the right dtypes and *finite* flow caps.
+    workspace:
+        Optional :class:`AllocationWorkspace` to reuse across calls.
+    out:
+        Optional ``(F,)`` float64 array to receive the rates.
 
     Returns
     -------
@@ -72,74 +136,155 @@ def max_min_rates(
     >>> rates.tolist()
     [7.0, 3.0]
     """
-    flow_ptr = np.asarray(flow_ptr, dtype=np.int64)
-    flow_links = np.asarray(flow_links, dtype=np.int64)
+    if check:
+        # The hot path (check=False) trusts its caller to pass
+        # C-contiguous arrays of the right dtypes; the public path
+        # normalizes and validates.
+        flow_ptr = np.ascontiguousarray(flow_ptr, dtype=np.int64)
+        flow_links = np.ascontiguousarray(flow_links, dtype=np.int64)
+        flow_caps = np.ascontiguousarray(flow_caps, dtype=np.float64)
+        link_caps = np.ascontiguousarray(link_caps, dtype=np.float64)
     nflows = len(flow_ptr) - 1
     if nflows == 0:
         return np.zeros(0)
-    path_lens = np.diff(flow_ptr)
-    if np.any(path_lens < 1):
+    if check and np.any(np.diff(flow_ptr) < 1):
         raise ValueError("every flow must traverse at least one link")
-
+    if check and np.any(link_caps <= 0):
+        raise ValueError("link capacities must be positive")
     if link_scales is not None:
         scales = np.asarray(link_scales, dtype=float)
-        if scales.shape != np.shape(link_caps):
-            raise ValueError(
-                f"link_scales shape {scales.shape} != link_caps shape "
-                f"{np.shape(link_caps)}"
-            )
-        if np.any(scales <= 0) or np.any(scales > 1):
-            raise ValueError("link_scales must lie in (0, 1]")
-        link_caps = np.asarray(link_caps, dtype=float) * scales
-
-    remaining_cap = np.asarray(link_caps, dtype=float).copy()
-    if np.any(remaining_cap <= 0):
-        raise ValueError("link capacities must be positive")
-    rates = np.zeros(nflows)
-    active = np.ones(nflows, dtype=bool)
-    cap_left = np.asarray(flow_caps, dtype=float).copy()
-    if np.any(cap_left <= 0):
+        if check:
+            if scales.shape != link_caps.shape:
+                raise ValueError(
+                    f"link_scales shape {scales.shape} != link_caps shape "
+                    f"{link_caps.shape}"
+                )
+            if np.any(scales <= 0) or np.any(scales > 1):
+                raise ValueError("link_scales must lie in (0, 1]")
+        link_caps = link_caps * scales
+    if check and np.any(flow_caps <= 0):
         raise ValueError("flow caps must be positive")
 
+    nlinks = len(link_caps)
+    ws = workspace
+    if ws is None or ws.nlinks != nlinks:
+        ws = AllocationWorkspace(nlinks)
+    ws.ensure_flows(nflows)
+
+    # Freeze thresholds are loop-invariant: hoist them out of the rounds.
+    np.multiply(link_caps, _REL_EPS, out=ws.sat_thresh)
+    ws.sat_thresh += 1e-15
+    cap_thresh = ws.cap_thresh[:nflows]
+    if check:
+        np.multiply(
+            np.where(np.isfinite(flow_caps), flow_caps, 1.0),
+            _REL_EPS,
+            out=cap_thresh,
+        )
+    else:
+        # Finite caps guaranteed: the where(isfinite) is the identity.
+        np.multiply(flow_caps, _REL_EPS, out=cap_thresh)
+    cap_thresh += 1e-15
+
+    if out is None:
+        out = np.empty(nflows)
+    kern = _fastfill.kernel()
+    if kern is not None:
+        sat_p, capt_p, rem_p, cnt_p, incr_p, left_p, act_p = ws.ptrs
+        rc = kern(
+            nflows,
+            nlinks,
+            link_caps.ctypes.data,
+            flow_ptr.ctypes.data,
+            flow_links.ctypes.data,
+            flow_caps.ctypes.data,
+            sat_p,
+            capt_p,
+            out.ctypes.data,
+            rem_p,
+            cnt_p,
+            incr_p,
+            left_p,
+            act_p,
+        )
+        if rc == 1:
+            raise RuntimeError("unbounded flow: a path has no finite constraint")
+        if rc:  # pragma: no cover - defensive, mirrors the NumPy path
+            raise RuntimeError(
+                "progressive filling made no progress"
+                if rc == 2
+                else "max-min allocation failed to converge"
+            )
+        return out
+    return _fill_numpy(
+        link_caps, flow_ptr, flow_links, flow_caps, ws, cap_thresh, out
+    )
+
+
+def _fill_numpy(
+    link_caps: np.ndarray,
+    flow_ptr: np.ndarray,
+    flow_links: np.ndarray,
+    flow_caps: np.ndarray,
+    ws: AllocationWorkspace,
+    cap_thresh: np.ndarray,
+    rates: np.ndarray,
+) -> np.ndarray:
+    """NumPy progressive filling (bit-identical to the C kernel)."""
+    nflows = len(flow_ptr) - 1
+    nlinks = len(link_caps)
+    path_lens = np.diff(flow_ptr)
     starts = flow_ptr[:-1]
-    nlinks = len(remaining_cap)
+
+    remaining_cap = ws.remaining
+    np.copyto(remaining_cap, link_caps)
+    rates[:] = 0.0
+    active = np.ones(nflows, dtype=bool)
+    cap_left = ws.cap_left[:nflows]
+    np.copyto(cap_left, flow_caps)
+
+    # Per-link load of the *active* flows.  Counting every flow once up
+    # front and subtracting the newly frozen paths each round replaces a
+    # per-round repeat+bincount over the full incidence; integer
+    # arithmetic keeps the counts exact, so the allocation is bit-for-bit
+    # the same as recounting from scratch.
+    counts = ws.counts
+    counts[:] = np.bincount(flow_links, minlength=nlinks)
+    link_incr = ws.link_incr
+    denom = np.empty(nlinks, dtype=np.int64)
+    remaining = nflows
 
     # Each round freezes at least one flow, so nflows rounds suffice.
     for _ in range(nflows + 1):
-        if not active.any():
+        if remaining == 0:
             break
-        seg_active = np.repeat(active, path_lens)
-        counts = np.bincount(flow_links[seg_active], minlength=nlinks)
         # Allowable uniform rate increment through each link.
-        with np.errstate(divide="ignore", invalid="ignore"):
-            link_incr = np.where(counts > 0, remaining_cap / np.maximum(counts, 1), _INF)
+        np.maximum(counts, 1, out=denom)
+        np.divide(remaining_cap, denom, out=link_incr)
+        link_incr[counts == 0] = _INF
         # Per-flow allowable increment: path bottleneck vs remaining cap.
         path_incr = np.minimum.reduceat(link_incr[flow_links], starts)
         incr = np.minimum(path_incr, cap_left)
-        incr_active = np.where(active, incr, _INF)
-        delta = incr_active.min()
+        delta = np.where(active, incr, _INF).min()
         if not np.isfinite(delta):
             raise RuntimeError("unbounded flow: a path has no finite constraint")
 
-        rates[active] += delta
-        cap_left[active] -= delta
-        remaining_cap = remaining_cap - counts * delta
+        np.add(rates, delta, out=rates, where=active)
+        np.subtract(cap_left, delta, out=cap_left, where=active)
+        remaining_cap -= counts * delta
 
         # Freeze flows that hit their cap or whose path saturated a link.
-        scale = np.asarray(link_caps, dtype=float)
-        saturated = remaining_cap <= _REL_EPS * scale + 1e-15
-        flow_hits_sat = (
-            np.bitwise_or.reduceat(saturated[flow_links], starts)
-            if nflows
-            else np.zeros(0, dtype=bool)
-        )
-        at_cap = cap_left <= _REL_EPS * np.where(
-            np.isfinite(flow_caps), flow_caps, 1.0
-        ) + 1e-15
-        freeze = active & (flow_hits_sat | at_cap)
-        if not freeze.any():  # pragma: no cover - defensive: delta was binding
+        saturated = remaining_cap <= ws.sat_thresh
+        flow_hits_sat = np.bitwise_or.reduceat(saturated[flow_links], starts)
+        freeze = active & (flow_hits_sat | (cap_left <= cap_thresh))
+        nfrozen = int(np.count_nonzero(freeze))
+        if nfrozen == 0:  # pragma: no cover - defensive: delta was binding
             raise RuntimeError("progressive filling made no progress")
-        active &= ~freeze
+        active ^= freeze
+        remaining -= nfrozen
+        counts -= np.bincount(
+            flow_links[np.repeat(freeze, path_lens)], minlength=nlinks
+        )
     else:  # pragma: no cover - loop bound is provably sufficient
         raise RuntimeError("max-min allocation failed to converge")
 

@@ -21,29 +21,65 @@ this class is passive.  The intended protocol is::
 Batching matters: the synchronized exchange algorithms start whole waves
 of messages at identical times, and rates are recomputed once per wave,
 not once per message.
+
+Flow state lives in struct-of-arrays form: parallel NumPy arrays for
+``wire_remaining`` / ``rate`` / ``rate_cap`` plus a persistent CSR
+flow->link incidence that is appended to on :meth:`add_flow` and
+compacted in bulk on :meth:`pop_completed`, instead of being rebuilt
+from Python lists on every rate reallocation.  Draining and
+earliest-completion scans are O(active) vectorized operations.  The
+layout is an internal detail: the public API still traffics in
+:class:`FlowState` records and produces bit-identical timelines to the
+original per-flow-object implementation.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
-from .bandwidth import max_min_rates
+from .bandwidth import AllocationWorkspace, max_min_rates
 from .fattree import FatTree, LinkId
 from .params import wire_bytes
 
-__all__ = ["FluidNetwork", "FlowState"]
+__all__ = ["FluidNetwork", "FlowState", "NetworkStallError"]
 
 #: Remaining-byte threshold below which a flow counts as complete.
 _DONE_EPS = 1e-6
 
+#: Initial slot capacity of the struct-of-arrays flow store.
+_MIN_SLOTS = 16
+
+
+class NetworkStallError(RuntimeError):
+    """Active flows cannot make progress: their fair rate is zero.
+
+    Raised by :meth:`FluidNetwork.earliest_completion` instead of a bare
+    ``RuntimeError`` so fault-plan debugging can see *which* transfers
+    stalled without a debugger.  ``stalled`` lists the offending flows
+    as ``(src, dst, key)`` triples.
+    """
+
+    def __init__(self, stalled: List[Tuple[int, int, Hashable]]):
+        self.stalled = list(stalled)
+        shown = ", ".join(
+            f"({src}->{dst}, key={key!r})" for src, dst, key in self.stalled[:8]
+        )
+        more = (
+            f" (and {len(self.stalled) - 8} more)" if len(self.stalled) > 8 else ""
+        )
+        super().__init__(
+            f"{len(self.stalled)} active flow(s) stalled with zero rate: "
+            f"{shown}{more}"
+        )
+
 
 @dataclass
 class FlowState:
-    """One in-flight message transfer."""
+    """One in-flight message transfer (materialized view of a slot)."""
 
     key: Hashable
     src: int
@@ -72,25 +108,54 @@ class FluidNetwork:
         link_scales: Optional[Dict[LinkId, float]] = None,
     ):
         self.tree = tree
-        link_ids = sorted(tree.links)
-        self._link_index: Dict[LinkId, int] = {l: i for i, l in enumerate(link_ids)}
-        self._link_caps = np.array(
-            [tree.capacity(l) for l in link_ids], dtype=float
-        )
+        self._link_index: Dict[LinkId, int] = tree.link_index
+        self._link_caps = tree.link_caps_array
+        nlinks = len(self._link_caps)
         # Degraded-link injection (repro.faults): capacity multipliers
         # applied inside the max-min allocation, leaving the healthy
         # capacities untouched for diagnostics.
         self._link_scales: Optional[np.ndarray] = None
         if link_scales:
             self._link_scales = np.array(
-                [link_scales.get(l, 1.0) for l in link_ids], dtype=float
+                [link_scales.get(l, 1.0) for l in tree.sorted_link_ids],
+                dtype=float,
             )
-        self._flows: Dict[Hashable, FlowState] = {}
         self._now = 0.0
         self._dirty = False
-        self._path_cache: Dict[Tuple[int, int], np.ndarray] = {}
         self._rng = np.random.default_rng(seed)
         self._seed = seed
+
+        # Struct-of-arrays flow store.  Slots [0, _n) are in flight;
+        # arrays grow by doubling and are compacted in pop_completed.
+        self._n = 0
+        self._cap = _MIN_SLOTS
+        self._wire = np.zeros(self._cap)
+        self._rate = np.zeros(self._cap)
+        self._rate_cap = np.zeros(self._cap)
+        self._started = np.zeros(self._cap)
+        self._payload = np.zeros(self._cap, dtype=np.int64)
+        self._srcs = np.zeros(self._cap, dtype=np.int64)
+        self._dsts = np.zeros(self._cap, dtype=np.int64)
+        self._keys = np.empty(self._cap, dtype=object)
+        self._key_set: set = set()
+        # Persistent CSR incidence: slot i uses link indices
+        # _csr_links[_ptr[i]:_ptr[i+1]].  Appended on add, compacted on pop.
+        self._csr_cap = 4 * self._cap
+        self._csr_links = np.zeros(self._csr_cap, dtype=np.int64)
+        self._ptr = np.zeros(self._cap + 1, dtype=np.int64)
+
+        # Reused per-recompute workspaces (contention penalty pipeline
+        # plus the progressive-filling buffers shared with max_min_rates).
+        self._pen_int = np.zeros(nlinks, dtype=np.int64)
+        self._penalty = np.zeros(nlinks)
+        self._eff_caps = np.zeros(nlinks)
+        self._alloc_ws = AllocationWorkspace(nlinks)
+
+        #: Memoized absolute time of the next completion; valid while the
+        #: flow set and rates are unchanged (completion instants are
+        #: invariant under advance_to, which is why the engine's repeated
+        #: re-arming costs O(1)).
+        self._next_completion: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
@@ -99,17 +164,39 @@ class FluidNetwork:
 
     @property
     def active_count(self) -> int:
-        return len(self._flows)
+        return self._n
 
     def _path_indices(self, src: int, dst: int) -> np.ndarray:
-        cached = self._path_cache.get((src, dst))
-        if cached is None:
-            cached = np.array(
-                [self._link_index[l] for l in self.tree.path(src, dst)],
-                dtype=np.int64,
-            )
-            self._path_cache[(src, dst)] = cached
-        return cached
+        return self.tree.path_indices(src, dst)
+
+    def _grow_slots(self, need: int) -> None:
+        new_cap = max(2 * self._cap, need, _MIN_SLOTS)
+        for name in (
+            "_wire",
+            "_rate",
+            "_rate_cap",
+            "_started",
+            "_payload",
+            "_srcs",
+            "_dsts",
+            "_keys",
+        ):
+            old = getattr(self, name)
+            fresh = np.empty(new_cap, dtype=old.dtype)
+            fresh[: self._n] = old[: self._n]
+            setattr(self, name, fresh)
+        ptr = np.zeros(new_cap + 1, dtype=np.int64)
+        ptr[: self._n + 1] = self._ptr[: self._n + 1]
+        self._ptr = ptr
+        self._cap = new_cap
+
+    def _grow_csr(self, need: int) -> None:
+        new_cap = max(2 * self._csr_cap, need)
+        fresh = np.empty(new_cap, dtype=np.int64)
+        used = int(self._ptr[self._n])
+        fresh[:used] = self._csr_links[:used]
+        self._csr_links = fresh
+        self._csr_cap = new_cap
 
     # ------------------------------------------------------------------
     def add_flow(self, key: Hashable, src: int, dst: int, payload: int) -> None:
@@ -119,7 +206,7 @@ class FluidNetwork:
         size.  The caller must have brought the network to the flow's
         start time with :meth:`advance_to` first.
         """
-        if key in self._flows:
+        if key in self._key_set:
             raise ValueError(f"duplicate flow key: {key!r}")
         wire = float(wire_bytes(payload))
         jitter = self.tree.params.routing_jitter
@@ -129,69 +216,150 @@ class FluidNetwork:
             packets = wire / 20.0
             z = abs(self._rng.standard_normal())
             wire *= 1.0 + jitter * z / math.sqrt(packets)
-        self._flows[key] = FlowState(
-            key=key,
-            src=src,
-            dst=dst,
-            wire_remaining=wire,
-            path_idx=self._path_indices(src, dst),
-            rate_cap=self.tree.message_rate_cap(src, dst),
-            started_at=self._now,
-            payload_bytes=payload,
-        )
+        path = self._path_indices(src, dst)
+        slot = self._n
+        if slot + 1 > self._cap:
+            self._grow_slots(slot + 1)
+        used = int(self._ptr[slot])
+        if used + len(path) > self._csr_cap:
+            self._grow_csr(used + len(path))
+        self._csr_links[used : used + len(path)] = path
+        self._ptr[slot + 1] = used + len(path)
+        self._wire[slot] = wire
+        self._rate[slot] = 0.0
+        self._rate_cap[slot] = self.tree.message_rate_cap(src, dst)
+        self._started[slot] = self._now
+        self._payload[slot] = payload
+        self._srcs[slot] = src
+        self._dsts[slot] = dst
+        self._keys[slot] = key
+        self._key_set.add(key)
+        self._n = slot + 1
         self._dirty = True
+        self._next_completion = None
 
     def advance_to(self, t: float) -> None:
-        """Drain all active flows up to time ``t`` at their current rates."""
+        """Drain all active flows up to time ``t`` at their current rates.
+
+        ``wire_remaining`` is clamped at zero: if the caller advances
+        past a flow's true completion instant the flow reads as exactly
+        finished rather than drifting negative, keeping
+        :meth:`snapshot_rates` diagnostics and the completion test
+        against ``_DONE_EPS`` meaningful.
+        """
         if t < self._now - 1e-12:
             raise ValueError(f"time moved backwards: {t} < {self._now}")
-        if self._dirty:
-            self._recompute()
         dt = t - self._now
-        if dt > 0 and self._flows:
-            for f in self._flows.values():
-                f.wire_remaining -= f.rate * dt
+        if dt > 0 and self._n:
+            if self._dirty:
+                self._recompute()
+            wire = self._wire[: self._n]
+            wire -= self._rate[: self._n] * dt
+            np.maximum(wire, 0.0, out=wire)
         self._now = max(self._now, t)
 
     def earliest_completion(self) -> Optional[float]:
-        """Absolute time the next flow (if any) finishes at current rates."""
+        """Absolute time the next flow (if any) finishes at current rates.
+
+        Raises :class:`NetworkStallError` naming the stalled
+        ``(src, dst, key)`` triples if any unfinished flow has zero rate
+        (impossible on a healthy network: max-min allocations are
+        strictly positive).
+        """
         if self._dirty:
             self._recompute()
-        if not self._flows:
+        n = self._n
+        if n == 0:
             return None
-        best = math.inf
-        for f in self._flows.values():
-            if f.wire_remaining <= _DONE_EPS:
-                return self._now
-            if f.rate > 0:
-                best = min(best, f.wire_remaining / f.rate)
-        if math.isinf(best):  # pragma: no cover - rates are always positive
-            raise RuntimeError("active flows with zero rate")
-        return self._now + best
+        if self._next_completion is not None:
+            # Completion instants do not move while the flow set and
+            # rates are fixed; a flow already past its instant (the
+            # caller overshot) reads as finishing "now", as it would on
+            # a fresh scan.
+            return max(self._next_completion, self._now)
+        wire = self._wire[:n]
+        rate = self._rate[:n]
+        # Done-flows first, zero rates second — consistently, in one pass.
+        if (wire <= _DONE_EPS).any():
+            return self._now
+        stalled = rate <= 0.0
+        if stalled.any():
+            idx = np.nonzero(stalled)[0]
+            raise NetworkStallError(
+                [
+                    (int(self._srcs[i]), int(self._dsts[i]), self._keys[i])
+                    for i in idx
+                ]
+            )
+        best = float((wire / rate).min())
+        self._next_completion = self._now + best
+        return self._next_completion
 
     def pop_completed(self, t: float) -> List[FlowState]:
         """Advance to ``t`` and remove every flow that has finished."""
         self.advance_to(t)
-        done = [f for f in self._flows.values() if f.wire_remaining <= _DONE_EPS]
+        n = self._n
+        if n == 0:
+            return []
+        wire = self._wire[:n]
+        done_mask = wire <= _DONE_EPS
+        if not done_mask.any():
+            return []
+        done_idx = np.nonzero(done_mask)[0]
+        done = [self._flow_state(int(i)) for i in done_idx]
         for f in done:
-            del self._flows[f.key]
-        if done:
-            self._dirty = True
+            self._key_set.discard(f.key)
+        self._compact(~done_mask)
+        self._dirty = True
+        self._next_completion = None
         return done
+
+    def _flow_state(self, slot: int) -> FlowState:
+        src = int(self._srcs[slot])
+        dst = int(self._dsts[slot])
+        return FlowState(
+            key=self._keys[slot],
+            src=src,
+            dst=dst,
+            wire_remaining=float(self._wire[slot]),
+            path_idx=self._path_indices(src, dst),
+            rate_cap=float(self._rate_cap[slot]),
+            rate=float(self._rate[slot]),
+            started_at=float(self._started[slot]),
+            payload_bytes=int(self._payload[slot]),
+        )
+
+    def _compact(self, keep: np.ndarray) -> None:
+        """Drop slots where ``keep`` is False, preserving insertion order."""
+        n = self._n
+        m = int(keep.sum())
+        lengths = np.diff(self._ptr[: n + 1])
+        seg_keep = np.repeat(keep, lengths)
+        used = int(self._ptr[n])
+        kept_links = self._csr_links[:used][seg_keep]
+        self._csr_links[: len(kept_links)] = kept_links
+        np.cumsum(lengths[keep], out=self._ptr[1 : m + 1])
+        for name in (
+            "_wire",
+            "_rate",
+            "_rate_cap",
+            "_started",
+            "_payload",
+            "_srcs",
+            "_dsts",
+            "_keys",
+        ):
+            arr = getattr(self, name)
+            arr[:m] = arr[:n][keep]
+        self._n = m
 
     # ------------------------------------------------------------------
     def _recompute(self) -> None:
-        flows = list(self._flows.values())
-        if flows:
-            lengths = np.fromiter(
-                (len(f.path_idx) for f in flows), dtype=np.int64, count=len(flows)
-            )
-            flow_ptr = np.zeros(len(flows) + 1, dtype=np.int64)
-            np.cumsum(lengths, out=flow_ptr[1:])
-            flow_links = np.concatenate([f.path_idx for f in flows])
-            flow_caps = np.fromiter(
-                (f.rate_cap for f in flows), dtype=float, count=len(flows)
-            )
+        n = self._n
+        if n:
+            used = int(self._ptr[n])
+            flow_links = self._csr_links[:used]
+            flow_ptr = self._ptr[: n + 1]
             # Switch contention: a link shared by n concurrent flows loses
             # arbitration/conflict efficiency, degrading its usable
             # capacity to cap / (1 + c*(n-1)).  This is what makes
@@ -201,28 +369,49 @@ class FluidNetwork:
             c = self.tree.params.switch_contention
             if c > 0:
                 counts = np.bincount(flow_links, minlength=len(caps))
-                penalty = np.minimum(
-                    1.0 + c * np.maximum(counts - 1, 0),
-                    self.tree.params.contention_cap,
+                np.subtract(counts, 1, out=self._pen_int)
+                np.maximum(self._pen_int, 0, out=self._pen_int)
+                np.multiply(self._pen_int, c, out=self._penalty)
+                np.add(self._penalty, 1.0, out=self._penalty)
+                np.minimum(
+                    self._penalty, self.tree.params.contention_cap,
+                    out=self._penalty,
                 )
-                caps = caps / penalty
-            rates = max_min_rates(
-                caps, flow_ptr, flow_links, flow_caps, self._link_scales
+                np.divide(caps, self._penalty, out=self._eff_caps)
+                caps = self._eff_caps
+            max_min_rates(
+                caps,
+                flow_ptr,
+                flow_links,
+                self._rate_cap[:n],
+                self._link_scales,
+                check=False,
+                workspace=self._alloc_ws,
+                out=self._rate[:n],
             )
-            for f, r in zip(flows, rates):
-                f.rate = float(r)
         self._dirty = False
+        self._next_completion = None
 
     # ------------------------------------------------------------------
     def snapshot_rates(self) -> Dict[Hashable, float]:
         """Current fair rate of every active flow (diagnostics/tests)."""
         if self._dirty:
             self._recompute()
-        return {k: f.rate for k, f in self._flows.items()}
+        n = self._n
+        return {self._keys[i]: float(self._rate[i]) for i in range(n)}
+
+    def snapshot_remaining(self) -> Dict[Hashable, float]:
+        """Remaining wire bytes of every active flow (diagnostics/tests)."""
+        n = self._n
+        return {self._keys[i]: float(self._wire[i]) for i in range(n)}
 
     def reset(self) -> None:
         """Drop all flows and rewind the clock (reuse across runs)."""
-        self._flows.clear()
+        self._n = 0
+        self._ptr[0] = 0
+        self._keys[:] = None
+        self._key_set.clear()
         self._now = 0.0
         self._dirty = False
+        self._next_completion = None
         self._rng = np.random.default_rng(self._seed)

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from .params import FAT_TREE_ARITY, CM5Params, MachineConfig
 
 LinkId = Tuple[str, int, int]
@@ -72,6 +74,24 @@ class FatTree:
         self.levels = config.levels
         self._links: Dict[LinkId, Link] = {}
         self._build()
+        # Canonical dense link numbering shared by every consumer (the
+        # fluid network, the fault layer's scale vectors, benchmarks):
+        # sorted LinkId order, frozen at construction.
+        self._sorted_link_ids: Tuple[LinkId, ...] = tuple(sorted(self._links))
+        self._link_index: Dict[LinkId, int] = {
+            l: i for i, l in enumerate(self._sorted_link_ids)
+        }
+        caps = np.array(
+            [self._links[l].capacity for l in self._sorted_link_ids], dtype=float
+        )
+        caps.setflags(write=False)
+        self._link_caps_array = caps
+        # Cross-run caches: FatTree instances are shared via
+        # :func:`fat_tree_for`, so routes derived during one simulation
+        # are reused by every later run on the same partition.
+        self._path_idx_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._route_level_cache: Dict[Tuple[int, int], int] = {}
+        self._rate_cap_cache: Dict[Tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
@@ -100,9 +120,46 @@ class FatTree:
     def capacity(self, link_id: LinkId) -> float:
         return self._links[link_id].capacity
 
+    @property
+    def sorted_link_ids(self) -> Tuple[LinkId, ...]:
+        """All link ids in the canonical (sorted) dense order."""
+        return self._sorted_link_ids
+
+    @property
+    def link_index(self) -> Dict[LinkId, int]:
+        """LinkId -> dense index in the canonical order (do not mutate)."""
+        return self._link_index
+
+    @property
+    def link_caps_array(self) -> np.ndarray:
+        """Read-only ``(L,)`` capacity vector in canonical link order."""
+        return self._link_caps_array
+
     def route_level(self, src: int, dst: int) -> int:
-        """Level of the lowest common switch (delegates to the config)."""
-        return self.config.route_level(src, dst)
+        """Level of the lowest common switch (cached across runs)."""
+        level = self._route_level_cache.get((src, dst))
+        if level is None:
+            level = self.config.route_level(src, dst)
+            self._route_level_cache[(src, dst)] = level
+        return level
+
+    def path_indices(self, src: int, dst: int) -> np.ndarray:
+        """Dense link indices of :meth:`path`, cached across runs.
+
+        The returned array is read-only and shared: every
+        :class:`~repro.machine.contention.FluidNetwork` over this tree
+        (one per simulation run) sees the same object, so benchmark
+        sweeps stop re-deriving routes run after run.
+        """
+        cached = self._path_idx_cache.get((src, dst))
+        if cached is None:
+            cached = np.array(
+                [self._link_index[l] for l in self.path(src, dst)],
+                dtype=np.int64,
+            )
+            cached.setflags(write=False)
+            self._path_idx_cache[(src, dst)] = cached
+        return cached
 
     def path(self, src: int, dst: int) -> Tuple[LinkId, ...]:
         """The up-over-down sequence of links from ``src`` to ``dst``.
@@ -134,7 +191,11 @@ class FatTree:
         streams at ``level_bandwidth(l)`` — the paper's observation that
         peak bandwidth is only achieved within a cluster of four.
         """
-        return self.params.level_bandwidth(self.route_level(src, dst))
+        cached = self._rate_cap_cache.get((src, dst))
+        if cached is None:
+            cached = self.params.level_bandwidth(self.route_level(src, dst))
+            self._rate_cap_cache[(src, dst)] = cached
+        return cached
 
     def subtree_paths_through(self, link_id: LinkId) -> int:
         """Number of leaves whose traffic can use ``link_id`` (diagnostic)."""

@@ -402,7 +402,7 @@ class Engine:
                 send_posted=inf.send.posted_at,
                 matched_at=inf.matched_at,
                 delivered_at=done_at,
-                route_level=self.config.route_level(inf.send.src, inf.send.dst),
+                route_level=self.tree.route_level(inf.send.src, inf.send.dst),
             )
         )
 
@@ -439,6 +439,9 @@ class Engine:
         )
 
     def _arm_network_event(self) -> None:
+        # Called after every drained instant; the fluid network memoizes
+        # the next completion instant, so re-arming when nothing changed
+        # on the network is O(1).
         self._net_gen += 1
         if self.net.active_count == 0:
             return

@@ -1,0 +1,130 @@
+"""Unit tests for the BENCH_sim.json regression comparator."""
+
+import json
+
+import pytest
+
+from repro.analysis.perfcmp import (
+    DEFAULT_THRESHOLD,
+    compare_benches,
+    load_bench,
+    render_comparison,
+)
+
+
+def bench(workloads):
+    return {"schema": "repro-bench-sim/1", "workloads": workloads}
+
+
+def row(wall, sim_ms=100.0, messages=64):
+    return {"wall_seconds": wall, "sim_ms": sim_ms, "messages": messages}
+
+
+class TestCompare:
+    def test_identical_benches_are_ok(self):
+        doc = bench({"pex_n32_b512": row(1.0), "irr_d50_greedy": row(0.2)})
+        cmp = compare_benches(doc, doc)
+        assert cmp.ok
+        assert cmp.regressions == []
+        assert cmp.sim_drifts == []
+        assert len(cmp.deltas) == 2
+
+    def test_speedup_is_ok(self):
+        cmp = compare_benches(
+            bench({"w": row(2.0)}), bench({"w": row(0.5)})
+        )
+        assert cmp.ok
+        assert cmp.deltas[0].ratio == pytest.approx(-0.75)
+
+    def test_regression_beyond_threshold_fails(self):
+        cmp = compare_benches(
+            bench({"w": row(1.0)}), bench({"w": row(1.5)})
+        )
+        assert not cmp.ok
+        assert [d.name for d in cmp.regressions] == ["w"]
+        assert cmp.deltas[0].ratio == pytest.approx(0.5)
+
+    def test_slowdown_within_threshold_is_ok(self):
+        cmp = compare_benches(
+            bench({"w": row(1.0)}), bench({"w": row(1.05)})
+        )
+        assert cmp.ok
+
+    def test_custom_threshold(self):
+        base, cur = bench({"w": row(1.0)}), bench({"w": row(1.2)})
+        assert not compare_benches(base, cur, threshold=0.10).ok
+        assert compare_benches(base, cur, threshold=0.25).ok
+
+    def test_nonpositive_threshold_rejected(self):
+        doc = bench({"w": row(1.0)})
+        with pytest.raises(ValueError):
+            compare_benches(doc, doc, threshold=0.0)
+
+    def test_sim_drift_fails_even_when_faster(self):
+        # Simulated milliseconds moving between runs is a correctness
+        # problem, not a perf delta — it must fail regardless of speed.
+        cmp = compare_benches(
+            bench({"w": row(1.0, sim_ms=100.0)}),
+            bench({"w": row(0.5, sim_ms=101.0)}),
+        )
+        assert not cmp.ok
+        assert [d.name for d in cmp.sim_drifts] == ["w"]
+        assert cmp.regressions == []
+
+    def test_disjoint_workloads_are_skipped_not_failed(self):
+        # A full-scale baseline vs a --quick run: judge the intersection.
+        cmp = compare_benches(
+            bench({"shared": row(1.0), "full_only": row(9.0)}),
+            bench({"shared": row(1.0), "quick_only": row(0.1)}),
+        )
+        assert cmp.ok
+        assert cmp.only_baseline == ["full_only"]
+        assert cmp.only_current == ["quick_only"]
+        assert [d.name for d in cmp.deltas] == ["shared"]
+
+    def test_default_threshold_is_ten_percent(self):
+        assert DEFAULT_THRESHOLD == pytest.approx(0.10)
+
+
+class TestRender:
+    def test_render_mentions_verdicts_and_summary(self):
+        cmp = compare_benches(
+            bench({"good": row(1.0), "bad": row(1.0)}),
+            bench({"good": row(1.0), "bad": row(2.0)}),
+        )
+        text = render_comparison(cmp)
+        assert "REGRESSED" in text
+        assert "FAIL: 1 regression(s)" in text
+
+    def test_render_ok_summary(self):
+        doc = bench({"w": row(1.0)})
+        text = render_comparison(compare_benches(doc, doc))
+        assert text.endswith("OK: no regressions beyond 10%")
+
+    def test_render_lists_skipped_workloads(self):
+        cmp = compare_benches(
+            bench({"a": row(1.0)}), bench({"b": row(1.0)})
+        )
+        text = render_comparison(cmp)
+        assert "baseline only" in text
+        assert "current only" in text
+
+
+class TestLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "b.json"
+        doc = bench({"w": row(1.0)})
+        path.write_text(json.dumps(doc))
+        assert load_bench(path) == doc
+
+    def test_missing_workloads_key_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": "repro-bench-sim/1"}))
+        with pytest.raises(ValueError, match="workloads"):
+            load_bench(path)
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": "nope/9", "workloads": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(path)

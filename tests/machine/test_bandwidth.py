@@ -1,14 +1,19 @@
 """Unit and property tests for max-min fair allocation."""
 
+import math
+from collections import Counter
+from unittest import mock
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.machine import bandwidth
 from repro.machine.bandwidth import build_incidence, max_min_rates
 
 
-def rates_for(paths, caps, flow_caps=None):
+def rates_for(paths, caps, flow_caps=None, link_scales=None):
     ptr, links = build_incidence(paths)
     nlinks = max((max(p) for p in paths if p), default=-1) + 1
     link_caps = np.asarray(caps, dtype=float)
@@ -18,7 +23,52 @@ def rates_for(paths, caps, flow_caps=None):
         if flow_caps is None
         else np.asarray(flow_caps, dtype=float)
     )
-    return max_min_rates(link_caps, ptr, links, fc)
+    scales = None if link_scales is None else np.asarray(link_scales, dtype=float)
+    return max_min_rates(link_caps, ptr, links, fc, scales)
+
+
+def oracle_rates(caps, paths, flow_caps, link_scales=None):
+    """Naive scalar progressive filling — the textbook algorithm.
+
+    Dict-and-loop reference with no vectorization, no CSR, no reused
+    buffers and no compiled kernel: rates of all unfrozen flows rise
+    together until a link saturates or a flow hits its cap.  The
+    production implementation must agree with this on every input.
+    """
+    eff = [
+        c * (link_scales[i] if link_scales is not None else 1.0)
+        for i, c in enumerate(caps)
+    ]
+    nflows = len(paths)
+    rates = [0.0] * nflows
+    cap_left = list(flow_caps)
+    remaining = list(eff)
+    active = set(range(nflows))
+    while active:
+        counts = Counter(l for f in active for l in paths[f])
+        delta = min(
+            min(
+                min(remaining[l] / counts[l] for l in paths[f]),
+                cap_left[f],
+            )
+            for f in active
+        )
+        assert math.isfinite(delta)
+        for f in active:
+            rates[f] += delta
+            cap_left[f] -= delta
+        for l, c in counts.items():
+            remaining[l] -= c * delta
+        frozen = {
+            f
+            for f in active
+            if cap_left[f]
+            <= 1e-12 * (flow_caps[f] if math.isfinite(flow_caps[f]) else 1.0) + 1e-15
+            or any(remaining[l] <= 1e-12 * eff[l] + 1e-15 for l in paths[f])
+        }
+        assert frozen, "progressive filling stalled"
+        active -= frozen
+    return rates
 
 
 class TestBasic:
@@ -94,6 +144,23 @@ def allocation_problems(draw):
     return caps, paths, flow_caps
 
 
+@st.composite
+def scaled_allocation_problems(draw):
+    """Allocation problems, optionally on a degraded topology."""
+    caps, paths, flow_caps = draw(allocation_problems())
+    scales = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.floats(0.05, 1.0, allow_nan=False),
+                min_size=len(caps),
+                max_size=len(caps),
+            ),
+        )
+    )
+    return caps, paths, flow_caps, scales
+
+
 class TestProperties:
     @given(allocation_problems())
     @settings(max_examples=200, deadline=None)
@@ -145,3 +212,72 @@ class TestProperties:
         a = rates_for(paths, caps, flow_caps)
         b = rates_for(paths, caps, flow_caps)
         assert np.array_equal(a, b)
+
+
+class TestAgainstOracle:
+    """The optimized allocator vs the naive scalar reference."""
+
+    @given(scaled_allocation_problems())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_scalar_progressive_filling(self, problem):
+        caps, paths, flow_caps, scales = problem
+        got = rates_for(paths, caps, flow_caps, link_scales=scales)
+        want = oracle_rates(caps, paths, flow_caps, link_scales=scales)
+        assert got.tolist() == pytest.approx(want, rel=1e-9, abs=1e-12)
+
+    @given(scaled_allocation_problems())
+    @settings(max_examples=150, deadline=None)
+    def test_kernel_and_numpy_paths_bit_identical(self, problem):
+        """The C kernel and the NumPy fallback must agree to the bit.
+
+        Trivially true when no compiler is available (both calls take
+        the NumPy path); on machines with the kernel this is the
+        regression net under the byte-identical-trace guarantee.
+        """
+        caps, paths, flow_caps, scales = problem
+        fast = rates_for(paths, caps, flow_caps, link_scales=scales)
+        with mock.patch.object(bandwidth._fastfill, "kernel", return_value=None):
+            slow = rates_for(paths, caps, flow_caps, link_scales=scales)
+        assert np.array_equal(fast, slow)
+
+
+class TestDegradedScales:
+    def test_scales_reduce_effective_capacity(self):
+        healthy = rates_for([[0]], [10.0])
+        degraded = rates_for([[0]], [10.0], link_scales=[0.5])
+        assert healthy[0] == pytest.approx(10.0)
+        assert degraded[0] == pytest.approx(5.0)
+
+    def test_bad_scale_shape_rejected(self):
+        with pytest.raises(ValueError):
+            rates_for([[0]], [10.0], link_scales=[0.5, 0.5])
+
+    def test_out_of_range_scale_rejected(self):
+        with pytest.raises(ValueError):
+            rates_for([[0]], [10.0], link_scales=[1.5])
+
+
+class TestWorkspaceReuse:
+    def test_workspace_reuse_is_bitwise_stable(self):
+        ws = bandwidth.AllocationWorkspace(2)
+        ptr, links = build_incidence([[0], [0, 1]])
+        caps = np.array([10.0, 3.0])
+        fc = np.array([np.inf, np.inf])
+        first = max_min_rates(caps, ptr, links, fc, workspace=ws).copy()
+        for _ in range(5):
+            again = max_min_rates(caps, ptr, links, fc, workspace=ws)
+            assert np.array_equal(first, again)
+
+    def test_workspace_grows_with_flow_count(self):
+        ws = bandwidth.AllocationWorkspace(1)
+        for nflows in (1, 40, 3):
+            paths = [[0]] * nflows
+            ptr, links = build_incidence(paths)
+            r = max_min_rates(
+                np.array([12.0]),
+                ptr,
+                links,
+                np.full(nflows, np.inf),
+                workspace=ws,
+            )
+            assert r.sum() == pytest.approx(12.0)
