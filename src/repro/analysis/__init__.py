@@ -9,7 +9,9 @@
 * :mod:`repro.analysis.calibrate` — provenance of the model constants;
 * :mod:`repro.analysis.cache` — persistent memo of expensive runs;
 * :mod:`repro.analysis.perf` / :mod:`repro.analysis.perfcmp` — hot-path
-  wall-clock benchmark (``BENCH_sim.json``) and regression diffing.
+  wall-clock benchmark (``BENCH_sim.json``) and regression diffing;
+* :mod:`repro.analysis.conformance` — cross-backend agreement harness
+  (``results/conformance.{txt,json}``).
 """
 
 from .cache import SimCache, default_cache
@@ -55,6 +57,14 @@ from .perfcmp import (
     compare_benches,
     load_bench,
     render_comparison,
+)
+from .conformance import (
+    ConformanceReport,
+    backend_times,
+    conformance_json,
+    render_conformance,
+    run_conformance,
+    write_conformance,
 )
 from .visualize import render_fat_tree, render_message_gantt
 from .sensitivity import SensitivityResult, sweep_parameter
@@ -108,6 +118,12 @@ __all__ = [
     "anchors_from_table11",
     "evaluate",
     "fit",
+    "ConformanceReport",
+    "backend_times",
+    "conformance_json",
+    "render_conformance",
+    "run_conformance",
+    "write_conformance",
     "render_fat_tree",
     "render_message_gantt",
     "SensitivityResult",

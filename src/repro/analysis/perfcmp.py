@@ -14,9 +14,13 @@ a drift there is a correctness problem masquerading as a perf delta,
 and is reported as such (machine differences change wall clock, never
 simulated milliseconds).
 
-Workloads present in only one file are listed but never counted as
-regressions, so a baseline captured at full scale can be compared
-against a ``--quick`` run (the intersection is what is judged).
+Workloads present in only one file are listed per name *and* counted in
+the summary line, but never judged as regressions, so a baseline
+captured at full scale can be compared against a ``--quick`` run (the
+intersection is what is judged).  A workload whose baseline wall time is
+zero or negative is a hard error — such a baseline can never flag a
+regression, so silently accepting it would turn the comparison into a
+no-op.
 """
 
 from __future__ import annotations
@@ -96,7 +100,15 @@ def compare_benches(
         b, c = base_wl[name], cur_wl[name]
         base_s = float(b["wall_seconds"])
         cur_s = float(c["wall_seconds"])
-        ratio = (cur_s - base_s) / base_s if base_s > 0 else 0.0
+        if base_s <= 0:
+            # A zero/negative baseline would make every current time
+            # "not a regression" — that is a broken baseline capture,
+            # not a pass, and must stop the comparison loudly.
+            raise ValueError(
+                f"workload {name!r}: non-positive baseline wall time "
+                f"{base_s}; recapture the baseline BENCH file"
+            )
+        ratio = (cur_s - base_s) / base_s
         cmp.deltas.append(
             PerfDelta(
                 name=name,
@@ -130,11 +142,17 @@ def render_comparison(cmp: PerfComparison) -> str:
     for name in cmp.only_current:
         lines.append(f"{name:<24} (current only — skipped)")
     n_reg, n_drift = len(cmp.regressions), len(cmp.sim_drifts)
+    skipped = ""
+    if cmp.only_baseline or cmp.only_current:
+        skipped = (
+            f" ({len(cmp.only_baseline)} baseline-only, "
+            f"{len(cmp.only_current)} current-only workload(s) skipped)"
+        )
     if cmp.ok:
-        lines.append(f"OK: no regressions beyond {cmp.threshold:.0%}")
+        lines.append(f"OK: no regressions beyond {cmp.threshold:.0%}{skipped}")
     else:
         lines.append(
             f"FAIL: {n_reg} regression(s) beyond {cmp.threshold:.0%}, "
-            f"{n_drift} simulated-time drift(s)"
+            f"{n_drift} simulated-time drift(s){skipped}"
         )
     return "\n".join(lines)

@@ -14,6 +14,15 @@ figure data as CSV files.
 Performance: ``perf`` times the canonical hot-path workloads and writes
 ``BENCH_sim.json``; ``perfcmp`` diffs two such files and exits non-zero
 on wall-clock regressions (see ``--baseline/--current/--threshold``).
+
+Validation: ``validate`` lints generator schedules (or ``--schedule
+FILE``) for conservation, deadlock-freedom and payload-mode staging;
+``conformance`` runs the canonical workloads through all three cost
+backends and fails on ranking inversions or drift (artifacts land in
+``results/conformance.{txt,json}``).
+
+Exit status: 0 success, 1 check failure (lint / conformance / perfcmp),
+2 usage error (bad ``--algorithm``/``--nprocs``, unreadable files).
 """
 
 from __future__ import annotations
@@ -47,7 +56,26 @@ from .schedules import (
     recursive_exchange,
 )
 
-__all__ = ["main"]
+__all__ = ["main", "CLIError"]
+
+
+class CLIError(Exception):
+    """A user-input problem: report one line on stderr and exit 2."""
+
+
+#: Algorithm names `validate --algorithm` accepts: the union of the
+#: regular-exchange builders and the irregular registry.
+_VALIDATE_ALGORITHMS = ("linear", "pairwise", "recursive", "balanced", "greedy")
+
+
+def _parse_nprocs(value: int) -> int:
+    """Partition sizes must be powers of two >= 2 (CM-5 allocation rule)."""
+    if value < 2 or value & (value - 1):
+        raise CLIError(
+            f"--nprocs must be a power of two >= 2 (CM-5 partition rule), "
+            f"got {value}"
+        )
+    return value
 
 
 def _emit_figure(fig: FigureData, csv_dir: Optional[Path]) -> None:
@@ -336,11 +364,116 @@ def cmd_perfcmp(args: argparse.Namespace) -> None:
     """
     from .analysis.perfcmp import compare_benches, load_bench, render_comparison
 
-    baseline = load_bench(args.baseline)
-    current = load_bench(args.current)
-    cmp = compare_benches(baseline, current, threshold=args.threshold)
+    def _load(path: str, role: str):
+        try:
+            return load_bench(path)
+        except OSError as exc:
+            raise CLIError(f"cannot read {role} BENCH file {path}: {exc}")
+        except ValueError as exc:
+            raise CLIError(f"malformed {role} BENCH file {path}: {exc}")
+
+    baseline = _load(args.baseline, "baseline")
+    current = _load(args.current, "current")
+    try:
+        cmp = compare_benches(baseline, current, threshold=args.threshold)
+    except ValueError as exc:
+        raise CLIError(str(exc))
     print(render_comparison(cmp))
     if not cmp.ok:
+        raise SystemExit(1)
+
+
+def cmd_validate(args: argparse.Namespace) -> None:
+    """Lint schedules statically; exit 1 if any report fails.
+
+    By default lints every generator's output at ``--nprocs`` (the four
+    complete-exchange schedules against the complete-exchange pattern,
+    and every irregular algorithm against a synthetic pattern).
+    ``--algorithm NAME`` restricts to one name; ``--schedule FILE``
+    lints a saved schedule JSON instead.
+    """
+    from .schedules import (
+        CommPattern,
+        lint_schedule,
+        load_schedule,
+        schedule_irregular,
+    )
+    from .schedules.irregular import IRREGULAR_ALGORITHMS
+
+    if args.schedule is not None:
+        try:
+            sched = load_schedule(args.schedule)
+        except OSError as exc:
+            raise CLIError(f"cannot read schedule file {args.schedule}: {exc}")
+        except ValueError as exc:
+            raise CLIError(f"malformed schedule file {args.schedule}: {exc}")
+        report = lint_schedule(sched)
+        print(report.render())
+        if not report.ok:
+            raise SystemExit(1)
+        return
+
+    if args.algorithm is not None and args.algorithm not in _VALIDATE_ALGORITHMS:
+        raise CLIError(
+            f"unknown --algorithm {args.algorithm!r}; choose from "
+            f"{', '.join(_VALIDATE_ALGORITHMS)}"
+        )
+    nprocs = _parse_nprocs(args.nprocs)
+    nbytes = 256
+    wanted = (
+        _VALIDATE_ALGORITHMS if args.algorithm is None else (args.algorithm,)
+    )
+    exchange_builders = {
+        "linear": linear_exchange,
+        "pairwise": pairwise_exchange,
+        "recursive": recursive_exchange,
+        "balanced": balanced_exchange,
+    }
+    synthetic = CommPattern.synthetic(nprocs, 0.5, nbytes, seed=1)
+    failures = 0
+    for name in wanted:
+        if name in exchange_builders:
+            pattern = CommPattern.complete_exchange(nprocs, nbytes)
+            report = lint_schedule(
+                exchange_builders[name](nprocs, nbytes), pattern
+            )
+            print(report.render())
+            failures += not report.ok
+        if name in IRREGULAR_ALGORITHMS:
+            report = lint_schedule(
+                schedule_irregular(synthetic, name), synthetic
+            )
+            print(report.render())
+            failures += not report.ok
+    print(
+        f"validate: {len(wanted)} algorithm(s) on {nprocs} nodes, "
+        f"{failures} failing report(s)"
+    )
+    if failures:
+        raise SystemExit(1)
+
+
+def cmd_conformance(args: argparse.Namespace) -> None:
+    """Run the cross-backend conformance harness; exit 1 on any failure.
+
+    ``--quick`` runs the CI-sized grid (Figure 5 crossover region plus
+    the Table 11 density endpoints); the full grid adds the Figure 6-8
+    scaling points, the remaining densities and the Table 12 application
+    patterns.  Artifacts: ``results/conformance.txt`` and
+    ``results/conformance.json``.
+    """
+    from .analysis.conformance import (
+        render_conformance,
+        run_conformance,
+        write_conformance,
+    )
+
+    report = run_conformance(quick=args.quick, progress=print)
+    txt, js = write_conformance(report)
+    print()
+    print(render_conformance(report))
+    print(f"[written to {txt} and {js}]")
+    if not report.ok:
         raise SystemExit(1)
 
 
@@ -380,12 +513,14 @@ COMMANDS = {
     "calibrate": cmd_calibrate,
     "perf": cmd_perf,
     "perfcmp": cmd_perfcmp,
+    "validate": cmd_validate,
+    "conformance": cmd_conformance,
 }
 
 
 def cmd_all(args: argparse.Namespace) -> None:
     for name, fn in COMMANDS.items():
-        if name in ("report", "perf", "perfcmp"):
+        if name in ("report", "perf", "perfcmp", "conformance"):
             continue  # writes files / needs file args; run explicitly
         print(f"\n===== {name} =====")
         fn(args)
@@ -476,11 +611,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0.10,
         help="relative wall-clock slack before `perfcmp` fails (default 0.10)",
     )
+    validate_group = parser.add_argument_group(
+        "schedule validation (`validate` / `conformance`)"
+    )
+    validate_group.add_argument(
+        "--nprocs",
+        type=int,
+        default=8,
+        metavar="N",
+        help="partition size for `validate` (power of two >= 2)",
+    )
+    validate_group.add_argument(
+        "--algorithm",
+        default=None,
+        metavar="NAME",
+        help="restrict `validate` to one algorithm "
+        f"({', '.join(_VALIDATE_ALGORITHMS)})",
+    )
+    validate_group.add_argument(
+        "--schedule",
+        default=None,
+        metavar="FILE",
+        help="lint a saved schedule JSON instead of generator outputs",
+    )
     args = parser.parse_args(argv)
-    if args.experiment == "all":
-        cmd_all(args)
-    else:
-        COMMANDS[args.experiment](args)
+    try:
+        if args.experiment == "all":
+            cmd_all(args)
+        else:
+            COMMANDS[args.experiment](args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -46,6 +46,13 @@ from .estimate import estimate_schedule_time, estimate_step_time
 from .shift import shift_schedule
 from .mesh2d import ProcessorMesh
 from .repair import repair_schedule, step_cost_estimate
+from .validate import (
+    LintError,
+    LintIssue,
+    LintReport,
+    lint_schedule,
+    validate_schedule,
+)
 from .selection import SelectionResult, auto_schedule, paper_rule
 from .serialize import (
     load_schedule,
@@ -101,6 +108,11 @@ __all__ = [
     "paper_rule",
     "repair_schedule",
     "step_cost_estimate",
+    "LintError",
+    "LintIssue",
+    "LintReport",
+    "lint_schedule",
+    "validate_schedule",
     "load_schedule",
     "save_schedule",
     "schedule_from_json",

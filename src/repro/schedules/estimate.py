@@ -90,17 +90,19 @@ def estimate_step_time(
                 )
                 rate = min(rate, capacity / max(load, 1))
         wire = wire_bytes(t.nbytes) / rate
-        copies = params.memcpy_time(t.pack_bytes) + params.memcpy_time(
-            t.unpack_bytes
-        )
-        per_proc[t.src] += params.zero_byte_latency + wire + copies
+        # The pack memcpy happens on the sender, the unpack on the
+        # receiver; charging the sum to both ends double-counts the
+        # store-and-forward reshuffle (REX pays it twice over).
+        pack = params.memcpy_time(t.pack_bytes)
+        unpack = params.memcpy_time(t.unpack_bytes)
+        per_proc[t.src] += params.zero_byte_latency + wire + pack
         # A serialized receiver overlaps later senders' setup with its
         # own drain: messages after the first cost service + wire only.
         recv_count[t.dst] += 1
         if recv_count[t.dst] == 1:
-            per_proc[t.dst] += params.zero_byte_latency + wire + copies
+            per_proc[t.dst] += params.zero_byte_latency + wire + unpack
         else:
-            per_proc[t.dst] += params.recv_overhead + wire + copies
+            per_proc[t.dst] += params.recv_overhead + wire + unpack
     return max(per_proc.values(), default=0.0)
 
 

@@ -53,5 +53,10 @@ def schedule_irregular(pattern: CommPattern, algorithm: str) -> Schedule:
 
 
 def algorithm_names() -> List[str]:
-    """Paper order: linear, pairwise, balanced, greedy."""
-    return ["linear", "pairwise", "balanced", "greedy"]
+    """Algorithm names in paper order (the registry's insertion order).
+
+    Derived from :data:`IRREGULAR_ALGORITHMS` so adding an algorithm to
+    the registry automatically propagates to every sweep and CLI choice
+    list — a hardcoded copy here once drifted from the registry.
+    """
+    return list(IRREGULAR_ALGORITHMS)

@@ -1,0 +1,497 @@
+"""Static schedule linter: machine-checkable validity before pricing.
+
+The repo prices schedules with three independent backends (the analytic
+estimator, the fluid discrete-event simulator, and the packet-level
+validator).  All three *assume* a schedule is well-formed; this module
+checks that assumption statically, so a bad generator or a hand-edited
+schedule JSON fails loudly with named ranks and steps instead of
+producing a confidently wrong number — the same role Träff's
+checkable-schedule artifacts play for provably optimal broadcast trees.
+
+Four families of checks:
+
+* **structure** — in-range ranks, no self-transfers, no negative byte
+  counts, at most one transfer per directed ``(src, dst)`` pair per
+  step, at most one send per rank per step (multi-receive is legal: the
+  linear family's defining pathology);
+* **conservation** — against a :class:`CommPattern`: every pattern byte
+  appears in exactly one transfer, with no duplicates, spurious
+  transfers, or wrong byte counts (skipped, with a warning, for
+  store-and-forward schedules whose wire transfers carry staged
+  aggregates);
+* **deadlock** — the executor's Figure-2/3 orderings induce, per rank,
+  a sequence of blocking rendezvous operations; the linter
+  abstract-executes the rendezvous matching and, on a stall, names the
+  cycle in the wait-for graph (rank A waits for B waits for ... A);
+* **payload mode** — REX-style store-and-forward schedules must not be
+  executed in payload mode (their transfers carry staged aggregates,
+  not per-pair payloads); ``payload_mode=True`` turns that into an
+  error.
+
+Use :func:`lint_schedule` for a report, :func:`validate_schedule` to
+raise :class:`LintError` on the first failing report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .pattern import CommPattern
+from .schedule import LOWER_SEND_FIRST, Schedule
+
+__all__ = [
+    "LintIssue",
+    "LintReport",
+    "LintError",
+    "lint_schedule",
+    "validate_schedule",
+]
+
+#: Issue severities: an ``error`` fails validation, a ``warning`` does not.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding, with a stable machine-readable code."""
+
+    code: str
+    severity: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+class LintError(ValueError):
+    """A schedule failed validation; carries the full report."""
+
+    def __init__(self, report: "LintReport"):
+        self.report = report
+        errors = report.errors
+        shown = "; ".join(i.message for i in errors[:3])
+        more = f" (and {len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(
+            f"{report.schedule_name}: {len(errors)} lint error(s): "
+            f"{shown}{more}"
+        )
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting one schedule."""
+
+    schedule_name: str
+    nprocs: int
+    nsteps: int
+    checks: List[str] = field(default_factory=list)
+    issues: List[LintIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[LintIssue]:
+        return [i for i in self.issues if i.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[LintIssue]:
+        return [i for i in self.issues if i.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise LintError(self)
+
+    def render(self) -> str:
+        """One-line verdict plus one line per issue."""
+        verdict = "OK" if self.ok else "FAIL"
+        lines = [
+            f"{verdict} {self.schedule_name} ({self.nprocs} procs, "
+            f"{self.nsteps} steps; checks: {', '.join(self.checks)})"
+        ]
+        lines.extend(f"  {issue}" for issue in self.issues)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Structure
+# ----------------------------------------------------------------------
+def _check_structure(schedule: Schedule, issues: List[LintIssue]) -> None:
+    n = schedule.nprocs
+    for step_idx, step in enumerate(schedule.steps):
+        seen_pairs: Set[Tuple[int, int]] = set()
+        send_count: Dict[int, int] = {}
+        for t in step:
+            where = f"step {step_idx + 1}"
+            if not (0 <= t.src < n and 0 <= t.dst < n):
+                issues.append(
+                    LintIssue(
+                        "structure.rank-range",
+                        ERROR,
+                        f"{where}: transfer {t.src}->{t.dst} outside "
+                        f"ranks 0..{n - 1}",
+                    )
+                )
+            if t.src == t.dst:
+                issues.append(
+                    LintIssue(
+                        "structure.self-transfer",
+                        ERROR,
+                        f"{where}: rank {t.src} sends to itself",
+                    )
+                )
+            if t.nbytes < 0 or t.pack_bytes < 0 or t.unpack_bytes < 0:
+                issues.append(
+                    LintIssue(
+                        "structure.negative-bytes",
+                        ERROR,
+                        f"{where}: transfer {t.src}->{t.dst} has a "
+                        f"negative byte count",
+                    )
+                )
+            key = (t.src, t.dst)
+            if key in seen_pairs:
+                issues.append(
+                    LintIssue(
+                        "structure.duplicate-pair",
+                        ERROR,
+                        f"{where}: duplicate transfer {t.src}->{t.dst}",
+                    )
+                )
+            seen_pairs.add(key)
+            send_count[t.src] = send_count.get(t.src, 0) + 1
+        for rank, c in send_count.items():
+            if c > 1:
+                issues.append(
+                    LintIssue(
+                        "structure.multi-send",
+                        ERROR,
+                        f"step {step_idx + 1}: rank {rank} sends {c} "
+                        f"messages (one network interface)",
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# Conservation
+# ----------------------------------------------------------------------
+def _is_staged(schedule: Schedule) -> bool:
+    """True for store-and-forward schedules (REX-style staging)."""
+    return any(
+        t.pack_bytes or t.unpack_bytes for _, t in schedule.all_transfers()
+    )
+
+
+def _check_conservation(
+    schedule: Schedule, pattern: CommPattern, issues: List[LintIssue]
+) -> None:
+    """Every pattern byte in exactly one transfer, nothing extra."""
+    if schedule.nprocs != pattern.nprocs:
+        issues.append(
+            LintIssue(
+                "conservation.size-mismatch",
+                ERROR,
+                f"schedule is for {schedule.nprocs} procs, pattern for "
+                f"{pattern.nprocs}",
+            )
+        )
+        return
+    seen: Dict[Tuple[int, int], int] = {}
+    for step_idx, t in schedule.all_transfers():
+        key = (t.src, t.dst)
+        in_range = 0 <= t.src < pattern.nprocs and 0 <= t.dst < pattern.nprocs
+        if t.nbytes == 0 and in_range and int(pattern[key]) == 0:
+            # Zero-byte sync message (the Figure 5 axis includes size 0):
+            # carries no pattern bytes, so conservation has no claim on it.
+            continue
+        if key in seen:
+            issues.append(
+                LintIssue(
+                    "conservation.duplicate",
+                    ERROR,
+                    f"transfer {t.src}->{t.dst} appears in steps "
+                    f"{seen[key] + 1} and {step_idx + 1}: bytes would be "
+                    f"delivered twice",
+                )
+            )
+            continue
+        seen[key] = step_idx
+        if not (0 <= t.src < pattern.nprocs and 0 <= t.dst < pattern.nprocs):
+            continue  # already reported by the structure check
+        required = int(pattern[t.src, t.dst])
+        if required == 0:
+            issues.append(
+                LintIssue(
+                    "conservation.spurious",
+                    ERROR,
+                    f"step {step_idx + 1}: transfer {t.src}->{t.dst} "
+                    f"carries {t.nbytes}B but the pattern requires none",
+                )
+            )
+        elif t.nbytes != required:
+            issues.append(
+                LintIssue(
+                    "conservation.byte-count",
+                    ERROR,
+                    f"step {step_idx + 1}: transfer {t.src}->{t.dst} "
+                    f"carries {t.nbytes}B, pattern requires {required}B",
+                )
+            )
+    for src, dst, nbytes in pattern.operations():
+        if (src, dst) not in seen:
+            issues.append(
+                LintIssue(
+                    "conservation.missing",
+                    ERROR,
+                    f"pattern bytes lost: no transfer {src}->{dst} "
+                    f"({nbytes}B) in any step",
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Deadlock
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Op:
+    """One blocking rendezvous operation from a rank's seat."""
+
+    kind: str  # "send" | "recv"
+    partner: int
+    step: int  # 0-based step index; doubles as the message tag
+
+    def describe(self) -> str:
+        arrow = "->" if self.kind == "send" else "<-"
+        return f"{self.kind}{arrow}{self.partner} (step {self.step + 1})"
+
+
+def _rank_op_sequence(schedule: Schedule, rank: int) -> List[_Op]:
+    """The rank's blocking ops in program order.
+
+    Mirrors :func:`repro.schedules.executor.schedule_program` exactly:
+    paired exchanges follow the schedule's ``exchange_order`` (Figure 2
+    or 3), mixed-partner steps receive-from-lower-ranks first, and
+    receive-only steps drain sources in ascending order.  Memcpy and
+    compute requests never block on a partner, so they are irrelevant
+    to deadlock and omitted.
+    """
+    ops: List[_Op] = []
+    for step_idx in range(schedule.nsteps):
+        sends, recvs = schedule.rank_ops(rank, step_idx)
+        if not sends and not recvs:
+            continue
+        if len(sends) == 1 and len(recvs) == 1 and sends[0].dst == recvs[0].src:
+            partner = sends[0].dst
+            if schedule.exchange_order == LOWER_SEND_FIRST:
+                first = "send" if rank < partner else "recv"
+            else:
+                first = "recv" if rank < partner else "send"
+            second = "recv" if first == "send" else "send"
+            ops.append(_Op(first, partner, step_idx))
+            ops.append(_Op(second, partner, step_idx))
+            continue
+        if sends:
+            early = sorted(t.src for t in recvs if t.src < rank)
+            late = sorted(t.src for t in recvs if t.src > rank)
+            ops.extend(_Op("recv", src, step_idx) for src in early)
+            ops.extend(
+                _Op("send", t.dst, step_idx)
+                for t in sorted(sends, key=lambda t: t.dst)
+            )
+            ops.extend(_Op("recv", src, step_idx) for src in late)
+        else:
+            for src in sorted(t.src for t in recvs):
+                ops.append(_Op("recv", src, step_idx))
+    return ops
+
+
+def _matches(a: _Op, a_rank: int, b: Optional[_Op], b_rank: int) -> bool:
+    """Do two head ops form a completable rendezvous?"""
+    if b is None:
+        return False
+    return (
+        {a.kind, b.kind} == {"send", "recv"}
+        and a.partner == b_rank
+        and b.partner == a_rank
+        and a.step == b.step
+    )
+
+
+def _check_deadlock(schedule: Schedule, issues: List[LintIssue]) -> None:
+    """Abstract-execute the rendezvous matching; name any wait cycle.
+
+    Each rank's head op waits for its partner's matching op (synchronous
+    CMMD semantics: a send blocks until the receive is posted and vice
+    versa).  Matching pairs retire together; when no head matches, the
+    remaining ranks form a wait-for graph in which every stuck rank has
+    exactly one outgoing edge, so a stall is either a cycle (classic
+    rendezvous deadlock) or a dangling wait on a rank that already
+    finished (an unmatched operation).
+    """
+    seqs = {r: _rank_op_sequence(schedule, r) for r in range(schedule.nprocs)}
+    pos = {r: 0 for r in seqs}
+
+    def head(r: int) -> Optional[_Op]:
+        s = seqs.get(r)
+        if s is None:
+            return None
+        return s[pos[r]] if pos[r] < len(s) else None
+
+    # Work-list matching: a rank is re-examined when it advances or when
+    # a rank it might be waiting on advances.
+    waiting_on: Dict[int, Set[int]] = {r: set() for r in seqs}
+    queue: List[int] = list(seqs)
+    queued: Set[int] = set(queue)
+    while queue:
+        r = queue.pop()
+        queued.discard(r)
+        op = head(r)
+        if op is None:
+            continue
+        mate = head(op.partner)
+        if _matches(op, r, mate, op.partner):
+            p = op.partner
+            pos[r] += 1
+            pos[p] += 1
+            for nxt in (r, p):
+                wakeups = waiting_on.get(nxt, set())
+                wakeups.add(nxt)
+                for w in wakeups:
+                    if w not in queued:
+                        queue.append(w)
+                        queued.add(w)
+                waiting_on[nxt] = set()
+        elif 0 <= op.partner < schedule.nprocs:
+            waiting_on.setdefault(op.partner, set()).add(r)
+
+    stuck = {r: h for r in seqs if (h := head(r)) is not None}
+    if not stuck:
+        return
+
+    # Follow the single outgoing wait-for edge of each stuck rank until a
+    # rank repeats (a cycle) — or, failing that, report dangling waits.
+    cycle: Optional[List[int]] = None
+    for start in sorted(stuck):
+        order: Dict[int, int] = {}
+        chain: List[int] = []
+        r = start
+        while r in stuck and r not in order:
+            order[r] = len(chain)
+            chain.append(r)
+            r = stuck[r].partner
+        if r in order:
+            cycle = chain[order[r]:]
+            break
+    if cycle is not None:
+        described = ", ".join(f"rank {r} {stuck[r].describe()}" for r in cycle)
+        issues.append(
+            LintIssue(
+                "deadlock.cycle",
+                ERROR,
+                f"cyclic rendezvous wait-for graph among ranks "
+                f"{cycle}: {described}",
+            )
+        )
+    else:
+        for r in sorted(stuck):
+            if stuck[r].partner not in stuck:
+                issues.append(
+                    LintIssue(
+                        "deadlock.unmatched",
+                        ERROR,
+                        f"rank {r} blocks forever on "
+                        f"{stuck[r].describe()}: rank {stuck[r].partner} "
+                        f"posts no matching operation",
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# Payload mode
+# ----------------------------------------------------------------------
+def _check_payload_mode(
+    schedule: Schedule, payload_mode: bool, issues: List[LintIssue]
+) -> None:
+    if not _is_staged(schedule):
+        return
+    staged = sum(
+        1 for _, t in schedule.all_transfers() if t.pack_bytes or t.unpack_bytes
+    )
+    if payload_mode:
+        issues.append(
+            LintIssue(
+                "payload.staged",
+                ERROR,
+                f"store-and-forward schedule used in payload mode: "
+                f"{staged} transfer(s) carry staged aggregates "
+                f"(pack/unpack bytes), not per-pair payloads",
+            )
+        )
+    else:
+        issues.append(
+            LintIssue(
+                "payload.staged",
+                WARNING,
+                f"store-and-forward schedule ({staged} staged "
+                f"transfer(s)); do not execute in payload mode",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def lint_schedule(
+    schedule: Schedule,
+    pattern: Optional[CommPattern] = None,
+    payload_mode: bool = False,
+) -> LintReport:
+    """Run every applicable check; return the full report.
+
+    ``pattern`` enables the byte-conservation check (skipped with a
+    warning for store-and-forward schedules, whose wire bytes are staged
+    aggregates validated by algorithm-specific routing checks instead).
+    ``payload_mode`` marks the intent to execute the schedule with
+    per-pair payload delivery, which store-and-forward schedules cannot
+    honour.
+    """
+    report = LintReport(
+        schedule_name=schedule.name,
+        nprocs=schedule.nprocs,
+        nsteps=schedule.nsteps,
+    )
+    report.checks.append("structure")
+    _check_structure(schedule, report.issues)
+    if pattern is not None:
+        if _is_staged(schedule):
+            report.checks.append("conservation(skipped)")
+            report.issues.append(
+                LintIssue(
+                    "conservation.staged-skip",
+                    WARNING,
+                    "conservation not checkable for store-and-forward "
+                    "schedules; rely on block-routing verification",
+                )
+            )
+        else:
+            report.checks.append("conservation")
+            _check_conservation(schedule, pattern, report.issues)
+    report.checks.append("deadlock")
+    _check_deadlock(schedule, report.issues)
+    report.checks.append("payload")
+    _check_payload_mode(schedule, payload_mode, report.issues)
+    return report
+
+
+def validate_schedule(
+    schedule: Schedule,
+    pattern: Optional[CommPattern] = None,
+    payload_mode: bool = False,
+) -> LintReport:
+    """Lint and raise :class:`LintError` if any check failed."""
+    report = lint_schedule(schedule, pattern, payload_mode)
+    report.raise_if_failed()
+    return report

@@ -20,13 +20,22 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..machine.fattree import FatTree, LinkId
 from ..machine.params import PACKET_BYTES, MachineConfig, wire_bytes
 
-__all__ = ["PacketMessage", "PacketNetwork", "simulate_packets"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..schedules.schedule import Schedule
+
+__all__ = [
+    "PacketMessage",
+    "PacketNetwork",
+    "simulate_packets",
+    "packet_schedule_time",
+]
 
 
 @dataclass(frozen=True)
@@ -114,3 +123,44 @@ def simulate_packets(
     from ..machine.fattree import fat_tree_for
 
     return PacketNetwork(fat_tree_for(config)).run(messages)
+
+
+def packet_schedule_time(schedule: "Schedule", config: MachineConfig) -> float:
+    """Packet-level price of a whole schedule (conformance backend).
+
+    Steps are treated as barrier-synchronized: each step's messages are
+    injected together at time zero, the wire cost is the last packet's
+    delivery time from the FIFO store-and-forward simulation, and the
+    software cost is the busiest processor's serialized endpoint work
+    (send/receive overheads plus pack/unpack memcpy — a node's CMMD
+    layer handles one message at a time).  That is deliberately *not*
+    the fluid executor's barrier-free pipeline: the point of this
+    backend is an independent arithmetic path whose absolute times agree
+    within a modest factor and whose algorithm *rankings* agree exactly,
+    which the conformance harness (:mod:`repro.analysis.conformance`)
+    enforces.
+    """
+    if schedule.nprocs != config.nprocs:
+        raise ValueError(
+            f"schedule is for {schedule.nprocs} procs, machine has "
+            f"{config.nprocs}"
+        )
+    from ..machine.fattree import fat_tree_for
+
+    params = config.params
+    net = PacketNetwork(fat_tree_for(config))
+    total = 0.0
+    for step in schedule.steps:
+        messages = [PacketMessage(t.src, t.dst, t.nbytes) for t in step]
+        wire_done = max(net.run(messages), default=0.0)
+        endpoint: Dict[int, float] = defaultdict(float)
+        for t in step:
+            endpoint[t.src] += params.send_overhead + params.memcpy_time(
+                t.pack_bytes
+            )
+            endpoint[t.dst] += params.recv_overhead + params.memcpy_time(
+                t.unpack_bytes
+            )
+        software = max(endpoint.values(), default=0.0)
+        total += wire_done + software
+    return total

@@ -1,0 +1,241 @@
+"""Tests for the cross-model conformance harness (repro.analysis.conformance)."""
+
+import json
+
+import pytest
+
+from repro.analysis.conformance import (
+    BACKENDS,
+    CONFORMANCE_SCHEMA,
+    DEFAULT_TOLERANCES,
+    ConformanceReport,
+    GroupResult,
+    _check_group,
+    backend_times,
+    conformance_json,
+    render_conformance,
+    run_conformance,
+    write_conformance,
+)
+from repro.machine.params import CM5Params, MachineConfig
+from repro.schedules import CommPattern, pairwise_exchange
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_conformance(quick=True)
+
+
+def group(report, name):
+    by_name = {g.name: g for g in report.groups}
+    assert name in by_name, f"missing group {name}; have {sorted(by_name)}"
+    return by_name[name]
+
+
+class TestQuickHarness:
+    def test_quick_is_conformant(self, quick_report):
+        assert quick_report.inversions == []
+        assert quick_report.drifts == []
+        assert quick_report.ok
+
+    def test_quick_covers_fig5_and_table11(self, quick_report):
+        names = {g.name for g in quick_report.groups}
+        assert "fig5/n16/b256" in names
+        assert "fig5/n16/b1024" in names
+        assert "table11/d10/b256" in names
+        assert "table11/d75/b256" in names
+
+    def test_every_workload_priced_by_every_backend(self, quick_report):
+        for g in quick_report.groups:
+            for alg, times in g.times.items():
+                assert set(times) == set(BACKENDS), (g.name, alg)
+                assert all(t > 0 for t in times.values()), (g.name, alg)
+
+    def test_max_drift_within_tolerances(self, quick_report):
+        worst = quick_report.max_drift()
+        for pair, tol in quick_report.tolerances.items():
+            assert worst[pair] <= tol, pair
+
+
+class TestPaperClaims:
+    """The paper's shape claims must hold in all three backends."""
+
+    @pytest.mark.parametrize("name", ["fig5/n16/b256", "fig5/n16/b1024"])
+    def test_lex_much_slower_than_pex(self, quick_report, name):
+        g = group(quick_report, name)
+        for backend in BACKENDS:
+            lex = g.times["linear"][backend]
+            pex = g.times["pairwise"][backend]
+            assert lex > 2.0 * pex, (name, backend)
+
+    def test_gs_bs_density_crossover(self, quick_report):
+        """Table 11: BS gains on GS as density rises, and wins at 75 %.
+
+        At 10 % density greedy's locally-optimal packing wins (the
+        estimator and packet sim say so decisively; the fluid DES puts
+        the two within its documented noise floor and must not
+        decisively contradict).  At 75 % the structured balanced
+        schedule beats greedy decisively in every backend.
+        """
+        low = group(quick_report, "table11/d10/b256")
+        high = group(quick_report, "table11/d75/b256")
+        for backend in BACKENDS:
+            ratio_low = low.times["greedy"][backend] / low.times["balanced"][backend]
+            ratio_high = (
+                high.times["greedy"][backend] / high.times["balanced"][backend]
+            )
+            # The crossover direction: greedy loses ground as density rises.
+            assert ratio_high > ratio_low, backend
+            # At 75 % every backend has balanced decisively ahead.
+            assert ratio_high > 1.05, backend
+            # At 10 % no backend has greedy decisively *behind*.
+            assert ratio_low < 1.15, backend
+        # And two backends put greedy decisively ahead at low density.
+        for backend in ("estimate", "packet"):
+            assert (
+                low.times["greedy"][backend] * 1.15
+                < low.times["balanced"][backend]
+            ), backend
+
+
+class TestCheckGroup:
+    """Unit tests for the decisive-margin inversion / drift logic."""
+
+    @staticmethod
+    def make_group(times):
+        g = GroupResult("g", 8)
+        g.times = times
+        return g
+
+    def run_checks(self, times, margin=0.15, tolerances=None):
+        inversions, drifts = [], []
+        _check_group(
+            self.make_group(times),
+            margin,
+            tolerances or DEFAULT_TOLERANCES,
+            inversions,
+            drifts,
+        )
+        return inversions, drifts
+
+    def test_opposite_decisive_orderings_invert(self):
+        inversions, _ = self.run_checks(
+            {
+                "a": {"estimate": 1.0, "fluid": 2.0, "packet": 1.0},
+                "b": {"estimate": 2.0, "fluid": 1.0, "packet": 1.0},
+            }
+        )
+        assert len(inversions) == 1
+        inv = inversions[0]
+        assert {inv.faster_a, inv.faster_b} == {"a", "b"}
+        assert "wins by" in inv.describe()
+
+    def test_near_tie_is_not_an_inversion(self):
+        # fluid disagrees with estimate but only by 8 % — inside the
+        # margin, so it expresses no ranking at all.
+        inversions, _ = self.run_checks(
+            {
+                "a": {"estimate": 1.0, "fluid": 1.08, "packet": 1.0},
+                "b": {"estimate": 2.0, "fluid": 1.0, "packet": 2.0},
+            }
+        )
+        assert inversions == []
+
+    def test_agreement_has_no_inversions(self):
+        inversions, drifts = self.run_checks(
+            {
+                "a": {"estimate": 1.0, "fluid": 1.1, "packet": 0.9},
+                "b": {"estimate": 2.0, "fluid": 2.2, "packet": 1.8},
+            }
+        )
+        assert inversions == []
+        assert drifts == []
+
+    def test_drift_beyond_tolerance_flagged(self):
+        _, drifts = self.run_checks(
+            {"a": {"estimate": 10.0, "fluid": 1.0, "packet": 3.0}}
+        )
+        assert len(drifts) == 1
+        d = drifts[0]
+        assert {d.backend_a, d.backend_b} == {"estimate", "fluid"}
+        assert d.ratio == pytest.approx(10.0)
+        assert "allowed" in d.describe()
+
+    def test_drift_is_symmetric(self):
+        _, low = self.run_checks(
+            {"a": {"estimate": 1.0, "fluid": 10.0, "packet": 3.0}}
+        )
+        assert len(low) == 1
+        assert low[0].ratio == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_margin(self):
+        with pytest.raises(ValueError, match="margin"):
+            run_conformance(quick=True, margin=0.0)
+
+    def test_rejects_sub_unit_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            run_conformance(
+                quick=True, tolerances={("estimate", "fluid"): 0.5}
+            )
+
+    def test_backend_times_lints_first(self):
+        # A schedule that does not cover its pattern must be rejected
+        # before any backend prices it.
+        from repro.schedules import LintError
+
+        cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+        wrong = CommPattern.complete_exchange(8, 512)
+        with pytest.raises(LintError):
+            backend_times(pairwise_exchange(8, 256), cfg, wrong)
+
+
+class TestReporting:
+    def test_render_mentions_every_group_and_ok(self, quick_report):
+        text = render_conformance(quick_report)
+        for g in quick_report.groups:
+            assert g.name in text
+        assert text.splitlines()[-1].startswith("OK:")
+        assert "zero ranking inversions" in text
+
+    def test_render_fail_lists_problems(self):
+        report = ConformanceReport(
+            scale="quick", margin=0.15, tolerances=dict(DEFAULT_TOLERANCES)
+        )
+        g = GroupResult("g", 8)
+        g.times = {
+            "a": {"estimate": 1.0, "fluid": 20.0, "packet": 1.0},
+            "b": {"estimate": 2.0, "fluid": 1.0, "packet": 2.0},
+        }
+        report.groups = [g]
+        _check_group(
+            g, report.margin, report.tolerances, report.inversions,
+            report.drifts,
+        )
+        text = render_conformance(report)
+        assert "RANK INVERSION" in text
+        assert "DRIFT" in text
+        assert text.splitlines()[-1].startswith("FAIL:")
+        assert not report.ok
+
+    def test_json_document_shape(self, quick_report):
+        doc = conformance_json(quick_report)
+        assert doc["schema"] == CONFORMANCE_SCHEMA
+        assert doc["scale"] == "quick"
+        assert doc["ok"] is True
+        assert doc["inversions"] == []
+        assert doc["drift_violations"] == []
+        g = doc["groups"]["table11/d75/b256"]
+        assert g["nprocs"] == 32
+        assert set(g["times_ms"]["greedy"]) == set(BACKENDS)
+        for backend in BACKENDS:
+            assert sorted(g["rankings"][backend]) == sorted(g["times_ms"])
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_write_conformance_creates_artifacts(self, quick_report, tmp_path):
+        txt, js = write_conformance(quick_report, tmp_path / "results")
+        assert txt.read_text().startswith("Cross-model conformance")
+        doc = json.loads(js.read_text())
+        assert doc["schema"] == CONFORMANCE_SCHEMA
+        assert doc["ok"] is True

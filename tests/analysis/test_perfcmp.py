@@ -85,6 +85,16 @@ class TestCompare:
     def test_default_threshold_is_ten_percent(self):
         assert DEFAULT_THRESHOLD == pytest.approx(0.10)
 
+    def test_zero_baseline_is_a_hard_error(self):
+        # ratio-vs-zero used to be silently reported as 0.0 ("no
+        # regression"); a degenerate baseline must fail the comparison.
+        with pytest.raises(ValueError, match="baseline wall time"):
+            compare_benches(bench({"w": row(0.0)}), bench({"w": row(5.0)}))
+
+    def test_negative_baseline_is_a_hard_error(self):
+        with pytest.raises(ValueError, match="w"):
+            compare_benches(bench({"w": row(-1.0)}), bench({"w": row(1.0)}))
+
 
 class TestRender:
     def test_render_mentions_verdicts_and_summary(self):
@@ -108,6 +118,22 @@ class TestRender:
         text = render_comparison(cmp)
         assert "baseline only" in text
         assert "current only" in text
+
+    def test_render_summary_counts_skipped_workloads(self):
+        # Disjoint workloads must be surfaced in the verdict line, not
+        # just buried in the per-name listing.
+        cmp = compare_benches(
+            bench({"shared": row(1.0), "a": row(1.0)}),
+            bench({"shared": row(1.0), "b": row(1.0)}),
+        )
+        summary = render_comparison(cmp).splitlines()[-1]
+        assert "1 baseline-only" in summary
+        assert "1 current-only" in summary
+
+    def test_render_summary_has_no_skip_note_when_none_skipped(self):
+        doc = bench({"w": row(1.0)})
+        summary = render_comparison(compare_benches(doc, doc)).splitlines()[-1]
+        assert "skipped" not in summary
 
 
 class TestLoad:

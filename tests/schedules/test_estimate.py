@@ -86,6 +86,24 @@ class TestProperties:
         with pytest.raises(ValueError):
             estimate_schedule_time(pairwise_exchange(8, 64), cfg32)
 
+    def test_memcpy_charged_once_per_endpoint(self, params):
+        """Regression: the pack memcpy belongs to the sender and the
+        unpack to the receiver; the old code added pack+unpack to *both*
+        endpoints, double-charging every store-and-forward step."""
+        from repro.schedules import Step, Transfer
+        from repro.machine.params import wire_bytes
+
+        cfg = MachineConfig(8, params)
+        step = Step(
+            (Transfer(src=0, dst=1, nbytes=64, pack_bytes=4096, unpack_bytes=1024),)
+        )
+        wire = wire_bytes(64) / params.level_bandwidth(1)
+        sender = params.zero_byte_latency + wire + params.memcpy_time(4096)
+        receiver = params.zero_byte_latency + wire + params.memcpy_time(1024)
+        assert estimate_step_time(step, cfg) == pytest.approx(
+            max(sender, receiver)
+        )
+
     def test_serialized_receiver_cheaper_than_naive_sum(self, params):
         """The refinement: a drained receiver overlaps sender setup, so
         the LEX estimate must be below N-1 full message latencies per

@@ -170,6 +170,11 @@ class TestRegistry:
     def test_registry_matches_names(self):
         assert set(IRREGULAR_ALGORITHMS) == set(algorithm_names())
 
+    def test_names_derived_from_registry_order(self):
+        # algorithm_names() must be the registry itself, not a copy that
+        # can drift when an algorithm is added or reordered.
+        assert algorithm_names() == list(IRREGULAR_ALGORITHMS)
+
 
 class TestGreedyOrderExtension:
     def test_default_order_reproduces_table10(self, P):

@@ -72,3 +72,129 @@ class TestCLI:
         )
         assert main(["report"]) == 0
         assert (tmp_path / "EXPERIMENTS.md").read_text() == "# stub\n"
+
+
+class TestValidateCommand:
+    def test_generators_lint_clean(self, capsys):
+        assert main(["validate", "--nprocs", "8"]) == 0
+        out = capsys.readouterr().out
+        for label in ("LEX", "PEX", "REX", "BEX", "LS", "PS", "BS", "GS"):
+            assert f"OK {label}" in out
+        assert "0 failing report(s)" in out
+
+    def test_single_algorithm(self, capsys):
+        assert main(["validate", "--algorithm", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "OK GS" in out
+        assert "OK PEX" not in out
+
+    def test_bad_algorithm_exits_2(self, capsys):
+        assert main(["validate", "--algorithm", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "quantum" in err and "\n" not in err.rstrip("\n")
+
+    def test_bad_nprocs_exits_2(self, capsys):
+        assert main(["validate", "--nprocs", "12"]) == 2
+        err = capsys.readouterr().err
+        assert "power of two" in err
+
+    def test_deadlocked_schedule_file_rejected(self, tmp_path, capsys):
+        from repro.schedules import Schedule, Step, Transfer, save_schedule
+
+        path = tmp_path / "bad.json"
+        save_schedule(
+            Schedule(
+                nprocs=3,
+                steps=(
+                    Step(
+                        (
+                            Transfer(0, 1, 64),
+                            Transfer(1, 0, 64),
+                            Transfer(2, 1, 64),
+                        )
+                    ),
+                ),
+                name="deadlocked",
+            ),
+            path,
+        )
+        with pytest.raises(SystemExit):
+            main(["validate", "--schedule", str(path)])
+        out = capsys.readouterr().out
+        assert "deadlock.cycle" in out
+
+    def test_good_schedule_file_accepted(self, tmp_path, capsys):
+        from repro.schedules import pairwise_exchange, save_schedule
+
+        path = tmp_path / "good.json"
+        save_schedule(pairwise_exchange(8, 256), path)
+        assert main(["validate", "--schedule", str(path)]) == 0
+        assert "OK PEX" in capsys.readouterr().out
+
+    def test_unreadable_schedule_file_exits_2(self, capsys):
+        assert main(["validate", "--schedule", "/no/such/file.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestPerfcmpRobustness:
+    def test_unreadable_baseline_exits_2(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "perfcmp",
+                    "--baseline",
+                    str(tmp_path / "missing.json"),
+                    "--current",
+                    str(tmp_path / "missing.json"),
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "cannot read baseline BENCH file" in err
+
+    def test_malformed_bench_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "something-else/9"}')
+        assert (
+            main(
+                ["perfcmp", "--baseline", str(bad), "--current", str(bad)]
+            )
+            == 2
+        )
+        assert "malformed baseline BENCH file" in capsys.readouterr().err
+
+    def test_zero_baseline_exits_2_with_one_line(self, tmp_path, capsys):
+        import json
+
+        doc = {
+            "schema": "repro-bench-sim/1",
+            "workloads": {
+                "w": {"wall_seconds": 0.0, "sim_ms": 1.0, "messages": 1}
+            },
+        }
+        zero = tmp_path / "zero.json"
+        zero.write_text(json.dumps(doc))
+        good = tmp_path / "good.json"
+        doc["workloads"]["w"]["wall_seconds"] = 1.0
+        good.write_text(json.dumps(doc))
+        assert (
+            main(
+                ["perfcmp", "--baseline", str(zero), "--current", str(good)]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "non-positive baseline wall time" in err
+        assert "\n" not in err.rstrip("\n")
+
+
+class TestConformanceCommand:
+    def test_quick_conformance_passes(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["conformance", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "zero ranking inversions" in out
+        assert (tmp_path / "results" / "conformance.txt").exists()
+        assert (tmp_path / "results" / "conformance.json").exists()
