@@ -30,14 +30,20 @@ The JSON schema (``repro-bench-sim/1``)::
         "<name>": {
           "wall_seconds": <host seconds to simulate>,
           "sim_ms": <simulated milliseconds (the model's answer)>,
-          "messages": <point-to-point message count>
+          "messages": <point-to-point message count>,
+          "layers": {"build": <s>, "execute": <s>}
         }, ...
       }
     }
 
 ``wall_seconds`` is the perf payload; ``sim_ms`` doubles as a cheap
 correctness canary (it must not move at all between revisions unless
-the model itself changed).
+the model itself changed).  ``layers`` splits the best rep's wall time
+by span category (schedule construction vs simulation), measured with a
+rep-local :class:`repro.obs.Tracer` — *not* a globally installed one,
+so the engine's op recording never runs and the timed path is identical
+to an untraced run.  ``perfcmp`` ignores the key; it exists so a
+regression in the diff can be attributed to a layer at a glance.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ from typing import Callable, Dict, List, Tuple
 from ..faults import FaultPlan, LinkDegrade, MessageDrop, NodeStraggler
 from ..machine import CM5Params, MachineConfig
 from ..machine._fastfill import kernel_description
+from ..obs import Tracer
 from ..schedules import (
     CommPattern,
     balanced_exchange,
@@ -90,8 +97,16 @@ _FAULT_PLAN = FaultPlan(
 
 @dataclass(frozen=True)
 class _Workload:
+    """One timed workload, split so the timer can attribute layers.
+
+    ``build`` constructs the schedule, ``execute`` simulates it; the
+    harness times each under its own span and reports the split as the
+    workload's ``layers``.
+    """
+
     name: str
-    run: Callable[[], "object"]  # -> ExecutionResult
+    build: Callable[[], "object"]  # -> Schedule
+    execute: Callable[["object"], "object"]  # Schedule -> ExecutionResult
 
 
 def perf_workloads(quick: bool = False) -> List[_Workload]:
@@ -104,13 +119,8 @@ def perf_workloads(quick: bool = False) -> List[_Workload]:
             loads.append(
                 _Workload(
                     f"{label}_n{n}_b{_EXCHANGE_BYTES}",
-                    # Bind loop variables now, run (and build) at call time
-                    # so schedule construction is not on the clock... it is
-                    # cheap, but keeping only simulation under the timer
-                    # makes the numbers attributable to the hot path.
-                    lambda n=n, build=build: execute_schedule(
-                        build(n, _EXCHANGE_BYTES), MachineConfig(n)
-                    ),
+                    lambda n=n, build=build: build(n, _EXCHANGE_BYTES),
+                    lambda sched, n=n: execute_schedule(sched, MachineConfig(n)),
                 )
             )
     for d in densities:
@@ -118,16 +128,16 @@ def perf_workloads(quick: bool = False) -> List[_Workload]:
         loads.append(
             _Workload(
                 f"irr_d{int(d * 100)}_greedy",
-                lambda pattern=pattern: execute_schedule(
-                    greedy_schedule(pattern), MachineConfig(_IRR_NPROCS)
-                ),
+                lambda pattern=pattern: greedy_schedule(pattern),
+                lambda sched: execute_schedule(sched, MachineConfig(_IRR_NPROCS)),
             )
         )
     loads.append(
         _Workload(
             "fault_pex_n16_b256",
-            lambda: execute_schedule(
-                pairwise_exchange(16, 256),
+            lambda: pairwise_exchange(16, 256),
+            lambda sched: execute_schedule(
+                sched,
                 MachineConfig(16, CM5Params(routing_jitter=0.0)),
                 faults=_FAULT_PLAN,
                 trace=True,
@@ -151,16 +161,25 @@ def run_perf(
         # noise on sub-second timings easily exceeds any regression
         # threshold, while the minute-scale sweeps stay single-shot.
         wall = float("inf")
+        layers: Dict[str, float] = {}
         for rep in range(3):
+            tracer = Tracer()
             t0 = time.perf_counter()
-            res = wl.run()
-            wall = min(wall, time.perf_counter() - t0)
+            with tracer.span("build", category="build"):
+                sched = wl.build()
+            with tracer.span("execute", category="execute"):
+                res = wl.execute(sched)
+            elapsed = time.perf_counter() - t0
+            if elapsed < wall:
+                wall = elapsed
+                layers = tracer.category_seconds()
             if wall >= 1.0:
                 break
         workloads[wl.name] = {
             "wall_seconds": round(wall, 4),
             "sim_ms": res.time_ms,
             "messages": res.sim.message_count,
+            "layers": {k: round(v, 4) for k, v in sorted(layers.items())},
         }
         if progress is not None:
             progress(
@@ -184,9 +203,13 @@ def render_report(bench: Dict[str, object]) -> str:
         f"{'workload':<24} {'wall s':>10} {'sim ms':>12} {'messages':>9}",
     ]
     for name, row in bench["workloads"].items():
+        layers = row.get("layers") or {}
+        split = "  " + " ".join(
+            f"{k}={layers[k]:.2f}s" for k in sorted(layers)
+        ) if layers else ""
         lines.append(
             f"{name:<24} {row['wall_seconds']:10.2f} "
-            f"{row['sim_ms']:12.3f} {row['messages']:9d}"
+            f"{row['sim_ms']:12.3f} {row['messages']:9d}{split}"
         )
     return "\n".join(lines)
 

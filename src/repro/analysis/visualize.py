@@ -10,18 +10,29 @@ new schedule:
   :class:`repro.sim.trace.Trace`.  LEX's serialized receiver shows up as
   one solid lane while everyone else idles; PEX shows dense synchronized
   stripes.
+* :func:`render_link_heatmap` — one lane per fat-tree level, shading the
+  mean link utilization per time bin from a traced run's
+  :class:`repro.obs.LinkUtilization` series.  PEX's root-link spikes and
+  BEX's flat profile (the paper's §3.4 argument) are directly visible in
+  the top lanes.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..machine.fattree import fat_tree_for
 from ..machine.params import FAT_TREE_ARITY, MachineConfig
 from ..sim.trace import Trace
 
-__all__ = ["render_fat_tree", "render_message_gantt"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import LinkUtilization
+
+__all__ = ["render_fat_tree", "render_message_gantt", "render_link_heatmap"]
+
+#: Shading ramp for the heatmap, blank (idle) to '@' (saturated).
+_HEAT_RAMP = " .:-=+*#%@"
 
 
 def render_fat_tree(config: MachineConfig) -> str:
@@ -84,4 +95,44 @@ def render_message_gantt(
     ]
     for rank, lane in enumerate(lanes):
         lines.append(f"  r{rank:0{digits}d} |{''.join(lane)}|")
+    return "\n".join(lines)
+
+
+def render_link_heatmap(
+    util: "LinkUtilization",
+    width: int = 72,
+    per_link: bool = False,
+) -> str:
+    """Shade mean link utilization per time bin, one lane per tree level.
+
+    Each lane aggregates the links of one ``(kind, level)`` group (mean
+    across the group per bin); ``per_link=True`` expands every link into
+    its own lane instead.  Characters map utilization 0..1 onto the
+    ramp ``' .:-=+*#%@'``, so a solid ``@`` lane is a saturated level.
+    """
+    if not util.samples:
+        return "(no utilization samples)"
+    edges, binned = util.binned_utilization(width)
+    t_end = float(edges[-1])
+    lines = [
+        f"link utilization over {t_end * 1e3:.3f} ms "
+        f"({len(util.samples)} rate changes, peak {util.peak_utilization():.2f})"
+    ]
+    last = len(_HEAT_RAMP) - 1
+
+    def shade(row) -> str:
+        return "".join(
+            _HEAT_RAMP[min(last, int(u * last + 0.5))] for u in row
+        )
+
+    for (kind, level), idxs in util.level_groups().items():
+        if per_link:
+            for i in idxs:
+                _, _, subtree = util.link_ids[i]
+                label = f"{kind[0]}{level}.{subtree}"
+                lines.append(f"  {label:>8} |{shade(binned[i])}|")
+        else:
+            mean = binned[idxs].mean(axis=0)
+            label = f"{kind} L{level} x{len(idxs)}"
+            lines.append(f"  {label:>12} |{shade(mean)}|")
     return "\n".join(lines)

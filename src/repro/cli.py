@@ -21,6 +21,14 @@ FILE``) for conservation, deadlock-freedom and payload-mode staging;
 backends and fails on ranking inversions or drift (artifacts land in
 ``results/conformance.{txt,json}``).
 
+Observability: ``trace`` runs one seeded exchange under the tracer and
+exports a Perfetto/Chrome trace-event JSON (``--check FILE`` validates
+an existing export instead); ``critpath`` walks the simulated critical
+path and attributes it to wire/wait/local/sync time (``--trace FILE``
+analyzes an export); ``roottraffic`` writes the per-step root-link byte
+series behind the BEX-vs-PEX argument; ``gantt --trace FILE`` renders
+an exported trace instead of running.
+
 Exit status: 0 success, 1 check failure (lint / conformance / perfcmp),
 2 usage error (bad ``--algorithm``/``--nprocs``, unreadable files).
 """
@@ -212,18 +220,158 @@ def cmd_table12(args: argparse.Namespace) -> None:
         print(" ", wl.describe())
 
 
-def cmd_gantt(args: argparse.Namespace) -> None:
-    """Receiver-occupancy Gantt of LEX vs PEX — the pathology, visually."""
-    from .analysis.visualize import render_message_gantt
+#: Exchange builders the observability commands can run directly.
+_OBS_BUILDERS = {
+    "linear": linear_exchange,
+    "pairwise": pairwise_exchange,
+    "recursive": recursive_exchange,
+    "balanced": balanced_exchange,
+}
+
+
+def _obs_run(algorithm: str, nprocs: int, nbytes: int):
+    """One seeded, traced exchange run; returns ``(tracer, result)``."""
+    from . import obs
     from .machine import CM5Params, MachineConfig
-    from .schedules import execute_schedule, linear_exchange, pairwise_exchange
+    from .schedules import execute_schedule
+
+    build = _OBS_BUILDERS.get(algorithm)
+    if build is None:
+        raise CLIError(
+            f"unknown --algorithm {algorithm!r} for tracing; choose from "
+            f"{', '.join(_OBS_BUILDERS)}"
+        )
+    cfg = MachineConfig(nprocs, CM5Params(routing_jitter=0.0))
+    with obs.tracing() as tracer:
+        res = execute_schedule(build(nprocs, nbytes), cfg, trace=True)
+    return tracer, res
+
+
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Trace one exchange and export Perfetto JSON (or ``--check`` a file)."""
+    from .obs import build_perfetto, load_perfetto, write_perfetto
+
+    if args.check is not None:
+        try:
+            doc = load_perfetto(args.check)
+        except ValueError as exc:
+            raise CLIError(str(exc))
+        print(
+            f"{args.check}: valid {doc['otherData']['schema']} trace, "
+            f"{len(doc['traceEvents'])} events"
+        )
+        return
+    if args.format != "perfetto":
+        raise CLIError(
+            f"unknown --format {args.format!r}; only 'perfetto' is supported"
+        )
+    algo = args.algorithm or "balanced"
+    nprocs = _parse_nprocs(args.nprocs)
+    tracer, res = _obs_run(algo, nprocs, args.nbytes)
+    doc = build_perfetto(tracer, trace=res.sim.trace)
+    out = Path(args.out or f"results/trace_{algo}_n{nprocs}.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    write_perfetto(doc, out)
+    print(f"{algo} n={nprocs} b={args.nbytes}: {res.time_ms:.3f} ms simulated")
+    print(f"[perfetto trace written to {out}: {len(doc['traceEvents'])} events]")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+
+
+def cmd_critpath(args: argparse.Namespace) -> None:
+    """Critical-path attribution of one traced run (or a ``--trace`` file).
+
+    Exits 1 when the backward walk fails to cover the makespan — that
+    would mean the causal chain in the trace is broken.
+    """
+    from .obs import (
+        critical_path,
+        load_perfetto,
+        ops_from_perfetto,
+        render_critical_path,
+    )
+
+    if args.trace is not None:
+        try:
+            doc = load_perfetto(args.trace)
+        except ValueError as exc:
+            raise CLIError(str(exc))
+        rank_ops, makespan = ops_from_perfetto(doc)
+        if not rank_ops:
+            raise CLIError(f"trace file {args.trace} contains no rank ops")
+    else:
+        algo = args.algorithm or "balanced"
+        nprocs = _parse_nprocs(args.nprocs)
+        tracer, res = _obs_run(algo, nprocs, args.nbytes)
+        rank_ops, makespan = tracer.rank_ops, tracer.meta["makespan"]
+        print(f"{algo} n={nprocs} b={args.nbytes}: {res.time_ms:.3f} ms simulated")
+    cp = critical_path(rank_ops, makespan)
+    print(render_critical_path(cp))
+    if not cp.complete or abs(cp.length - makespan) > 1e-9 * max(1.0, makespan):
+        raise SystemExit(1)
+
+
+def cmd_roottraffic(args: argparse.Namespace) -> None:
+    """Per-step root-link bytes: BEX flat vs PEX spiked (paper 3.4)."""
+    from .obs import (
+        render_root_traffic,
+        root_traffic_from_trace,
+        write_root_traffic,
+    )
+
+    nprocs = _parse_nprocs(args.nprocs)
+    results = []
+    for algo, label in (("balanced", "BEX"), ("pairwise", "PEX")):
+        _, res = _obs_run(algo, nprocs, args.nbytes)
+        results.append(
+            root_traffic_from_trace(res.sim.trace.messages, label, nprocs)
+        )
+    print(render_root_traffic(results))
+    txt, js = write_root_traffic(results)
+    print(f"[written to {txt} and {js}]")
+
+
+def cmd_gantt(args: argparse.Namespace) -> None:
+    """Receiver-occupancy Gantt of LEX vs PEX — the pathology, visually.
+
+    ``--trace FILE`` renders a previously exported Perfetto trace
+    instead of running; unreadable or malformed input exits 2 with a
+    one-line error.
+    """
+    from .analysis.visualize import render_link_heatmap, render_message_gantt
+
+    if args.trace is not None:
+        from .obs import load_perfetto, messages_from_perfetto
+        from .sim.trace import Trace
+
+        try:
+            doc = load_perfetto(args.trace)
+        except ValueError as exc:
+            raise CLIError(str(exc))
+        messages = messages_from_perfetto(doc)
+        if not messages:
+            raise CLIError(f"trace file {args.trace} contains no message events")
+        other = doc.get("otherData", {})
+        nprocs = int(
+            other.get("nprocs") or max(max(m.src, m.dst) for m in messages) + 1
+        )
+        label = other.get("algorithm") or Path(args.trace).name
+        print(f"{label}: {len(messages)} messages from {args.trace}")
+        print(render_message_gantt(Trace(messages=messages), nprocs, width=64))
+        return
+
+    from . import obs
+    from .machine import CM5Params, MachineConfig
+    from .schedules import execute_schedule
 
     n = 8 if args.quick else 16
     cfg = MachineConfig(n, CM5Params(routing_jitter=0.0))
     for build, label in ((linear_exchange, "LEX"), (pairwise_exchange, "PEX")):
-        res = execute_schedule(build(n, 256), cfg, trace=True)
+        with obs.tracing() as tracer:
+            res = execute_schedule(build(n, 256), cfg, trace=True)
         print(f"{label}: {res.time_ms:.3f} ms")
         print(render_message_gantt(res.sim.trace, n, width=64))
+        if tracer.link_util is not None:
+            print(render_link_heatmap(tracer.link_util, width=64))
         print()
 
 
@@ -515,12 +663,23 @@ COMMANDS = {
     "perfcmp": cmd_perfcmp,
     "validate": cmd_validate,
     "conformance": cmd_conformance,
+    "trace": cmd_trace,
+    "critpath": cmd_critpath,
+    "roottraffic": cmd_roottraffic,
 }
 
 
 def cmd_all(args: argparse.Namespace) -> None:
     for name, fn in COMMANDS.items():
-        if name in ("report", "perf", "perfcmp", "conformance"):
+        if name in (
+            "report",
+            "perf",
+            "perfcmp",
+            "conformance",
+            "trace",
+            "critpath",
+            "roottraffic",
+        ):
             continue  # writes files / needs file args; run explicitly
         print(f"\n===== {name} =====")
         fn(args)
@@ -633,6 +792,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         metavar="FILE",
         help="lint a saved schedule JSON instead of generator outputs",
+    )
+    obs_group = parser.add_argument_group(
+        "observability (`trace` / `critpath` / `roottraffic` / `gantt`)"
+    )
+    obs_group.add_argument(
+        "--format",
+        default="perfetto",
+        metavar="FMT",
+        help="trace export format for `trace` (only 'perfetto')",
+    )
+    obs_group.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="where `trace` writes its export "
+        "(default results/trace_<algo>_n<N>.json)",
+    )
+    obs_group.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="analyze a previously exported perfetto trace "
+        "(`critpath` / `gantt`)",
+    )
+    obs_group.add_argument(
+        "--nbytes",
+        type=int,
+        default=512,
+        metavar="B",
+        help="bytes per pair for observability runs (default 512)",
+    )
+    obs_group.add_argument(
+        "--check",
+        default=None,
+        metavar="FILE",
+        help="`trace`: validate FILE against repro-trace/1 instead of running",
     )
     args = parser.parse_args(argv)
     try:

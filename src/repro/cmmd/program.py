@@ -42,6 +42,7 @@ def run_spmd(
     seed: int = 0,
     faults: Optional[FaultPlan] = None,
     max_trace_records: Optional[int] = None,
+    tracer: Optional[Any] = None,
     **kwargs: Any,
 ) -> SimResult:
     """Run ``program(comm, *args, **kwargs)`` on every rank of ``config``.
@@ -51,7 +52,9 @@ def run_spmd(
     through to every rank (ranks distinguish themselves via
     ``comm.rank``).  ``faults`` optionally injects a seeded
     :class:`~repro.faults.FaultPlan`; ``max_trace_records`` caps the
-    retained trace lists on large sweeps.
+    retained trace lists on large sweeps.  ``tracer`` optionally attaches
+    a :class:`repro.obs.Tracer` recording per-rank op timelines and link
+    utilization (timings are unaffected).
     """
     comms = [Comm(rank, config) for rank in range(config.nprocs)]
     gens = [program(c, *args, **kwargs) for c in comms]
@@ -61,6 +64,7 @@ def run_spmd(
         seed=seed,
         faults=faults,
         max_trace_records=max_trace_records,
+        tracer=tracer,
     )
     return engine.run(gens)
 
@@ -72,6 +76,7 @@ def run_programs(
     seed: int = 0,
     faults: Optional[FaultPlan] = None,
     max_trace_records: Optional[int] = None,
+    tracer: Optional[Any] = None,
 ) -> SimResult:
     """Run pre-built generators (one per rank) — the MPMD entry point."""
     engine = Engine(
@@ -80,5 +85,6 @@ def run_programs(
         seed=seed,
         faults=faults,
         max_trace_records=max_trace_records,
+        tracer=tracer,
     )
     return engine.run(list(programs))

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..machine.fattree import FatTree, LinkId
 from .plan import (
     HEALTHY,
@@ -139,6 +140,8 @@ class FaultModel:
                 continue
             if _decision(self.plan.seed, _SALT_DELAY + i, src, dst, attempt) < f.probability:
                 extra += f.seconds
+        if extra > 0.0:
+            obs.count("faults.delays")
         return extra
 
     def message_drop(self, src: int, dst: int, attempt: int) -> Optional[float]:
@@ -155,5 +158,6 @@ class FaultModel:
             if attempt >= f.max_consecutive:
                 continue
             if _decision(self.plan.seed, _SALT_DROP + i, src, dst, attempt) < f.probability:
+                obs.count("faults.drops")
                 return f.detect_seconds
         return None

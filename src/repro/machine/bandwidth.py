@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from . import _fastfill
 
 __all__ = ["AllocationWorkspace", "max_min_rates", "build_incidence"]
@@ -136,6 +137,7 @@ def max_min_rates(
     >>> rates.tolist()
     [7.0, 3.0]
     """
+    obs.count("net.allocations")
     if check:
         # The hot path (check=False) trusts its caller to pass
         # C-contiguous arrays of the right dtypes; the public path

@@ -157,6 +157,13 @@ class FluidNetwork:
         #: re-arming costs O(1)).
         self._next_completion: Optional[float] = None
 
+        #: Optional ``observer(now, per_link_rates)`` callback invoked
+        #: after every rate reallocation with the aggregate bytes/s on
+        #: each link (dense ``sorted_link_ids`` order), effective from
+        #: ``now`` until the next reallocation.  Used by ``repro.obs``
+        #: to build the link-utilization time series; None costs nothing.
+        self.observer = None
+
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
@@ -391,6 +398,18 @@ class FluidNetwork:
             )
         self._dirty = False
         self._next_completion = None
+        if self.observer is not None:
+            nlinks = len(self._link_caps)
+            if n:
+                lengths = np.diff(self._ptr[: n + 1])
+                link_rates = np.bincount(
+                    self._csr_links[: int(self._ptr[n])],
+                    weights=np.repeat(self._rate[:n], lengths),
+                    minlength=nlinks,
+                )
+            else:
+                link_rates = np.zeros(nlinks)
+            self.observer(self._now, link_rates)
 
     # ------------------------------------------------------------------
     def snapshot_rates(self) -> Dict[Hashable, float]:

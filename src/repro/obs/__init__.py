@@ -1,0 +1,161 @@
+"""repro.obs — unified observability: spans, metrics, export, critical path.
+
+Usage::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        result = execute_schedule(sched, config, tracer=tracer)
+    print(tracer.category_seconds())
+
+Instrumented library code uses the module-level helpers, which cost a
+single ``None`` check when no tracer is installed::
+
+    with obs.span("build/bex", category="build"):
+        ...
+    obs.count("net.allocations")
+
+Determinism: span ids are sequence numbers and rank-op records carry
+simulated timestamps only, so a replayed run produces byte-identical
+sim-time artifacts (see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .critpath import CriticalPath, PathSegment, critical_path, render_critical_path
+from .export import (
+    HOST_PID,
+    NET_PID,
+    TRACE_SCHEMA,
+    build_perfetto,
+    load_perfetto,
+    messages_from_perfetto,
+    ops_from_perfetto,
+    validate_perfetto,
+    write_perfetto,
+)
+from .metrics import Counter, Gauge, Histogram, LinkUtilization, MetricsRegistry
+from .root_traffic import (
+    FLAT_BALANCE_THRESHOLD,
+    RootTraffic,
+    render_root_traffic,
+    root_traffic_from_trace,
+    write_root_traffic,
+)
+from .span import OpRecord, Span, Tracer
+
+__all__ = [
+    "Span",
+    "OpRecord",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LinkUtilization",
+    "TRACE_SCHEMA",
+    "NET_PID",
+    "HOST_PID",
+    "build_perfetto",
+    "write_perfetto",
+    "load_perfetto",
+    "validate_perfetto",
+    "ops_from_perfetto",
+    "messages_from_perfetto",
+    "CriticalPath",
+    "PathSegment",
+    "critical_path",
+    "render_critical_path",
+    "RootTraffic",
+    "FLAT_BALANCE_THRESHOLD",
+    "root_traffic_from_trace",
+    "render_root_traffic",
+    "write_root_traffic",
+    "install",
+    "uninstall",
+    "tracing",
+    "current",
+    "enabled",
+    "span",
+    "count",
+    "observe",
+]
+
+#: The installed tracer, or None.  Module-level so the disabled-path
+#: cost in hot loops is one global load + one None check.
+_ACTIVE: Optional[Tracer] = None
+
+
+def install(tracer: Tracer) -> None:
+    """Make ``tracer`` the process-wide active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def uninstall() -> None:
+    """Remove the active tracer (tracing becomes zero-cost again)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def current() -> Optional[Tracer]:
+    """The installed tracer, or None when tracing is disabled."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    return _ACTIVE is not None
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install a tracer for the duration of the block, then restore.
+
+    Creates a fresh :class:`Tracer` when none is given.  Nesting
+    restores the previously installed tracer on exit.
+    """
+    global _ACTIVE
+    t = tracer if tracer is not None else Tracer()
+    prev = _ACTIVE
+    _ACTIVE = t
+    try:
+        yield t
+    finally:
+        _ACTIVE = prev
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, category: str = "misc", **attrs):
+    """Open a wall-clock span on the active tracer (no-op when disabled)."""
+    if _ACTIVE is None:
+        return _NULL_SPAN
+    return _ACTIVE.span(name, category=category, **attrs)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the active tracer (no-op when disabled)."""
+    if _ACTIVE is not None:
+        _ACTIVE.metrics.counter(name).inc(n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the active tracer (no-op when disabled)."""
+    if _ACTIVE is not None:
+        _ACTIVE.metrics.histogram(name).observe(value)

@@ -1,0 +1,245 @@
+"""Critical-path extraction from a traced run.
+
+Every rank's op records tile ``[0, finish_time]`` in simulated time
+(rank generators run in zero simulated time between blocking requests),
+so the makespan is explained by one contiguous chain of intervals: walk
+backward from the last op to finish, and whenever an op ended because a
+*partner* acted later (a sender that posted after the receiver was
+already waiting, the last rank into a barrier), jump to that partner's
+timeline at the handoff instant.  The resulting segments are contiguous
+— each ends where the next begins — so their durations sum exactly to
+the makespan, and each carries an attribution category:
+
+=========  =====================================================
+wire       a message transfer occupying the network
+wait       blocked on a local condition (trivially-complete waits)
+local      compute / pack time (``delay`` requests)
+sync       barrier / broadcast / reduce release
+retry      a drop-timeout backoff in the fault layer
+overhead   anything else (should stay near zero)
+idle       a gap the records don't explain (model violation)
+=========  =====================================================
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .span import OpRecord
+
+__all__ = [
+    "PathSegment",
+    "CriticalPath",
+    "critical_path",
+    "render_critical_path",
+]
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One hop of the critical chain (forward time order)."""
+
+    rank: int
+    kind: str
+    category: str
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The longest dependency chain of a traced run."""
+
+    segments: List[PathSegment]
+    makespan: float
+    #: True when the walk reached t=0; the chain then sums exactly to
+    #: the makespan.  False means the op records had a hole.
+    complete: bool
+
+    @property
+    def length(self) -> float:
+        return sum(s.duration for s in self.segments)
+
+    def category_totals(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for s in self.segments:
+            totals[s.category] = totals.get(s.category, 0.0) + s.duration
+        return totals
+
+    def ranks_visited(self) -> List[int]:
+        seen: List[int] = []
+        for s in self.segments:
+            if not seen or seen[-1] != s.rank:
+                seen.append(s.rank)
+        return seen
+
+
+def _segment_category(op: OpRecord) -> str:
+    cause = op.cause or {}
+    kind = cause.get("kind")
+    if kind == "message":
+        return "wire"
+    if kind == "retry":
+        return "retry"
+    if kind in ("barrier", "bcast", "reduce"):
+        return "sync"
+    if op.kind == "delay":
+        return "local"
+    if op.kind in ("send", "isend", "recv", "wait"):
+        return "wait"
+    return "overhead"
+
+
+def _jump_target(op: OpRecord, rank: int, atol: float):
+    """(partner_rank, handoff_time) when the partner acted later, else None."""
+    cause = op.cause
+    if not cause:
+        return None
+    kind = cause.get("kind")
+    if kind == "message":
+        matched = cause.get("matched_at")
+        if matched is None:
+            return None
+        if cause.get("side") == "recv":
+            # Receiver was parked; the sender posting at matched_at is
+            # what let the transfer start.
+            if matched > op.start + atol:
+                return cause.get("src"), matched
+        else:
+            # Sender blocked in rendezvous until the receiver posted.
+            posted = cause.get("send_posted", op.start)
+            if matched > posted + atol:
+                return cause.get("dst"), matched
+    elif kind in ("barrier", "bcast", "reduce"):
+        last_rank = cause.get("last_rank")
+        last_arrival = cause.get("last_arrival")
+        if (
+            last_rank is not None
+            and last_rank != rank
+            and last_arrival is not None
+            and last_arrival > op.start + atol
+        ):
+            return last_rank, last_arrival
+    return None
+
+
+def critical_path(
+    rank_ops: Dict[int, List[OpRecord]],
+    makespan: Optional[float] = None,
+    atol: float = 1e-9,
+) -> CriticalPath:
+    """Walk the op records backward from the makespan to t=0."""
+    ops = {r: sorted(v, key=lambda o: (o.start, o.end)) for r, v in rank_ops.items() if v}
+    if not ops:
+        return CriticalPath(segments=[], makespan=0.0, complete=True)
+    starts = {r: [o.start for o in v] for r, v in ops.items()}
+
+    # Start on the rank that finishes last (ties: lowest rank, for
+    # deterministic output).
+    last_rank = min(ops, key=lambda r: (-ops[r][-1].end, r))
+    span_end = ops[last_rank][-1].end
+    if makespan is None:
+        makespan = span_end
+
+    segments: List[PathSegment] = []
+    rank = last_rank
+    idx = len(ops[rank]) - 1
+    t = span_end
+    complete = False
+    max_iters = 2 * sum(len(v) for v in ops.values()) + 16
+
+    for _ in range(max_iters):
+        if t <= atol:
+            complete = True
+            break
+        if idx < 0:
+            # Ran out of records above t=0: unexplained time.
+            segments.append(
+                PathSegment(rank=rank, kind="?", category="idle", start=0.0, end=t)
+            )
+            complete = True
+            break
+        op = ops[rank][idx]
+        if op.end < t - atol:
+            # Gap between this op and the time we're explaining.
+            segments.append(
+                PathSegment(rank=rank, kind="?", category="idle", start=op.end, end=t)
+            )
+            t = op.end
+            continue
+        jump = _jump_target(op, rank, atol)
+        if jump is not None and jump[0] in ops and jump[1] < t - atol:
+            partner, handoff = jump
+            segments.append(
+                PathSegment(
+                    rank=rank,
+                    kind=op.kind,
+                    category=_segment_category(op),
+                    start=handoff,
+                    end=t,
+                    detail=op.detail,
+                )
+            )
+            rank = partner
+            t = handoff
+            # Land on the partner op covering the handoff instant (its
+            # op may extend past it — e.g. a send whose wire is still
+            # draining when the rendezvous matched).
+            idx = bisect_right(starts[rank], t + atol) - 1
+        else:
+            start = min(op.start, t)
+            segments.append(
+                PathSegment(
+                    rank=rank,
+                    kind=op.kind,
+                    category=_segment_category(op),
+                    start=start,
+                    end=t,
+                    detail=op.detail,
+                )
+            )
+            t = start
+            idx -= 1
+    segments.reverse()
+    return CriticalPath(segments=segments, makespan=makespan, complete=complete)
+
+
+def render_critical_path(cp: CriticalPath, max_hops: int = 40) -> str:
+    """Human-readable report: totals first, then the hop-by-hop chain."""
+    lines = []
+    ms = cp.makespan * 1e3
+    lines.append(
+        f"critical path: {len(cp.segments)} hops across "
+        f"{len(cp.ranks_visited())} ranks, "
+        f"chain {cp.length * 1e3:.6f} ms of {ms:.6f} ms makespan"
+        + ("" if cp.complete else " [INCOMPLETE WALK]")
+    )
+    totals = cp.category_totals()
+    total = sum(totals.values()) or 1.0
+    lines.append("attribution:")
+    for cat, secs in sorted(totals.items(), key=lambda kv: -kv[1]):
+        lines.append(
+            f"  {cat:<9} {secs * 1e3:10.4f} ms  {100.0 * secs / total:5.1f}%"
+        )
+    lines.append("chain (forward time order):")
+    segs = cp.segments
+    shown = segs if len(segs) <= max_hops else segs[: max_hops // 2] + segs[-max_hops // 2 :]
+    skipped = len(segs) - len(shown)
+    half = len(shown) // 2 if skipped else len(shown)
+    for i, s in enumerate(shown):
+        if skipped and i == half:
+            lines.append(f"  ... {skipped} hops elided ...")
+        detail = f"  {s.detail}" if s.detail else ""
+        lines.append(
+            f"  r{s.rank:<4} {s.kind:<8} {s.category:<9} "
+            f"[{s.start * 1e3:10.4f}, {s.end * 1e3:10.4f}] ms "
+            f"+{s.duration * 1e3:.4f}{detail}"
+        )
+    return "\n".join(lines)

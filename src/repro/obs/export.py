@@ -1,0 +1,316 @@
+"""Chrome trace-event / Perfetto JSON export of a traced run.
+
+Schema ``repro-trace/1``: the standard ``{"traceEvents": [...]}`` JSON
+object format Perfetto and ``chrome://tracing`` ingest, with
+``otherData.schema`` set so our own tools can validate files they load.
+
+Layout in the trace viewer:
+
+* one *process* per rank (pid = rank) with rank ops on tid 0 and trace
+  phases on tid 1;
+* a synthetic ``network`` process (pid 1000000) carrying one slice per
+  delivered message (tid = source rank) and an instant event per retry;
+* optionally (``include_wall=True``) a ``host`` process with the
+  wall-clock spans.  Wall spans are excluded by default so the exported
+  artifact for a seeded run is byte-deterministic.
+
+Timestamps are microseconds (trace-event convention); the exact
+simulated-seconds floats ride along in each event's ``args`` so a trace
+loaded back with :func:`ops_from_perfetto` / :func:`messages_from_perfetto`
+reconstructs timelines bit-for-bit (the µs fields are display-only).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from .span import OpRecord, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover — keep repro.obs importable from
+    # low-level modules (machine/, faults/) without dragging in repro.sim
+    from ..sim.trace import MessageRecord, Trace
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "NET_PID",
+    "HOST_PID",
+    "build_perfetto",
+    "write_perfetto",
+    "load_perfetto",
+    "validate_perfetto",
+    "ops_from_perfetto",
+    "messages_from_perfetto",
+]
+
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Synthetic pid for the network "process" (messages + retries).
+NET_PID = 1_000_000
+#: Synthetic pid for host wall-clock spans (include_wall only).
+HOST_PID = 1_000_001
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _proc_meta(pid: int, name: str) -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "name": "process_name",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
+def build_perfetto(
+    tracer: Optional[Tracer],
+    trace: Optional["Trace"] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    include_wall: bool = False,
+) -> Dict[str, Any]:
+    """Assemble the trace-event document from a tracer and/or Trace."""
+    events: List[Dict[str, Any]] = []
+    ranks = set()
+    if tracer is not None:
+        ranks.update(tracer.rank_ops)
+    if trace is not None:
+        ranks.update(p.rank for p in trace.phases)
+
+    for rank in sorted(ranks):
+        events.append(_proc_meta(rank, f"rank {rank}"))
+    if trace is not None and (trace.messages or trace.retries):
+        events.append(_proc_meta(NET_PID, "network"))
+
+    # Rank ops: simulated-time slices, one lane per rank.
+    if tracer is not None:
+        for rank in sorted(tracer.rank_ops):
+            for op in tracer.rank_ops[rank]:
+                args: Dict[str, Any] = {"t0": op.start, "t1": op.end}
+                if op.detail:
+                    args["detail"] = op.detail
+                if op.cause is not None:
+                    args["cause"] = op.cause
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": op.kind,
+                        "cat": "op",
+                        "pid": rank,
+                        "tid": 0,
+                        "ts": op.start * _US,
+                        "dur": op.duration * _US,
+                        "args": args,
+                    }
+                )
+
+    if trace is not None:
+        for ph in trace.phases:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": ph.label,
+                    "cat": "phase",
+                    "pid": ph.rank,
+                    "tid": 1,
+                    "ts": ph.start * _US,
+                    "dur": (ph.end - ph.start) * _US,
+                    "args": {"t0": ph.start, "t1": ph.end},
+                }
+            )
+        for m in trace.messages:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": f"{m.src}->{m.dst}",
+                    "cat": "message",
+                    "pid": NET_PID,
+                    "tid": m.src,
+                    "ts": m.send_posted * _US,
+                    "dur": (m.delivered_at - m.send_posted) * _US,
+                    "args": {
+                        "src": m.src,
+                        "dst": m.dst,
+                        "nbytes": m.nbytes,
+                        "tag": m.tag,
+                        "send_posted": m.send_posted,
+                        "matched_at": m.matched_at,
+                        "delivered_at": m.delivered_at,
+                        "route_level": m.route_level,
+                    },
+                }
+            )
+        for r in trace.retries:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": f"retry {r.src}->{r.dst}",
+                    "cat": "retry",
+                    "pid": NET_PID,
+                    "tid": r.src,
+                    "ts": r.failed_at * _US,
+                    "s": "p",
+                    "args": {
+                        "src": r.src,
+                        "dst": r.dst,
+                        "nbytes": r.nbytes,
+                        "tag": r.tag,
+                        "attempt": r.attempt,
+                        "posted_at": r.posted_at,
+                        "failed_at": r.failed_at,
+                        "reason": r.reason,
+                    },
+                }
+            )
+
+    # Host wall-clock spans (non-deterministic; off by default).
+    if include_wall and tracer is not None and tracer.spans:
+        events.append(_proc_meta(HOST_PID, "host"))
+        for s in tracer.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": s.name,
+                    "cat": s.category,
+                    "pid": HOST_PID,
+                    "tid": 0,
+                    "ts": s.start * _US,
+                    "dur": s.duration * _US,
+                    "args": dict(s.attrs),
+                }
+            )
+
+    other: Dict[str, Any] = {"schema": TRACE_SCHEMA}
+    if tracer is not None:
+        other.update(tracer.meta)
+    if meta:
+        other.update(meta)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_perfetto(doc: Dict[str, Any], path) -> None:
+    """Serialize deterministically (sorted keys, fixed separators)."""
+    Path(path).write_text(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+
+
+def load_perfetto(path) -> Dict[str, Any]:
+    """Load and structurally validate a trace file.
+
+    Raises ``ValueError`` with a one-line reason on unreadable or
+    malformed input (the CLI maps this to exit code 2).
+    """
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise ValueError(f"cannot read trace file {p}: {exc.strerror or exc}") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed trace file {p}: not valid JSON ({exc.msg})") from exc
+    problems = validate_perfetto(doc)
+    if problems:
+        raise ValueError(f"malformed trace file {p}: {problems[0]}")
+    return doc
+
+
+def validate_perfetto(doc: Any) -> List[str]:
+    """Check a loaded document against schema ``repro-trace/1``.
+
+    Returns a list of problems; empty means valid.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append("missing traceEvents list")
+        events = []
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != TRACE_SCHEMA:
+        problems.append(f"otherData.schema is not {TRACE_SCHEMA!r}")
+    for i, ev in enumerate(events):
+        if len(problems) >= 20:
+            problems.append("... (further problems suppressed)")
+            break
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "i"):
+            problems.append(f"event {i}: unsupported phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"event {i}: missing name")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            problems.append(f"event {i}: pid/tid must be integers")
+        if ph in ("X", "i"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {i}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+    return problems
+
+
+def ops_from_perfetto(doc: Dict[str, Any]) -> Tuple[Dict[int, List[OpRecord]], float]:
+    """Reconstruct per-rank op timelines (and the makespan) from a doc.
+
+    Uses the exact-seconds ``args.t0/t1`` fields, so the result is
+    bit-identical to the tracer's in-memory records.
+    """
+    rank_ops: Dict[int, List[OpRecord]] = {}
+    makespan = 0.0
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "X" or ev.get("cat") != "op":
+            continue
+        args = ev.get("args", {})
+        op = OpRecord(
+            rank=ev["pid"],
+            kind=ev["name"],
+            start=float(args["t0"]),
+            end=float(args["t1"]),
+            detail=args.get("detail", ""),
+            cause=args.get("cause"),
+        )
+        rank_ops.setdefault(op.rank, []).append(op)
+        makespan = max(makespan, op.end)
+    for ops in rank_ops.values():
+        ops.sort(key=lambda o: o.start)
+    meta_makespan = doc.get("otherData", {}).get("makespan")
+    if isinstance(meta_makespan, (int, float)):
+        makespan = float(meta_makespan)
+    return rank_ops, makespan
+
+
+def messages_from_perfetto(doc: Dict[str, Any]) -> List["MessageRecord"]:
+    """Reconstruct delivered-message records from a doc."""
+    from ..sim.trace import MessageRecord
+
+    out: List[MessageRecord] = []
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "X" or ev.get("cat") != "message":
+            continue
+        a = ev.get("args", {})
+        out.append(
+            MessageRecord(
+                src=int(a["src"]),
+                dst=int(a["dst"]),
+                nbytes=int(a["nbytes"]),
+                tag=int(a["tag"]),
+                send_posted=float(a["send_posted"]),
+                matched_at=float(a["matched_at"]),
+                delivered_at=float(a["delivered_at"]),
+                route_level=int(a["route_level"]),
+            )
+        )
+    return out

@@ -1,0 +1,180 @@
+"""Metric primitives and the per-link utilization time series.
+
+Counters, gauges and histograms live in a :class:`MetricsRegistry`
+(one per :class:`~repro.obs.span.Tracer`); instrumented code reaches
+them through :func:`repro.obs.count` / :func:`repro.obs.observe`, which
+are no-ops when no tracer is installed.
+
+:class:`LinkUtilization` is the fluid network's observer: every time
+the max-min rate allocation changes, it receives the instant and the
+per-link aggregate flow rate.  Rates are piecewise constant between
+samples, so the series is an exact record of where bytes were on which
+links at which times — the quantity the paper's BEX-vs-PEX root-traffic
+argument is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LinkUtilization",
+]
+
+
+@dataclass
+class Counter:
+    """Monotonic event count."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-written value."""
+
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.minimum:
+            self.minimum = v
+        if v > self.maximum:
+            self.maximum = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name -> metric, created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Flat, JSON-friendly view of every metric."""
+        out: Dict[str, Dict[str, float]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, c in sorted(self.counters.items()):
+            out["counters"][name] = c.value
+        for name, g in sorted(self.gauges.items()):
+            out["gauges"][name] = g.value
+        for name, h in sorted(self.histograms.items()):
+            out["histograms"][name] = {
+                "count": h.count,
+                "sum": h.total,
+                "min": h.minimum if h.count else 0.0,
+                "max": h.maximum if h.count else 0.0,
+                "mean": h.mean,
+            }
+        return out
+
+
+class LinkUtilization:
+    """Piecewise-constant per-link flow-rate series from the fluid net.
+
+    One sample per rate reallocation: ``(t, rates)`` where ``rates[i]``
+    is the aggregate bytes/s through link ``i`` (canonical dense link
+    order of the tree) from ``t`` until the next sample.
+    """
+
+    def __init__(self, tree) -> None:
+        self.link_ids: Tuple = tuple(tree.sorted_link_ids)
+        self.caps: np.ndarray = np.asarray(tree.link_caps_array, dtype=float)
+        self.samples: List[Tuple[float, np.ndarray]] = []
+
+    def record(self, now: float, link_rates: np.ndarray) -> None:
+        self.samples.append((now, np.array(link_rates, dtype=float)))
+
+    # ------------------------------------------------------------------
+    def binned_utilization(
+        self, nbins: int, t_end: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Time-weighted mean utilization per link per bin.
+
+        Returns ``(edges, util)`` where ``util`` is ``(L, nbins)`` with
+        entries in ``[0, 1]`` (fraction of link capacity in use) and
+        ``edges`` the ``nbins + 1`` bin boundaries.  The last sample's
+        rates extend to ``t_end`` (default: the last sample time).
+        """
+        L = len(self.caps)
+        if t_end is None:
+            t_end = self.samples[-1][0] if self.samples else 0.0
+        edges = np.linspace(0.0, max(t_end, 1e-30), nbins + 1)
+        util = np.zeros((L, nbins))
+        if not self.samples or t_end <= 0:
+            return edges, util
+        widths = np.diff(edges)
+        times = [t for t, _ in self.samples] + [t_end]
+        for i, (t0, rates) in enumerate(self.samples):
+            t1 = times[i + 1]
+            if t1 <= t0:
+                continue
+            lo = np.searchsorted(edges, t0, side="right") - 1
+            hi = np.searchsorted(edges, min(t1, t_end), side="left")
+            for b in range(max(lo, 0), min(hi, nbins)):
+                overlap = min(t1, edges[b + 1]) - max(t0, edges[b])
+                if overlap > 0:
+                    util[:, b] += rates * overlap
+        util /= widths[np.newaxis, :]
+        util /= self.caps[:, np.newaxis]
+        return edges, np.clip(util, 0.0, None)
+
+    def level_groups(self) -> Dict[Tuple[str, int], List[int]]:
+        """Dense link indices grouped by (kind, level), sorted."""
+        groups: Dict[Tuple[str, int], List[int]] = {}
+        for i, (kind, level, _) in enumerate(self.link_ids):
+            groups.setdefault((kind, level), []).append(i)
+        return dict(sorted(groups.items(), key=lambda kv: (-kv[0][1], kv[0][0])))
+
+    def peak_utilization(self) -> float:
+        """Largest instantaneous single-link utilization seen."""
+        peak = 0.0
+        for _, rates in self.samples:
+            peak = max(peak, float((rates / self.caps).max()))
+        return peak

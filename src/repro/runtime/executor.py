@@ -79,12 +79,14 @@ def run_gather(
     global_array: np.ndarray,
     seed: int = 0,
     faults: Optional[FaultPlan] = None,
+    tracer=None,
 ) -> GatherResult:
     """Execute the plan once over a known global array (validation path).
 
     ``faults`` optionally injects a :class:`~repro.faults.FaultPlan`:
     because the executor's sends are reliable, gathered values stay
     correct even under message drops — only the timing degrades.
+    ``tracer`` optionally attaches a :class:`repro.obs.Tracer`.
     """
     if config.nprocs != plan.nprocs:
         raise ValueError(
@@ -96,7 +98,16 @@ def run_gather(
         out = yield from gather_ops(comm, plan, segments[comm.rank])
         return out
 
-    sim = run_spmd(config, program, seed=seed, faults=faults)
+    from .. import obs
+
+    with obs.span(f"execute/gather[{plan.schedule.name}]", category="execute"):
+        sim = run_spmd(
+            config,
+            program,
+            seed=seed,
+            faults=faults,
+            tracer=tracer if tracer is not None else obs.current(),
+        )
     return GatherResult(
         resolved=list(sim.results),
         sim_time=sim.makespan,

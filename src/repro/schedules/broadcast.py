@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from .. import obs
 from .schedule import Schedule, Step, Transfer
 
 __all__ = ["linear_broadcast", "recursive_broadcast"]
@@ -44,10 +45,13 @@ def linear_broadcast(
 ) -> Schedule:
     """LIB: the root sends to every group member in turn (N-1 steps)."""
     members = _resolve_group(nprocs, root, group)
-    steps = tuple(
-        Step((Transfer(root, dst, nbytes),)) for dst in members if dst != root
-    )
-    return Schedule(nprocs=nprocs, steps=steps, name="LIB")
+    with obs.span("build/LIB", category="build", nprocs=nprocs):
+        steps = tuple(
+            Step((Transfer(root, dst, nbytes),))
+            for dst in members
+            if dst != root
+        )
+        return Schedule(nprocs=nprocs, steps=steps, name="LIB")
 
 
 def recursive_broadcast(
@@ -72,13 +76,14 @@ def recursive_broadcast(
     def member_at(pos: int) -> int:
         return members[(pos + rpos) % n]
 
-    steps: List[Step] = []
-    nsteps = n.bit_length() - 1
-    for j in range(1, nsteps + 1):
-        distance = n >> j
-        transfers = tuple(
-            Transfer(member_at(pos), member_at(pos + distance), nbytes)
-            for pos in range(0, n, 2 * distance)
-        )
-        steps.append(Step(transfers))
-    return Schedule(nprocs=nprocs, steps=tuple(steps), name="REB")
+    with obs.span("build/REB", category="build", nprocs=nprocs):
+        steps: List[Step] = []
+        nsteps = n.bit_length() - 1
+        for j in range(1, nsteps + 1):
+            distance = n >> j
+            transfers = tuple(
+                Transfer(member_at(pos), member_at(pos + distance), nbytes)
+                for pos in range(0, n, 2 * distance)
+            )
+            steps.append(Step(transfers))
+        return Schedule(nprocs=nprocs, steps=tuple(steps), name="REB")

@@ -195,6 +195,7 @@ def execute_schedule(
     seed: int = 0,
     faults: Optional[FaultPlan] = None,
     max_trace_records: Optional[int] = None,
+    tracer: Optional[Any] = None,
 ) -> ExecutionResult:
     """Run ``schedule`` on the machine model and return its makespan.
 
@@ -202,22 +203,31 @@ def execute_schedule(
     (degraded links, stragglers, message delays/drops); dropped
     messages are repaired transparently by the retry layer and show up
     as retry records in the trace.  ``max_trace_records`` caps retained
-    trace lists on large fault sweeps.
+    trace lists on large fault sweeps.  ``tracer`` attaches a
+    :class:`repro.obs.Tracer` (rank-op timelines, link utilization and
+    an ``execute/fluid`` wall span) without perturbing timings.
     """
     if schedule.nprocs != config.nprocs:
         raise ValueError(
             f"schedule is for {schedule.nprocs} procs, machine has "
             f"{config.nprocs}"
         )
-    sim = run_spmd(
-        config,
-        schedule_program,
-        schedule,
-        trace=trace,
-        seed=seed,
-        faults=faults,
-        max_trace_records=max_trace_records,
-    )
+    from .. import obs
+
+    effective = tracer if tracer is not None else obs.current()
+    with obs.span(f"execute/{schedule.name}", category="execute"):
+        sim = run_spmd(
+            config,
+            schedule_program,
+            schedule,
+            trace=trace,
+            seed=seed,
+            faults=faults,
+            max_trace_records=max_trace_records,
+            tracer=effective,
+        )
+    if effective is not None:
+        effective.meta["algorithm"] = schedule.name
     return ExecutionResult(
         schedule_name=schedule.name,
         nprocs=config.nprocs,

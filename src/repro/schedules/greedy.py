@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from .. import obs
 from .pattern import CommPattern
 from .schedule import LOWER_RECV_FIRST, Schedule, ScheduleError, Step, Transfer
 
@@ -49,6 +50,11 @@ def greedy_schedule(
     """
     if order not in ("lowest", "largest_first"):
         raise ValueError(f"unknown order {order!r}")
+    with obs.span(f"build/{name}", category="build", nprocs=pattern.nprocs):
+        return _greedy_build(pattern, name, order)
+
+
+def _greedy_build(pattern: CommPattern, name: str, order: str) -> Schedule:
     n = pattern.nprocs
 
     def dest_list(i: int) -> List[int]:

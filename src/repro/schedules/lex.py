@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List
 
+from .. import obs
 from .pattern import CommPattern
 from .schedule import Schedule, Step, Transfer
 
@@ -32,15 +33,16 @@ def linear_schedule(pattern: CommPattern, name: str = "LS") -> Schedule:
     schedule, matching how the paper counts steps.
     """
     n = pattern.nprocs
-    steps: List[Step] = []
-    for receiver in range(n):
-        transfers = tuple(
-            Transfer(src=src, dst=receiver, nbytes=nbytes)
-            for src, nbytes in pattern.recvs_of(receiver)
-        )
-        if transfers:
-            steps.append(Step(transfers))
-    return Schedule(nprocs=n, steps=tuple(steps), name=name)
+    with obs.span(f"build/{name}", category="build", nprocs=n):
+        steps: List[Step] = []
+        for receiver in range(n):
+            transfers = tuple(
+                Transfer(src=src, dst=receiver, nbytes=nbytes)
+                for src, nbytes in pattern.recvs_of(receiver)
+            )
+            if transfers:
+                steps.append(Step(transfers))
+        return Schedule(nprocs=n, steps=tuple(steps), name=name)
 
 
 def linear_exchange(nprocs: int, nbytes: int) -> Schedule:
@@ -53,14 +55,15 @@ def linear_exchange(nprocs: int, nbytes: int) -> Schedule:
         raise ValueError(f"need at least 2 processors, got {nprocs}")
     if nbytes < 0:
         raise ValueError(f"nbytes must be non-negative, got {nbytes}")
-    steps = tuple(
-        Step(
-            tuple(
-                Transfer(src=j, dst=i, nbytes=nbytes)
-                for j in range(nprocs)
-                if j != i
+    with obs.span("build/LEX", category="build", nprocs=nprocs):
+        steps = tuple(
+            Step(
+                tuple(
+                    Transfer(src=j, dst=i, nbytes=nbytes)
+                    for j in range(nprocs)
+                    if j != i
+                )
             )
+            for i in range(nprocs)
         )
-        for i in range(nprocs)
-    )
-    return Schedule(nprocs=nprocs, steps=steps, name="LEX")
+        return Schedule(nprocs=nprocs, steps=steps, name="LEX")

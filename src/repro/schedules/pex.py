@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from .. import obs
 from .pattern import CommPattern
 from .schedule import LOWER_RECV_FIRST, Schedule, Step, Transfer
 
@@ -45,35 +46,36 @@ def pairing_schedule(
     if n & (n - 1):
         raise ValueError(f"pairing schedules need a power-of-two size, got {n}")
     total_steps = nsteps if nsteps is not None else n - 1
-    steps: List[Step] = []
-    for j in range(1, total_steps + 1):
-        transfers: List[Transfer] = []
-        for rank in range(n):
-            partner = partner_fn(rank, j)
-            if partner == rank:
-                raise ValueError(
-                    f"{name}: pairing has a fixed point at rank {rank}, step {j}"
-                )
-            if partner_fn(partner, j) != rank:
-                raise ValueError(
-                    f"{name}: pairing is not an involution at step {j}: "
-                    f"{rank}->{partner}->{partner_fn(partner, j)}"
-                )
-            if rank < partner:  # emit each unordered pair once
-                fwd = pattern[rank, partner]
-                rev = pattern[partner, rank]
-                if fwd:
-                    transfers.append(Transfer(rank, partner, fwd))
-                if rev:
-                    transfers.append(Transfer(partner, rank, rev))
-        if transfers or keep_empty_steps:
-            steps.append(Step(tuple(transfers)))
-    return Schedule(
-        nprocs=n,
-        steps=tuple(steps),
-        name=name,
-        exchange_order=LOWER_RECV_FIRST,
-    )
+    with obs.span(f"build/{name}", category="build", nprocs=n):
+        steps: List[Step] = []
+        for j in range(1, total_steps + 1):
+            transfers: List[Transfer] = []
+            for rank in range(n):
+                partner = partner_fn(rank, j)
+                if partner == rank:
+                    raise ValueError(
+                        f"{name}: pairing has a fixed point at rank {rank}, step {j}"
+                    )
+                if partner_fn(partner, j) != rank:
+                    raise ValueError(
+                        f"{name}: pairing is not an involution at step {j}: "
+                        f"{rank}->{partner}->{partner_fn(partner, j)}"
+                    )
+                if rank < partner:  # emit each unordered pair once
+                    fwd = pattern[rank, partner]
+                    rev = pattern[partner, rank]
+                    if fwd:
+                        transfers.append(Transfer(rank, partner, fwd))
+                    if rev:
+                        transfers.append(Transfer(partner, rank, rev))
+            if transfers or keep_empty_steps:
+                steps.append(Step(tuple(transfers)))
+        return Schedule(
+            nprocs=n,
+            steps=tuple(steps),
+            name=name,
+            exchange_order=LOWER_RECV_FIRST,
+        )
 
 
 def uniform_pairing_schedule(
@@ -92,21 +94,22 @@ def uniform_pairing_schedule(
         raise ValueError(f"pairing schedules need a power-of-two size, got {nprocs}")
     if nbytes < 0:
         raise ValueError(f"nbytes must be non-negative, got {nbytes}")
-    steps = []
-    for j in range(1, nprocs):
-        transfers = []
-        for rank in range(nprocs):
-            partner = partner_fn(rank, j)
-            if rank < partner:
-                transfers.append(Transfer(rank, partner, nbytes))
-                transfers.append(Transfer(partner, rank, nbytes))
-        steps.append(Step(tuple(transfers)))
-    return Schedule(
-        nprocs=nprocs,
-        steps=tuple(steps),
-        name=name,
-        exchange_order=LOWER_RECV_FIRST,
-    )
+    with obs.span(f"build/{name}", category="build", nprocs=nprocs):
+        steps = []
+        for j in range(1, nprocs):
+            transfers = []
+            for rank in range(nprocs):
+                partner = partner_fn(rank, j)
+                if rank < partner:
+                    transfers.append(Transfer(rank, partner, nbytes))
+                    transfers.append(Transfer(partner, rank, nbytes))
+            steps.append(Step(tuple(transfers)))
+        return Schedule(
+            nprocs=nprocs,
+            steps=tuple(steps),
+            name=name,
+            exchange_order=LOWER_RECV_FIRST,
+        )
 
 
 def _xor_partner(rank: int, j: int) -> int:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..faults.model import FaultModel
 from ..faults.plan import FaultPlan
 from ..machine.fattree import fat_tree_for
@@ -139,30 +140,36 @@ def repair_schedule(
                 "inter-step data dependencies and cannot be re-sequenced"
             )
 
-    model = FaultModel(plan, fat_tree_for(config))
-    healthy = [step_cost_estimate(s, config) for s in schedule.steps]
-    degraded = [step_cost_estimate(s, config, model) for s in schedule.steps]
-    impact = [d - h for d, h in zip(degraded, healthy)]
-    root = [float(_root_bytes(s, config)) for s in schedule.steps]
+    with obs.span("build/repair", category="build", nprocs=schedule.nprocs):
+        model = FaultModel(plan, fat_tree_for(config))
+        healthy = [step_cost_estimate(s, config) for s in schedule.steps]
+        degraded = [
+            step_cost_estimate(s, config, model) for s in schedule.steps
+        ]
+        impact = [d - h for d, h in zip(degraded, healthy)]
+        root = [float(_root_bytes(s, config)) for s in schedule.steps]
 
-    # Heaviest fault impact first; original order breaks ties (stable).
-    order = sorted(range(schedule.nsteps), key=lambda i: (-impact[i], i))
+        # Heaviest fault impact first; original order breaks ties (stable).
+        order = sorted(range(schedule.nsteps), key=lambda i: (-impact[i], i))
 
-    # Rebalance root traffic inside equal-impact groups.
-    rebalanced: List[int] = []
-    group: List[int] = []
-    scale = max(max((abs(x) for x in impact), default=0.0), 1e-30)
-    for idx in order:
-        if group and abs(impact[group[0]] - impact[idx]) > _IMPACT_RTOL * scale:
-            rebalanced.extend(_spread(group, root))
-            group = []
-        group.append(idx)
-    rebalanced.extend(_spread(group, root))
+        # Rebalance root traffic inside equal-impact groups.
+        rebalanced: List[int] = []
+        group: List[int] = []
+        scale = max(max((abs(x) for x in impact), default=0.0), 1e-30)
+        for idx in order:
+            if (
+                group
+                and abs(impact[group[0]] - impact[idx]) > _IMPACT_RTOL * scale
+            ):
+                rebalanced.extend(_spread(group, root))
+                group = []
+            group.append(idx)
+        rebalanced.extend(_spread(group, root))
 
-    steps: Tuple[Step, ...] = tuple(schedule.steps[i] for i in rebalanced)
-    return Schedule(
-        nprocs=schedule.nprocs,
-        steps=steps,
-        name=f"{schedule.name}+repair",
-        exchange_order=schedule.exchange_order,
-    )
+        steps: Tuple[Step, ...] = tuple(schedule.steps[i] for i in rebalanced)
+        return Schedule(
+            nprocs=schedule.nprocs,
+            steps=steps,
+            name=f"{schedule.name}+repair",
+            exchange_order=schedule.exchange_order,
+        )

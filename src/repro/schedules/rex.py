@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from .. import obs
 from .schedule import LOWER_SEND_FIRST, Schedule, ScheduleError, Step, Transfer
 
 __all__ = ["recursive_exchange", "rex_partner", "verify_block_routing"]
@@ -47,28 +48,29 @@ def recursive_exchange(nprocs: int, nbytes: int) -> Schedule:
     if nbytes < 0:
         raise ValueError(f"nbytes must be non-negative, got {nbytes}")
     staged = nbytes * (nprocs // 2)
-    steps: List[Step] = []
-    nsteps = nprocs.bit_length() - 1  # lg N
-    for i in range(nsteps):
-        transfers: List[Transfer] = []
-        for rank in range(nprocs):
-            partner = rex_partner(rank, i, nprocs)
-            transfers.append(
-                Transfer(
-                    src=rank,
-                    dst=partner,
-                    nbytes=staged,
-                    pack_bytes=staged,
-                    unpack_bytes=staged,
+    with obs.span("build/REX", category="build", nprocs=nprocs):
+        steps: List[Step] = []
+        nsteps = nprocs.bit_length() - 1  # lg N
+        for i in range(nsteps):
+            transfers: List[Transfer] = []
+            for rank in range(nprocs):
+                partner = rex_partner(rank, i, nprocs)
+                transfers.append(
+                    Transfer(
+                        src=rank,
+                        dst=partner,
+                        nbytes=staged,
+                        pack_bytes=staged,
+                        unpack_bytes=staged,
+                    )
                 )
-            )
-        steps.append(Step(tuple(transfers)))
-    return Schedule(
-        nprocs=nprocs,
-        steps=tuple(steps),
-        name="REX",
-        exchange_order=LOWER_SEND_FIRST,
-    )
+            steps.append(Step(tuple(transfers)))
+        return Schedule(
+            nprocs=nprocs,
+            steps=tuple(steps),
+            name="REX",
+            exchange_order=LOWER_SEND_FIRST,
+        )
 
 
 def verify_block_routing(nprocs: int) -> Dict[int, Set[Tuple[int, int]]]:

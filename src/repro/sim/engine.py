@@ -59,6 +59,11 @@ from .process import (
 )
 from .trace import NULL_TRACE, MessageRecord, PhaseRecord, RetryRecord, Trace
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Tracer
+
 __all__ = ["Engine", "SimResult", "DeadlockError"]
 
 #: Events closer together than this are treated as simultaneous.
@@ -131,6 +136,7 @@ class Engine:
         seed: int = 0,
         faults: Optional[FaultPlan] = None,
         max_trace_records: Optional[int] = None,
+        tracer: Optional["Tracer"] = None,
     ):
         self.config = config
         self.params = config.params
@@ -139,6 +145,17 @@ class Engine:
         self.net = FluidNetwork(
             self.tree, seed=seed, link_scales=self.faults.link_scales
         )
+        self.tracer = tracer
+        #: Cause dict for the resume that will close a rank's open op;
+        #: set just before scheduling the resume, popped in _resume.
+        #: Safe because a rank has at most one blocked op at a time.
+        self._op_causes: Dict[int, dict] = {}
+        if tracer is not None:
+            if tracer.link_util is None:
+                from ..obs import LinkUtilization
+
+                tracer.link_util = LinkUtilization(self.tree)
+            self.net.observer = tracer.link_util.record
         self.costs = NodeCostModel(self.params)
         self.control = ControlNetwork(self.params)
         self.queue = EventQueue()
@@ -200,8 +217,14 @@ class Engine:
             raise DeadlockError(self._deadlock_report(unfinished))
 
         finish = [p.finish_time if p.finish_time is not None else 0.0 for p in self.procs]
+        makespan = max(finish) if finish else 0.0
+        if self.tracer is not None:
+            self.tracer.meta["makespan"] = makespan
+            self.tracer.meta["nprocs"] = self.config.nprocs
+            self.tracer.metrics.counter("sim.messages").inc(self._messages_done)
+            self.tracer.metrics.gauge("sim.makespan_seconds").set(makespan)
         return SimResult(
-            makespan=max(finish) if finish else 0.0,
+            makespan=makespan,
             finish_times=finish,
             results=[p.result for p in self.procs],
             trace=self.trace,
@@ -217,6 +240,10 @@ class Engine:
 
     def _resume(self, proc: Process, value: Any) -> None:
         """Advance one rank's generator with ``value`` and dispatch."""
+        if self.tracer is not None:
+            self.tracer.op_end(
+                proc.rank, self.now, self._op_causes.pop(proc.rank, None)
+            )
         if proc.state in (
             ProcState.BLOCKED_SEND,
             ProcState.BLOCKED_RECV,
@@ -236,7 +263,32 @@ class Engine:
             return
         self._dispatch(proc, request)
 
+    _OP_KINDS = {
+        Send: "send",
+        Isend: "isend",
+        Wait: "wait",
+        Recv: "recv",
+        Delay: "delay",
+        Barrier: "barrier",
+        SysBroadcast: "bcast",
+        Reduce: "reduce",
+    }
+
+    def _trace_op_begin(self, proc: Process, request: Any) -> None:
+        kind = self._OP_KINDS.get(type(request), "op")
+        if kind in ("send", "isend"):
+            detail = f"->{request.dst} {request.nbytes}B tag={request.tag}"
+        elif kind == "recv":
+            detail = f"<-{'ANY' if request.src < 0 else request.src}"
+        elif kind == "delay":
+            detail = f"{request.seconds:.3e}s"
+        else:
+            detail = ""
+        self.tracer.op_begin(proc.rank, kind, self.now, detail)
+
     def _dispatch(self, proc: Process, request: Any) -> None:
+        if self.tracer is not None:
+            self._trace_op_begin(proc, request)
         if isinstance(request, Send):
             proc.state = ProcState.BLOCKED_SEND
             proc.waiting_on = f"send to {request.dst} ({request.nbytes}B)"
@@ -287,6 +339,12 @@ class Engine:
                 waiters, self._barrier_waiting = self._barrier_waiting, []
                 done_at = self.now + self.control.barrier(self.config.nprocs)
                 for p in waiters:
+                    if self.tracer is not None:
+                        self._op_causes[p.rank] = {
+                            "kind": "barrier",
+                            "last_rank": proc.rank,
+                            "last_arrival": self.now,
+                        }
                     self._schedule(done_at, lambda p=p: self._resume(p, None))
         elif isinstance(request, SysBroadcast):
             self._join_collective(proc, "bcast", request)
@@ -378,19 +436,41 @@ class Engine:
             # between the same endpoints/tag gets a fresh attempt count.
             self._attempts.pop((inf.send.src, inf.send.dst, inf.send.tag), None)
         self._messages_done += 1
+        trc = self.tracer
+
+        def _cause(side: str, delivered: float) -> dict:
+            return {
+                "kind": "message",
+                "side": side,
+                "src": inf.send.src,
+                "dst": inf.send.dst,
+                "nbytes": inf.send.nbytes,
+                "tag": inf.send.tag,
+                "send_posted": inf.send.posted_at,
+                "matched_at": inf.matched_at,
+                "delivered_at": delivered,
+            }
+
         if inf.handle is not None:
             # Non-blocking send: flip the handle, release any waiter.
             inf.handle.done = True
             waiter = self._waiters.pop(inf.handle.seq, None)
             if waiter is not None:
+                if trc is not None:
+                    self._op_causes[waiter.rank] = _cause("send", self.now)
                 self._schedule(self.now, lambda: self._resume(waiter, None))
         else:
             # Synchronous send: the rendezvous ack resumes the sender.
+            if trc is not None:
+                self._op_causes[inf.sender.rank] = _cause("send", self.now)
             self._schedule(self.now, lambda: self._resume(inf.sender, None))
         # Receiver pays its software service time, then gets the payload.
         done_at = self.now + self.costs.recv_service() * self._overhead_slow[
             inf.send.dst
         ]
+        if trc is not None:
+            self._op_causes[inf.receiver.rank] = _cause("recv", done_at)
+            trc.metrics.counter("sim.bytes_delivered").inc(inf.send.nbytes)
         payload = inf.send.payload
         self._schedule(done_at, lambda: self._resume(inf.receiver, payload))
         self.trace.add_message(
@@ -434,6 +514,16 @@ class Engine:
             # The re-posted receive matched some other pending send.
             self._start_transfer(send, recv)
         sender = inf.sender
+        if self.tracer is not None:
+            self._op_causes[sender.rank] = {
+                "kind": "retry",
+                "src": inf.send.src,
+                "dst": inf.send.dst,
+                "tag": inf.send.tag,
+                "attempt": inf.attempt,
+                "failed_at": self.now,
+            }
+            self.tracer.metrics.counter("sim.drops").inc()
         self._schedule(
             self.now + inf.drop_detect, lambda: self._resume(sender, DROPPED)
         )
@@ -480,6 +570,15 @@ class Engine:
         self, kind: str, members: List[Tuple[Process, Any]]
     ) -> None:
         n = self.config.nprocs
+        if self.tracer is not None:
+            # Members are in arrival order; the last one released everyone.
+            last_rank = members[-1][0].rank
+            for p, _ in members:
+                self._op_causes[p.rank] = {
+                    "kind": kind,
+                    "last_rank": last_rank,
+                    "last_arrival": self.now,
+                }
         if kind == "bcast":
             roots = {req.root for _, req in members}
             if len(roots) != 1:

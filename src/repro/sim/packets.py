@@ -94,6 +94,10 @@ class PacketNetwork:
                     (t_inject, next(counter), _Packet(idx, seq, path)),
                 )
 
+        from .. import obs
+
+        obs.count("packet.messages", len(messages))
+        obs.count("packet.packets", sum(m.n_packets for m in messages))
         while events:
             t, _, pkt = heapq.heappop(events)
             if pkt.hop >= len(pkt.path):
@@ -145,22 +149,28 @@ def packet_schedule_time(schedule: "Schedule", config: MachineConfig) -> float:
             f"schedule is for {schedule.nprocs} procs, machine has "
             f"{config.nprocs}"
         )
+    from .. import obs
     from ..machine.fattree import fat_tree_for
 
     params = config.params
     net = PacketNetwork(fat_tree_for(config))
     total = 0.0
-    for step in schedule.steps:
-        messages = [PacketMessage(t.src, t.dst, t.nbytes) for t in step]
-        wire_done = max(net.run(messages), default=0.0)
-        endpoint: Dict[int, float] = defaultdict(float)
-        for t in step:
-            endpoint[t.src] += params.send_overhead + params.memcpy_time(
-                t.pack_bytes
-            )
-            endpoint[t.dst] += params.recv_overhead + params.memcpy_time(
-                t.unpack_bytes
-            )
-        software = max(endpoint.values(), default=0.0)
-        total += wire_done + software
+    with obs.span(
+        f"execute/packet[{schedule.name}]",
+        category="execute",
+        nprocs=config.nprocs,
+    ):
+        for step in schedule.steps:
+            messages = [PacketMessage(t.src, t.dst, t.nbytes) for t in step]
+            wire_done = max(net.run(messages), default=0.0)
+            endpoint: Dict[int, float] = defaultdict(float)
+            for t in step:
+                endpoint[t.src] += params.send_overhead + params.memcpy_time(
+                    t.pack_bytes
+                )
+                endpoint[t.dst] += params.recv_overhead + params.memcpy_time(
+                    t.unpack_bytes
+                )
+            software = max(endpoint.values(), default=0.0)
+            total += wire_done + software
     return total

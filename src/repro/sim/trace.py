@@ -89,11 +89,20 @@ class TraceSummary:
     #: subsequently delivered.  Zero means the retry layer repaired
     #: every loss.
     lost_bytes: int
+    #: Exact number of phase records emitted (immune to ``max_records``).
+    phase_count: int = 0
+    #: True when ``max_records`` clipped at least one per-record list —
+    #: the retained lists (and queries over them, e.g.
+    #: ``global_fraction()``) then cover only a prefix of the run.
+    truncated: bool = False
 
     def render(self) -> str:
+        note = " [truncated]" if self.truncated else ""
         return (
-            f"{self.message_count} messages, {self.retry_count} retries, "
+            f"{self.message_count} messages, {self.phase_count} phases, "
+            f"{self.retry_count} retries, "
             f"{self.delivered_bytes} B delivered, {self.lost_bytes} B lost"
+            f"{note}"
         )
 
 
@@ -114,24 +123,36 @@ class Trace:
 
     # Exact counters (immune to the max_records cap).
     message_count: int = 0
+    phase_count: int = 0
     retry_count: int = 0
     delivered_bytes: int = 0
     #: Messages dropped at least once and not yet redelivered, keyed by
     #: (src, dst, tag) -> nbytes.  Drained on delivery, so it stays small.
     _outstanding: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    #: True once any per-record list refused an append (cap reached).
+    _truncated: bool = False
 
     def __post_init__(self) -> None:
         if self.max_records is not None and self.max_records < 0:
             raise ValueError(f"max_records must be >= 0, got {self.max_records}")
         # Allow construction from pre-built record lists (tests do this).
         self.message_count = self.message_count or len(self.messages)
+        self.phase_count = self.phase_count or len(self.phases)
         self.retry_count = self.retry_count or len(self.retries)
         self.delivered_bytes = self.delivered_bytes or sum(
             m.nbytes for m in self.messages
         )
 
     def _retain(self, records: list) -> bool:
-        return self.max_records is None or len(records) < self.max_records
+        if self.max_records is None or len(records) < self.max_records:
+            return True
+        self._truncated = True
+        return False
+
+    @property
+    def truncated(self) -> bool:
+        """True when ``max_records`` clipped at least one record list."""
+        return self._truncated
 
     def add_message(self, rec: MessageRecord) -> None:
         self.message_count += 1
@@ -141,6 +162,7 @@ class Trace:
             self.messages.append(rec)
 
     def add_phase(self, rec: PhaseRecord) -> None:
+        self.phase_count += 1
         if self._retain(self.phases):
             self.phases.append(rec)
 
@@ -162,6 +184,8 @@ class Trace:
             retry_count=self.retry_count,
             delivered_bytes=self.delivered_bytes,
             lost_bytes=self.lost_bytes,
+            phase_count=self.phase_count,
+            truncated=self._truncated,
         )
 
     # -- convenience queries (over retained records) -------------------

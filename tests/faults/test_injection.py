@@ -171,6 +171,10 @@ def test_max_records_caps_lists_not_counters():
     capped = run(pex, MESSY_PLAN, trace=True, max_trace_records=5).sim.trace
     assert len(capped.messages) == 5
     assert len(full.messages) == full.message_count > 5
-    # Aggregates stay exact despite the cap.
-    assert capped.summary() == full.summary()
+    # Aggregates stay exact despite the cap; only the truncation flag
+    # (which reports the clipped lists) differs between the two runs.
+    import dataclasses
+
+    assert dataclasses.replace(capped.summary(), truncated=False) == full.summary()
+    assert capped.truncated and not full.truncated
     assert capped.total_bytes() == full.total_bytes()

@@ -1,0 +1,118 @@
+"""Critical-path walk: the chain must cover the makespan exactly."""
+
+import pytest
+
+from repro import obs
+from repro.machine import CM5Params, MachineConfig
+from repro.obs import OpRecord, critical_path, render_critical_path
+from repro.schedules import (
+    balanced_exchange,
+    execute_schedule,
+    pairwise_exchange,
+    recursive_exchange,
+)
+
+N = 16
+CFG = MachineConfig(N, CM5Params(routing_jitter=0.0))
+
+BUILDERS = {
+    "BEX": balanced_exchange,
+    "PEX": pairwise_exchange,
+    "REX": recursive_exchange,
+}
+
+
+def walk(build):
+    with obs.tracing() as tracer:
+        execute_schedule(build(N, 256), CFG)
+    makespan = tracer.meta["makespan"]
+    return critical_path(tracer.rank_ops, makespan), makespan
+
+
+class TestExactness:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_chain_length_equals_makespan(self, name):
+        cp, makespan = walk(BUILDERS[name])
+        assert cp.complete, f"{name}: walk did not reach t=0"
+        assert cp.length == pytest.approx(makespan, abs=1e-9)
+
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_segments_are_contiguous_and_ordered(self, name):
+        cp, makespan = walk(BUILDERS[name])
+        assert cp.segments[0].start == pytest.approx(0.0, abs=1e-12)
+        assert cp.segments[-1].end == pytest.approx(makespan, abs=1e-12)
+        for a, b in zip(cp.segments, cp.segments[1:]):
+            assert b.start == pytest.approx(a.end, abs=1e-9)
+
+    def test_rex_attributes_local_pack_time(self):
+        cp, _ = walk(BUILDERS["REX"])
+        totals = cp.category_totals()
+        # Store-and-forward REX spends real time in pack/unpack delays.
+        assert totals.get("local", 0.0) > 0.0
+        assert totals.get("wire", 0.0) > 0.0
+
+    def test_category_totals_sum_to_length(self):
+        cp, _ = walk(BUILDERS["BEX"])
+        assert sum(cp.category_totals().values()) == pytest.approx(cp.length)
+
+    def test_path_crosses_ranks(self):
+        cp, _ = walk(BUILDERS["BEX"])
+        assert len(cp.ranks_visited()) > 1
+
+
+class TestRender:
+    def test_render_mentions_attribution_and_hops(self):
+        cp, _ = walk(BUILDERS["BEX"])
+        text = render_critical_path(cp)
+        assert "attribution:" in text
+        assert "chain" in text
+        assert "wire" in text
+
+    def test_render_elides_long_chains(self):
+        cp, _ = walk(BUILDERS["PEX"])
+        text = render_critical_path(cp, max_hops=6)
+        assert "elided" in text
+
+
+class TestSyntheticTimelines:
+    def test_single_rank_delay_chain(self):
+        ops = {
+            0: [
+                OpRecord(0, "delay", 0.0, 1.0),
+                OpRecord(0, "delay", 1.0, 3.0),
+            ]
+        }
+        cp = critical_path(ops, 3.0)
+        assert cp.complete
+        assert cp.length == pytest.approx(3.0)
+        assert all(s.category == "local" for s in cp.segments)
+
+    def test_gap_becomes_idle_segment(self):
+        ops = {0: [OpRecord(0, "delay", 1.0, 2.0)]}
+        cp = critical_path(ops, 2.0)
+        assert cp.length == pytest.approx(2.0)
+        assert cp.segments[0].category == "idle"
+
+    def test_recv_jumps_to_sender(self):
+        cause = {
+            "kind": "message",
+            "side": "recv",
+            "src": 1,
+            "dst": 0,
+            "nbytes": 64,
+            "tag": 0,
+            "send_posted": 0.0,
+            "matched_at": 1.0,
+            "delivered_at": 2.0,
+        }
+        ops = {
+            0: [OpRecord(0, "recv", 0.5, 2.0, cause=cause)],
+            1: [OpRecord(1, "send", 0.0, 1.0)],
+        }
+        cp = critical_path(ops, 2.0)
+        assert cp.complete
+        assert set(cp.ranks_visited()) == {0, 1}
+
+    def test_empty_timeline(self):
+        cp = critical_path({}, 0.0)
+        assert cp.segments == [] or cp.length == 0.0

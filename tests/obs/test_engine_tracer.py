@@ -1,0 +1,99 @@
+"""Attaching a tracer must observe the simulation, never change it."""
+
+import pytest
+
+from repro import obs
+from repro.faults import FaultPlan, MessageDrop
+from repro.machine import CM5Params, MachineConfig
+from repro.schedules import balanced_exchange, execute_schedule, pairwise_exchange
+
+N = 16
+CFG = MachineConfig(N, CM5Params(routing_jitter=0.0))
+
+
+class TestNonPerturbation:
+    def test_makespan_and_event_stream_identical(self):
+        sched = balanced_exchange(N, 256)
+        plain = execute_schedule(sched, CFG, trace=True)
+        with obs.tracing():
+            traced = execute_schedule(sched, CFG, trace=True)
+        assert traced.time_ms == plain.time_ms
+        assert (
+            traced.sim.trace.event_stream() == plain.sim.trace.event_stream()
+        )
+
+    def test_fault_run_identical_under_tracing(self):
+        sched = pairwise_exchange(8, 256)
+        plan = FaultPlan((MessageDrop(0.05),), seed=3)
+        plain = execute_schedule(sched, CFG8, faults=plan, trace=True)
+        with obs.tracing():
+            traced = execute_schedule(sched, CFG8, faults=plan, trace=True)
+        assert traced.time_ms == plain.time_ms
+        assert (
+            traced.sim.trace.event_stream() == plain.sim.trace.event_stream()
+        )
+
+
+CFG8 = MachineConfig(8, CM5Params(routing_jitter=0.0))
+
+
+class TestWhatTheTracerSees:
+    def run(self, faults=None):
+        with obs.tracing() as tracer:
+            res = execute_schedule(
+                balanced_exchange(N, 256), CFG, faults=faults, trace=True
+            )
+        return tracer, res
+
+    def test_rank_ops_tile_the_makespan(self):
+        tracer, res = self.run()
+        makespan = tracer.meta["makespan"]
+        assert makespan == pytest.approx(res.time_ms * 1e-3)
+        for rank, ops in tracer.rank_ops.items():
+            assert ops[0].start == 0.0
+            for a, b in zip(ops, ops[1:]):
+                assert b.start == pytest.approx(a.end, abs=1e-12)
+        finish = {r: ops[-1].end for r, ops in tracer.rank_ops.items()}
+        assert max(finish.values()) == pytest.approx(makespan)
+
+    def test_meta_and_metrics_populated(self):
+        tracer, res = self.run()
+        assert tracer.meta["nprocs"] == N
+        assert tracer.meta["algorithm"] == "BEX"
+        counters = tracer.metrics.counters
+        assert counters["sim.messages"].value == res.sim.message_count
+        assert counters["sim.bytes_delivered"].value > 0
+        assert counters["net.allocations"].value > 0
+        assert tracer.metrics.gauges["sim.makespan_seconds"].value == (
+            tracer.meta["makespan"]
+        )
+
+    def test_link_utilization_attached_and_sampled(self):
+        tracer, _ = self.run()
+        lu = tracer.link_util
+        assert lu is not None
+        assert len(lu.samples) > 0
+        assert 0.0 < lu.peak_utilization() <= 1.0 + 1e-9
+        # Samples are in non-decreasing time order.
+        times = [t for t, _ in lu.samples]
+        assert times == sorted(times)
+
+    def test_build_span_recorded(self):
+        with obs.tracing() as tracer:
+            balanced_exchange(N, 256)
+        names = [s.name for s in tracer.spans]
+        assert any(n.startswith("build/") for n in names)
+        assert tracer.category_seconds().get("build", 0.0) > 0.0
+
+    def test_fault_counters(self):
+        plan = FaultPlan((MessageDrop(0.05),), seed=3)
+        tracer, res = self.run(faults=plan)
+        retries = res.sim.trace.summary().retry_count
+        assert tracer.metrics.counters["faults.drops"].value == retries
+        if retries:
+            assert tracer.metrics.counters["sim.drops"].value == retries
+
+    def test_disabled_tracing_records_nothing(self):
+        assert obs.current() is None
+        res = execute_schedule(balanced_exchange(8, 128), CFG8, trace=True)
+        assert res.sim.message_count > 0

@@ -1,0 +1,145 @@
+"""Perfetto export: schema validity, round-trip fidelity, determinism."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.machine import CM5Params, MachineConfig
+from repro.obs import (
+    NET_PID,
+    TRACE_SCHEMA,
+    build_perfetto,
+    load_perfetto,
+    messages_from_perfetto,
+    ops_from_perfetto,
+    validate_perfetto,
+    write_perfetto,
+)
+from repro.schedules import balanced_exchange, execute_schedule
+
+N = 8
+CFG = MachineConfig(N, CM5Params(routing_jitter=0.0))
+
+
+def traced_run():
+    with obs.tracing() as tracer:
+        res = execute_schedule(balanced_exchange(N, 128), CFG, trace=True)
+    return tracer, res
+
+
+class TestBuildAndValidate:
+    def test_document_is_schema_valid(self):
+        tracer, res = traced_run()
+        doc = build_perfetto(tracer, trace=res.sim.trace)
+        assert validate_perfetto(doc) == []
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+        assert doc["otherData"]["algorithm"] == "BEX"
+        assert doc["otherData"]["nprocs"] == N
+
+    def test_event_inventory(self):
+        tracer, res = traced_run()
+        doc = build_perfetto(tracer, trace=res.sim.trace)
+        cats = {ev.get("cat") for ev in doc["traceEvents"] if ev["ph"] == "X"}
+        assert {"op", "message"} <= cats
+        n_msgs = sum(
+            1
+            for ev in doc["traceEvents"]
+            if ev.get("cat") == "message" and ev["pid"] == NET_PID
+        )
+        assert n_msgs == res.sim.message_count
+
+    def test_wall_spans_excluded_by_default(self):
+        tracer, res = traced_run()
+        doc = build_perfetto(tracer, trace=res.sim.trace)
+        wall = build_perfetto(tracer, trace=res.sim.trace, include_wall=True)
+        host_cats = {
+            ev.get("cat")
+            for ev in wall["traceEvents"]
+            if ev.get("pid") == obs.HOST_PID and ev["ph"] == "X"
+        }
+        assert "execute" in host_cats
+        assert len(wall["traceEvents"]) > len(doc["traceEvents"])
+
+    def test_validate_rejects_broken_docs(self):
+        assert validate_perfetto([]) == ["top level is not a JSON object"]
+        assert "traceEvents" in validate_perfetto({})[0]
+        bad_schema = {"traceEvents": [], "otherData": {"schema": "nope"}}
+        assert any("schema" in p for p in validate_perfetto(bad_schema))
+        bad_event = {
+            "traceEvents": [{"ph": "Q", "name": "x", "pid": 0, "tid": 0}],
+            "otherData": {"schema": TRACE_SCHEMA},
+        }
+        assert any("unsupported phase" in p for p in validate_perfetto(bad_event))
+
+    def test_validate_caps_problem_list(self):
+        doc = {
+            "traceEvents": [{"ph": "Q"}] * 100,
+            "otherData": {"schema": TRACE_SCHEMA},
+        }
+        problems = validate_perfetto(doc)
+        assert len(problems) <= 22
+        assert problems[-1].startswith("...")
+
+
+class TestRoundTrip:
+    def test_ops_reconstruct_bit_exactly(self):
+        tracer, res = traced_run()
+        doc = build_perfetto(tracer, trace=res.sim.trace)
+        rank_ops, makespan = ops_from_perfetto(doc)
+        assert makespan == tracer.meta["makespan"]
+        assert set(rank_ops) == set(tracer.rank_ops)
+        for rank, ops in tracer.rank_ops.items():
+            got = rank_ops[rank]
+            assert [(o.kind, o.start, o.end) for o in got] == [
+                (o.kind, o.start, o.end) for o in ops
+            ]
+
+    def test_messages_reconstruct_bit_exactly(self):
+        tracer, res = traced_run()
+        doc = build_perfetto(tracer, trace=res.sim.trace)
+        got = messages_from_perfetto(doc)
+        assert sorted(
+            (m.src, m.dst, m.tag, m.send_posted, m.delivered_at) for m in got
+        ) == sorted(
+            (m.src, m.dst, m.tag, m.send_posted, m.delivered_at)
+            for m in res.sim.trace.messages
+        )
+
+    def test_write_load_round_trip(self, tmp_path):
+        tracer, res = traced_run()
+        doc = build_perfetto(tracer, trace=res.sim.trace)
+        path = tmp_path / "trace.json"
+        write_perfetto(doc, path)
+        assert load_perfetto(path) == json.loads(json.dumps(doc))
+
+    def test_export_is_byte_deterministic(self, tmp_path):
+        paths = []
+        for i in range(2):
+            tracer, res = traced_run()
+            p = tmp_path / f"t{i}.json"
+            write_perfetto(build_perfetto(tracer, trace=res.sim.trace), p)
+            paths.append(p)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+class TestLoadErrors:
+    def test_missing_file_one_line_error(self, tmp_path):
+        with pytest.raises(ValueError) as err:
+            load_perfetto(tmp_path / "nope.json")
+        msg = str(err.value)
+        assert msg.startswith("cannot read trace file") and "\n" not in msg
+
+    def test_invalid_json_one_line_error(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{nope")
+        with pytest.raises(ValueError) as err:
+            load_perfetto(p)
+        msg = str(err.value)
+        assert msg.startswith("malformed trace file") and "\n" not in msg
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        p = tmp_path / "alien.json"
+        p.write_text(json.dumps({"traceEvents": [], "otherData": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_perfetto(p)

@@ -1,0 +1,85 @@
+"""Root-link traffic series: BEX flat, PEX spiked (paper section 3.4)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.machine import CM5Params, MachineConfig
+from repro.obs import (
+    FLAT_BALANCE_THRESHOLD,
+    RootTraffic,
+    render_root_traffic,
+    root_traffic_from_trace,
+    write_root_traffic,
+)
+from repro.schedules import balanced_exchange, execute_schedule, pairwise_exchange
+
+N = 16
+CFG = MachineConfig(N, CM5Params(routing_jitter=0.0))
+
+
+def series(build, label):
+    with obs.tracing():
+        res = execute_schedule(build(N, 256), CFG, trace=True)
+    return root_traffic_from_trace(res.sim.trace.messages, label, N)
+
+
+class TestPaperClaim:
+    def test_bex_is_flat(self):
+        rt = series(balanced_exchange, "BEX")
+        assert rt.zero_steps == 0
+        assert rt.balance <= FLAT_BALANCE_THRESHOLD
+        assert rt.classify() == "flat"
+
+    def test_pex_is_spiked(self):
+        rt = series(pairwise_exchange, "PEX")
+        assert rt.zero_steps >= 1
+        assert rt.classify() == "spiked"
+
+    def test_same_total_volume(self):
+        bex = series(balanced_exchange, "BEX")
+        pex = series(pairwise_exchange, "PEX")
+        assert bex.total_global == pex.total_global > 0
+        assert len(bex.steps) == len(pex.steps) == N - 1
+
+
+class TestClassification:
+    def test_empty(self):
+        rt = RootTraffic("X", 4, [], [], [])
+        assert rt.classify() == "empty"
+        assert rt.balance == 0.0
+
+    def test_all_local_is_empty(self):
+        rt = RootTraffic("X", 4, [0, 1], [0, 0], [0, 0])
+        assert rt.classify() == "empty"
+
+    def test_uneven_without_zeros(self):
+        rt = RootTraffic("X", 4, [0, 1, 2], [1, 1, 10], [0, 0, 0])
+        assert rt.zero_steps == 0
+        assert rt.classify() == "uneven"
+
+    def test_perfectly_flat(self):
+        rt = RootTraffic("X", 4, [0, 1], [5, 5], [5, 5])
+        assert rt.balance == pytest.approx(1.0)
+        assert rt.classify() == "flat"
+
+
+class TestArtifacts:
+    def test_render_names_the_verdicts(self):
+        text = render_root_traffic(
+            [series(balanced_exchange, "BEX"), series(pairwise_exchange, "PEX")]
+        )
+        assert "flat" in text and "spiked" in text
+        assert "BEX" in text and "PEX" in text
+
+    def test_write_produces_txt_and_json(self, tmp_path):
+        rt = series(balanced_exchange, "BEX")
+        txt, js = write_root_traffic([rt], outdir=tmp_path)
+        assert txt.exists() and js.exists()
+        doc = json.loads(js.read_text())
+        assert doc["schema"] == "repro-root-traffic/1"
+        assert doc["metric"] == "root_link_bytes_per_step"
+        (run,) = doc["runs"]
+        assert run["classification"] == "flat"
+        assert run["total_global"] == rt.total_global

@@ -1,0 +1,106 @@
+"""Tracer spans, op records and the module-level enable/disable gate."""
+
+import pytest
+
+from repro import obs
+from repro.obs import Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock for wall-span tests."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class TestSpans:
+    def test_span_records_interval_and_attrs(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("build/bex", category="build", nprocs=8):
+            pass
+        (s,) = tr.spans
+        assert s.name == "build/bex"
+        assert s.category == "build"
+        assert s.attrs["nprocs"] == 8
+        assert s.end > s.start
+
+    def test_span_ids_deterministic_and_nested(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        inner, outer = tr.spans  # closed in inner-first order
+        assert inner.name == "inner" and outer.name == "outer"
+        assert outer.span_id == 1 and inner.span_id == 2
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_category_seconds_counts_outermost_only(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("outer", category="build"):
+            with tr.span("inner", category="build"):
+                pass
+        # The nested build span must not double-count inside its parent.
+        assert tr.category_seconds()["build"] == pytest.approx(
+            tr.spans[-1].duration
+        )
+
+    def test_distinct_categories_accumulate_independently(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("a", category="build"):
+            with tr.span("b", category="execute"):
+                pass
+        cats = tr.category_seconds()
+        assert set(cats) == {"build", "execute"}
+
+
+class TestOpRecords:
+    def test_op_begin_end_roundtrip(self):
+        tr = Tracer()
+        tr.op_begin(3, "send", 1.0, detail="->0 64B tag=0")
+        tr.op_end(3, 2.5, cause={"kind": "message"})
+        (op,) = tr.rank_ops[3]
+        assert op.kind == "send" and op.start == 1.0 and op.end == 2.5
+        assert op.duration == 1.5
+        assert op.cause == {"kind": "message"}
+        assert tr.total_ops() == 1
+
+    def test_op_end_without_open_op_is_noop(self):
+        tr = Tracer()
+        tr.op_end(0, 1.0)
+        assert tr.rank_ops == {}
+
+
+class TestModuleGate:
+    def test_disabled_span_is_shared_null(self):
+        assert not obs.enabled()
+        a, b = obs.span("x"), obs.span("y", category="z")
+        assert a is b
+        with a:
+            pass  # must be a working no-op context manager
+
+    def test_disabled_count_and_observe_are_noops(self):
+        obs.count("nope")
+        obs.observe("nope", 1.0)
+        assert obs.current() is None
+
+    def test_tracing_installs_and_restores(self):
+        with obs.tracing() as tr:
+            assert obs.enabled() and obs.current() is tr
+            obs.count("hits", 3)
+            with obs.span("s", category="c"):
+                pass
+        assert not obs.enabled()
+        assert tr.metrics.counters["hits"].value == 3
+        assert tr.spans[0].name == "s"
+
+    def test_tracing_nests_and_restores_previous(self):
+        with obs.tracing() as outer:
+            with obs.tracing() as inner:
+                assert obs.current() is inner
+            assert obs.current() is outer

@@ -1,6 +1,17 @@
 """Unit tests for trace records and queries."""
 
-from repro.sim.trace import NULL_TRACE, MessageRecord, PhaseRecord, Trace
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.trace import (
+    NULL_TRACE,
+    MessageRecord,
+    PhaseRecord,
+    RetryRecord,
+    Trace,
+)
 
 
 def rec(src=0, dst=1, nbytes=64, t0=0.0, t1=1.0, t2=2.0, level=1):
@@ -58,3 +69,61 @@ class TestTrace:
         NULL_TRACE.add_phase(PhaseRecord(0, "x", 0.0, 1.0))
         assert NULL_TRACE.messages == []
         assert NULL_TRACE.phases == []
+
+
+class TestMaxRecords:
+    """Edge cases of the max_records retention cap."""
+
+    def _filled(self, cap):
+        t = Trace(max_records=cap)
+        for i in range(4):
+            t.add_message(rec(src=i, nbytes=10 * (i + 1)))
+            t.add_phase(PhaseRecord(i, "compute", float(i), float(i) + 0.5))
+            t.add_retry(
+                RetryRecord(
+                    src=i, dst=9, nbytes=8, tag=i, attempt=0,
+                    posted_at=float(i), failed_at=float(i) + 0.1,
+                )
+            )
+        return t
+
+    def test_cap_zero_retains_nothing_counts_everything(self):
+        t = self._filled(0)
+        assert t.messages == [] and t.phases == [] and t.retries == []
+        assert t.message_count == 4
+        assert t.phase_count == 4
+        assert t.retry_count == 4
+        assert t.delivered_bytes == 100
+        assert t.truncated
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(max_records=-1)
+
+    def test_counters_exact_past_cap(self):
+        capped, full = self._filled(2), self._filled(None)
+        assert len(capped.messages) == len(capped.phases) == 2
+        assert capped.summary() == replace(full.summary(), truncated=True)
+        assert capped.truncated and not full.truncated
+
+    def test_cap_above_volume_never_truncates(self):
+        t = self._filled(100)
+        assert not t.truncated
+        assert len(t.messages) == 4
+
+    def test_event_stream_byte_stable_under_truncation(self):
+        a, b = self._filled(2), self._filled(2)
+        assert a.event_stream() == b.event_stream()
+        # The stream covers exactly the retained prefix plus the exact
+        # summary (which reports the truncation).
+        lines = a.event_stream().splitlines()
+        assert len(lines) == 2 + 2 + 2 + 1
+        summary = json.loads(lines[-1])
+        assert summary["kind"] == "summary"
+        assert summary["message_count"] == 4
+        assert summary["phase_count"] == 4
+        assert summary["truncated"] is True
+
+    def test_summary_render_mentions_truncation(self):
+        assert "[truncated]" in self._filled(1).summary().render()
+        assert "[truncated]" not in self._filled(None).summary().render()

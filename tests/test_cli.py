@@ -1,5 +1,7 @@
 """CLI smoke tests (quick mode)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -198,3 +200,94 @@ class TestConformanceCommand:
         assert "zero ranking inversions" in out
         assert (tmp_path / "results" / "conformance.txt").exists()
         assert (tmp_path / "results" / "conformance.json").exists()
+
+
+class TestObservabilityCommands:
+    def _export(self, tmp_path, capsys, nprocs="8"):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                ["trace", "--nprocs", nprocs, "--nbytes", "128",
+                 "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return out
+
+    def test_trace_writes_valid_perfetto(self, tmp_path, capsys):
+        out = self._export(tmp_path, capsys)
+        doc = json.loads(out.read_text())
+        assert doc["otherData"]["schema"] == "repro-trace/1"
+        assert doc["traceEvents"]
+
+    def test_trace_check_mode(self, tmp_path, capsys):
+        out = self._export(tmp_path, capsys)
+        assert main(["trace", "--check", str(out)]) == 0
+        assert "valid repro-trace/1" in capsys.readouterr().out
+
+    def test_trace_check_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["trace", "--check", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "\n" not in err.rstrip("\n")
+
+    def test_trace_unknown_format_exits_2(self, capsys):
+        assert main(["trace", "--format", "pprof"]) == 2
+        assert "pprof" in capsys.readouterr().err
+
+    def test_trace_unknown_algorithm_exits_2(self, capsys):
+        assert main(["trace", "--algorithm", "warp"]) == 2
+        assert "warp" in capsys.readouterr().err
+
+    def test_critpath_live_run_covers_makespan(self, capsys):
+        assert main(["critpath", "--nprocs", "8", "--nbytes", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out and "attribution:" in out
+
+    def test_critpath_from_trace_file(self, tmp_path, capsys):
+        out = self._export(tmp_path, capsys)
+        assert main(["critpath", "--trace", str(out)]) == 0
+        assert "critical path:" in capsys.readouterr().out
+
+    def test_critpath_unreadable_trace_exits_2(self, tmp_path, capsys):
+        assert main(["critpath", "--trace", str(tmp_path / "no.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "\n" not in err.rstrip("\n")
+
+    def test_roottraffic_classifies_and_writes(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["roottraffic", "--nprocs", "16", "--nbytes", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "BEX" in out and "flat" in out
+        assert "PEX" in out and "spiked" in out
+        assert (tmp_path / "results" / "obs_root_traffic.txt").exists()
+        doc = json.loads(
+            (tmp_path / "results" / "obs_root_traffic.json").read_text()
+        )
+        assert doc["metric"] == "root_link_bytes_per_step"
+
+    def test_gantt_renders_trace_file(self, tmp_path, capsys):
+        out = self._export(tmp_path, capsys)
+        assert main(["gantt", "--trace", str(out)]) == 0
+        got = capsys.readouterr().out
+        assert "BEX" in got and "receiver occupancy" in got
+
+    def test_gantt_unreadable_trace_exits_2(self, tmp_path, capsys):
+        assert main(["gantt", "--trace", str(tmp_path / "no.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "\n" not in err.rstrip("\n")
+
+    def test_gantt_malformed_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": "nope"}))
+        assert main(["gantt", "--trace", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "\n" not in err.rstrip("\n")
+
+    def test_gantt_default_includes_heatmap(self, capsys):
+        assert main(["gantt", "--quick"]) == 0
+        assert "link utilization" in capsys.readouterr().out
