@@ -395,6 +395,30 @@ def cmd_topology(args: argparse.Namespace) -> None:
         print()
 
 
+def _load_plan_file(path: str):
+    """Load and validate a FaultPlan JSON file, with CLI-grade errors.
+
+    A missing file, malformed JSON, an unknown fault kind, or an
+    out-of-range field (negative probability/seconds, zero factor, ...)
+    all surface as a one-line :class:`CLIError` (exit code 2) instead of
+    a traceback.
+    """
+    from json import JSONDecodeError
+
+    from .faults import FaultPlan
+
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise CLIError(f"cannot read fault plan {path}: {exc}")
+    try:
+        return FaultPlan.from_json(text)
+    except JSONDecodeError as exc:
+        raise CLIError(f"malformed fault plan {path}: {exc}")
+    except (ValueError, TypeError) as exc:
+        raise CLIError(f"invalid fault plan {path}: {exc}")
+
+
 def _parse_fault_plan(args: argparse.Namespace):
     """Build a FaultPlan from the CLI's fault options."""
     from .faults import (
@@ -406,7 +430,7 @@ def _parse_fault_plan(args: argparse.Namespace):
     )
 
     if args.plan is not None:
-        return FaultPlan.from_json(Path(args.plan).read_text())
+        return _load_plan_file(args.plan)
     faults = []
     for spec in args.straggler or ():
         rank, _, factor = spec.partition(":")
@@ -477,6 +501,45 @@ def cmd_faults(args: argparse.Namespace) -> None:
         print(
             f"{label:<10} {base:10.3f} {faulty.time_ms:10.3f} "
             f"{repaired_ms} {retries:8d}"
+        )
+
+
+def cmd_chaos(args: argparse.Namespace) -> None:
+    """Chaos campaign: random fault plans vs. the adaptive executor.
+
+    Sweeps seeded random fault plans (stragglers, degraded links,
+    message delays/drops, node failures) over machine sizes and
+    scheduling algorithms, checking termination, byte conservation,
+    makespan bounds, and byte-identical replay on every run.  Results
+    land in ``results/chaos.{txt,json}``.  ``--quick`` runs the
+    CI-sized 20-run grid; ``--plan FILE`` probes one specific plan
+    through the same invariant battery instead.
+    """
+    from .resilience import probe_plan, render_chaos, run_campaign, write_chaos
+
+    if args.plan is not None:
+        plan = _load_plan_file(args.plan)
+        run = probe_plan(plan)
+        print(f"plan: {plan.describe()}  (seed {plan.seed})")
+        print(
+            f"N={run.nprocs} {run.algorithm}: makespan "
+            f"{run.makespan * 1e3:.3f} ms (healthy {run.healthy * 1e3:.3f} ms,"
+            f" bound {run.bound * 1e3:.3f} ms)"
+        )
+        if not run.ok:
+            raise CLIError(
+                "invariant violations: " + "; ".join(run.violations)
+            )
+        print("all invariants held")
+        return
+    report = run_campaign(quick=args.quick, seed_base=args.fault_seed)
+    txt, js = write_chaos(report, "results")
+    print(render_chaos(report))
+    print(f"[chaos report written to {txt} and {js}]")
+    if not report.ok:
+        raise CLIError(
+            f"{len(report.violations)} of {report.total} chaos runs "
+            "violated invariants"
         )
 
 
@@ -656,6 +719,7 @@ COMMANDS = {
     "table12": cmd_table12,
     "topology": cmd_topology,
     "faults": cmd_faults,
+    "chaos": cmd_chaos,
     "gantt": cmd_gantt,
     "report": cmd_report,
     "calibrate": cmd_calibrate,
@@ -679,6 +743,7 @@ def cmd_all(args: argparse.Namespace) -> None:
             "trace",
             "critpath",
             "roottraffic",
+            "chaos",
         ):
             continue  # writes files / needs file args; run explicitly
         print(f"\n===== {name} =====")

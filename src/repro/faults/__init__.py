@@ -20,6 +20,7 @@ from .plan import (
     LinkDegrade,
     MessageDelay,
     MessageDrop,
+    NodeFailure,
     NodeStraggler,
 )
 from .model import FaultModel
@@ -31,5 +32,6 @@ __all__ = [
     "LinkDegrade",
     "MessageDelay",
     "MessageDrop",
+    "NodeFailure",
     "NodeStraggler",
 ]

@@ -32,6 +32,7 @@ from .plan import (
     LinkDegrade,
     MessageDelay,
     MessageDrop,
+    NodeFailure,
     NodeStraggler,
 )
 
@@ -67,6 +68,13 @@ class FaultModel:
         self._drops: Tuple[MessageDrop, ...] = self.plan.of_kind(MessageDrop)  # type: ignore[assignment]
         self._delays: Tuple[MessageDelay, ...] = self.plan.of_kind(MessageDelay)  # type: ignore[assignment]
         self.has_message_faults = bool(self._drops or self._delays)
+        self._failures: Dict[int, Tuple[float, float]] = {}
+        for f in self.plan.of_kind(NodeFailure):
+            if f.rank >= nprocs:
+                continue
+            prev = self._failures.get(f.rank)
+            if prev is None or f.at < prev[0]:
+                self._failures[f.rank] = (f.at, f.detect_seconds)
 
     # ------------------------------------------------------------------
     # Link degradation
@@ -126,6 +134,13 @@ class FaultModel:
         return self._overhead_slow
 
     # ------------------------------------------------------------------
+    # Node failures
+    # ------------------------------------------------------------------
+    def failure_times(self) -> Dict[int, Tuple[float, float]]:
+        """``{rank: (at, detect_seconds)}``, earliest failure per rank."""
+        return dict(self._failures)
+
+    # ------------------------------------------------------------------
     # Per-message faults
     # ------------------------------------------------------------------
     @staticmethod
@@ -139,9 +154,11 @@ class FaultModel:
             if not self._applies(f, src, dst) or f.probability == 0.0:
                 continue
             if _decision(self.plan.seed, _SALT_DELAY + i, src, dst, attempt) < f.probability:
+                # One count per *triggered fault*, not per message, so
+                # stacked delay faults are individually attributable.
+                obs.count("faults.delays")
+                obs.observe("faults.delay_seconds", f.seconds)
                 extra += f.seconds
-        if extra > 0.0:
-            obs.count("faults.delays")
         return extra
 
     def message_drop(self, src: int, dst: int, attempt: int) -> Optional[float]:

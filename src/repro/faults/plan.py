@@ -13,7 +13,10 @@ deviation from the healthy machine:
 * :class:`MessageDelay` — seeded per-message latency spikes;
 * :class:`MessageDrop` — seeded per-message losses, detected by the
   sender after a timeout and repaired by the retry layer
-  (:meth:`repro.cmmd.api.Comm.reliable_send`).
+  (:meth:`repro.cmmd.api.Comm.reliable_send`);
+* :class:`NodeFailure` — a rank dies outright at a given simulated
+  time; its pending and future messages resolve through the DROPPED
+  path so surviving ranks terminate instead of deadlocking.
 
 Plans are pure data: frozen dataclasses plus a seed.  All randomness is
 derived by hashing ``(seed, fault kind, src, dst, attempt)`` into a
@@ -34,6 +37,7 @@ __all__ = [
     "NodeStraggler",
     "MessageDelay",
     "MessageDrop",
+    "NodeFailure",
     "FaultPlan",
     "HEALTHY",
 ]
@@ -155,13 +159,43 @@ class MessageDrop:
             )
 
 
-Fault = Union[LinkDegrade, NodeStraggler, MessageDelay, MessageDrop]
+@dataclass(frozen=True)
+class NodeFailure:
+    """Rank ``rank`` dies (fail-stop) at simulated time ``at``.
+
+    The engine tears the rank's program down at ``at``: its pending
+    rendezvous posts are purged, in-flight transfers touching it resolve
+    through the drop path, and peers blocked on it are resumed with the
+    :data:`~repro.sim.process.DROPPED` sentinel ``detect_seconds``
+    later (their software timeout).  Barriers and control-network
+    collectives complete over the survivors.  The run then *terminates*
+    with an explicit list of failed ranks instead of deadlocking; the
+    resilience layer turns that into a delivery manifest.
+    """
+
+    rank: int
+    at: float
+    detect_seconds: float = 300e-6
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.at < 0:
+            raise ValueError(f"failure time must be >= 0, got {self.at}")
+        if self.detect_seconds < 0:
+            raise ValueError(
+                f"detect_seconds must be >= 0, got {self.detect_seconds}"
+            )
+
+
+Fault = Union[LinkDegrade, NodeStraggler, MessageDelay, MessageDrop, NodeFailure]
 
 _FAULT_KINDS = {
     "link_degrade": LinkDegrade,
     "node_straggler": NodeStraggler,
     "message_delay": MessageDelay,
     "message_drop": MessageDrop,
+    "node_failure": NodeFailure,
 }
 _KIND_NAMES = {cls: name for name, cls in _FAULT_KINDS.items()}
 
@@ -195,6 +229,18 @@ class FaultPlan:
     def link_degrades(self) -> Tuple[LinkDegrade, ...]:
         return self.of_kind(LinkDegrade)  # type: ignore[return-value]
 
+    @property
+    def node_failures(self) -> Tuple[NodeFailure, ...]:
+        return self.of_kind(NodeFailure)  # type: ignore[return-value]
+
+    @property
+    def delays(self) -> Tuple[MessageDelay, ...]:
+        return self.of_kind(MessageDelay)  # type: ignore[return-value]
+
+    @property
+    def drops(self) -> Tuple[MessageDrop, ...]:
+        return self.of_kind(MessageDrop)  # type: ignore[return-value]
+
     def describe(self) -> str:
         """One-line human summary (CLI/benchmark headers)."""
         if self.is_healthy:
@@ -209,6 +255,8 @@ class FaultPlan:
                 )
             elif isinstance(f, MessageDrop):
                 parts.append(f"drop p={f.probability:g}")
+            elif isinstance(f, NodeFailure):
+                parts.append(f"failure rank {f.rank} @{f.at:.0e}s")
             else:
                 parts.append(f"delay p={f.probability:g} +{f.seconds:.0e}s")
         return ", ".join(parts)

@@ -45,7 +45,7 @@ from .coloring import coloring_schedule, optimal_step_count
 from .estimate import estimate_schedule_time, estimate_step_time
 from .shift import shift_schedule
 from .mesh2d import ProcessorMesh
-from .repair import repair_schedule, step_cost_estimate
+from .repair import rank_steps, repair_schedule, step_cost_estimate
 from .validate import (
     LintError,
     LintIssue,
@@ -106,6 +106,7 @@ __all__ = [
     "SelectionResult",
     "auto_schedule",
     "paper_rule",
+    "rank_steps",
     "repair_schedule",
     "step_cost_estimate",
     "LintError",

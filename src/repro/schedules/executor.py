@@ -43,7 +43,12 @@ from ..sim.engine import SimResult
 from ..sim.process import RankProgram
 from .schedule import LOWER_SEND_FIRST, Schedule, Transfer
 
-__all__ = ["ExecutionResult", "execute_schedule", "schedule_program"]
+__all__ = [
+    "ExecutionResult",
+    "execute_schedule",
+    "schedule_program",
+    "step_actions",
+]
 
 
 @dataclass(frozen=True)
@@ -66,71 +71,63 @@ class ExecutionResult:
         )
 
 
-def _exchange_ops(
+def step_actions(
+    rank: int,
+    sends: List[Transfer],
+    recvs: List[Transfer],
+    exchange_order: str,
+) -> List[tuple]:
+    """Deadlock-free ``("send"|"recv", transfer)`` order for one rank's step.
+
+    This is the ordering core of the executor (the rules in the module
+    docstring), shared with the adaptive executor so a re-sequenced run
+    keeps the same intra-step deadlock-freedom arguments.  A "send"
+    action implies the pack memcpy before the wire op; a "recv" action
+    implies the unpack memcpy after it.
+    """
+    if len(sends) == 1 and len(recvs) == 1 and sends[0].dst == recvs[0].src:
+        out, inc = sends[0], recvs[0]
+        partner = out.dst
+        # Figure 3 (LOWER_SEND_FIRST): lower rank sends first;
+        # Figure 2 (LOWER_RECV_FIRST): lower rank receives first.
+        send_first = (rank < partner) == (exchange_order == LOWER_SEND_FIRST)
+        if send_first:
+            return [("send", out), ("recv", inc)]
+        return [("recv", inc), ("send", out)]
+    if sends:
+        # Mixed partners (greedy): receive-before-send iff the source
+        # outranks us downward; see module docstring.
+        early = sorted((r for r in recvs if r.src < rank), key=lambda t: t.src)
+        late = sorted((r for r in recvs if r.src > rank), key=lambda t: t.src)
+        return (
+            [("recv", t) for t in early]
+            + [("send", t) for t in sorted(sends, key=lambda t: t.dst)]
+            + [("recv", t) for t in late]
+        )
+    # Linear-family step: the receiver drains sources in order.
+    return [("recv", t) for t in sorted(recvs, key=lambda t: t.src)]
+
+
+def _emit_actions(
     comm: Comm,
-    out: Transfer,
-    inc: Transfer,
-    order: str,
+    actions: List[tuple],
     tag: int,
     outbox: Optional[Dict[int, Any]],
     inbox: Optional[Dict[int, Any]],
 ) -> Iterator[object]:
-    """Yield the requests for a paired exchange with one partner."""
-    rank, partner = out.src, out.dst
-    payload = outbox.get(partner) if outbox is not None else None
-    if order == LOWER_SEND_FIRST:
-        # Figure 3: lower rank packs + sends, then receives + unpacks.
-        if rank < partner:
-            if out.pack_bytes:
-                yield comm.memcpy(out.pack_bytes)
-            yield from comm.reliable_send(partner, out.nbytes, payload, tag=tag)
-            got = yield comm.recv(partner, tag=tag)
-            if inc.unpack_bytes:
-                yield comm.memcpy(inc.unpack_bytes)
+    """Yield the requests realizing one step's action list."""
+    for kind, t in actions:
+        if kind == "send":
+            if t.pack_bytes:
+                yield comm.memcpy(t.pack_bytes)
+            payload = outbox.get(t.dst) if outbox is not None else None
+            yield from comm.reliable_send(t.dst, t.nbytes, payload, tag=tag)
         else:
-            got = yield comm.recv(partner, tag=tag)
-            if inc.unpack_bytes:
-                yield comm.memcpy(inc.unpack_bytes)
-            if out.pack_bytes:
-                yield comm.memcpy(out.pack_bytes)
-            yield from comm.reliable_send(partner, out.nbytes, payload, tag=tag)
-    else:
-        # Figure 2: lower rank receives first.
-        if rank < partner:
-            got = yield comm.recv(partner, tag=tag)
-            if inc.unpack_bytes:
-                yield comm.memcpy(inc.unpack_bytes)
-            if out.pack_bytes:
-                yield comm.memcpy(out.pack_bytes)
-            yield from comm.reliable_send(partner, out.nbytes, payload, tag=tag)
-        else:
-            if out.pack_bytes:
-                yield comm.memcpy(out.pack_bytes)
-            yield from comm.reliable_send(partner, out.nbytes, payload, tag=tag)
-            got = yield comm.recv(partner, tag=tag)
-            if inc.unpack_bytes:
-                yield comm.memcpy(inc.unpack_bytes)
-    if inbox is not None:
-        inbox[partner] = got
-
-
-def _send_ops(
-    comm: Comm, t: Transfer, tag: int, outbox: Optional[Dict[int, Any]]
-) -> Iterator[object]:
-    if t.pack_bytes:
-        yield comm.memcpy(t.pack_bytes)
-    payload = outbox.get(t.dst) if outbox is not None else None
-    yield from comm.reliable_send(t.dst, t.nbytes, payload, tag=tag)
-
-
-def _recv_ops(
-    comm: Comm, t: Transfer, tag: int, inbox: Optional[Dict[int, Any]]
-) -> Iterator[object]:
-    got = yield comm.recv(t.src, tag=tag)
-    if t.unpack_bytes:
-        yield comm.memcpy(t.unpack_bytes)
-    if inbox is not None:
-        inbox[t.src] = got
+            got = yield comm.recv(t.src, tag=tag)
+            if t.unpack_bytes:
+                yield comm.memcpy(t.unpack_bytes)
+            if inbox is not None:
+                inbox[t.src] = got
 
 
 def schedule_program(
@@ -152,40 +149,8 @@ def schedule_program(
         sends, recvs = schedule.rank_ops(rank, step_idx)
         if not sends and not recvs:
             continue
-        if (
-            len(sends) == 1
-            and len(recvs) == 1
-            and sends[0].dst == recvs[0].src
-        ):
-            yield from _exchange_ops(
-                comm,
-                sends[0],
-                recvs[0],
-                schedule.exchange_order,
-                step_idx,
-                outbox,
-                inbox,
-            )
-            continue
-        if sends:
-            # Mixed partners (greedy): receive-before-send iff the
-            # source outranks us downward; see module docstring.
-            early = sorted(
-                (r for r in recvs if r.src < rank), key=lambda t: t.src
-            )
-            late = sorted(
-                (r for r in recvs if r.src > rank), key=lambda t: t.src
-            )
-            for t in early:
-                yield from _recv_ops(comm, t, step_idx, inbox)
-            for t in sorted(sends, key=lambda t: t.dst):
-                yield from _send_ops(comm, t, step_idx, outbox)
-            for t in late:
-                yield from _recv_ops(comm, t, step_idx, inbox)
-        else:
-            # Linear-family step: the receiver drains sources in order.
-            for t in sorted(recvs, key=lambda t: t.src):
-                yield from _recv_ops(comm, t, step_idx, inbox)
+        actions = step_actions(rank, sends, recvs, schedule.exchange_order)
+        yield from _emit_actions(comm, actions, step_idx, outbox, inbox)
 
 
 def execute_schedule(

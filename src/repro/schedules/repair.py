@@ -39,7 +39,7 @@ from ..machine.fattree import fat_tree_for
 from ..machine.params import MachineConfig, wire_bytes
 from .schedule import Schedule, ScheduleError, Step
 
-__all__ = ["repair_schedule", "step_cost_estimate"]
+__all__ = ["repair_schedule", "step_cost_estimate", "rank_steps"]
 
 #: Relative tolerance for grouping steps as "equally impacted".
 _IMPACT_RTOL = 1e-9
@@ -67,17 +67,20 @@ def step_cost_estimate(
         level = config.route_level(t.src, t.dst)
         degrade = model.path_degradation(t.src, t.dst) if model else 1.0
         wire = wire_bytes(t.nbytes) / (params.level_bandwidth(level) * degrade)
-        send_cost = params.send_overhead + wire + params.memcpy_time(t.pack_bytes)
-        recv_cost = params.recv_overhead + wire + params.memcpy_time(t.unpack_bytes)
+        # A straggler stretches only the work on its own clock — the
+        # software overheads and pack/unpack copies.  Wire time is the
+        # network's and is priced through link degradation alone.
+        send_sw = params.send_overhead + params.memcpy_time(t.pack_bytes)
+        recv_sw = params.recv_overhead + params.memcpy_time(t.unpack_bytes)
         if model is not None:
-            send_cost *= max(
+            send_sw *= max(
                 model.compute_slowdown(t.src), model.overhead_slowdown(t.src)
             )
-            recv_cost *= max(
+            recv_sw *= max(
                 model.compute_slowdown(t.dst), model.overhead_slowdown(t.dst)
             )
-        busy[t.src] = busy.get(t.src, 0.0) + send_cost
-        busy[t.dst] = busy.get(t.dst, 0.0) + recv_cost
+        busy[t.src] = busy.get(t.src, 0.0) + send_sw + wire
+        busy[t.dst] = busy.get(t.dst, 0.0) + recv_sw + wire
     return max(busy.values(), default=0.0)
 
 
@@ -88,7 +91,24 @@ def _root_bytes(step: Step, config: MachineConfig) -> int:
     )
 
 
-def _spread(indices: List[int], weights: Sequence[float]) -> List[int]:
+def _step_key(step: Step) -> Tuple:
+    """Canonical content key of a step, independent of its position.
+
+    All ordering tie-breaks use this key (not the step's index) so that
+    the repaired order is a function of the step *multiset* only —
+    which is what makes :func:`repair_schedule` idempotent.
+    """
+    return tuple(
+        sorted(
+            (t.src, t.dst, t.nbytes, t.pack_bytes, t.unpack_bytes)
+            for t in step
+        )
+    )
+
+
+def _spread(
+    indices: List[int], weights: Sequence[float], keys: Sequence[Tuple]
+) -> List[int]:
     """Reorder ``indices`` so heavy and light weights alternate.
 
     Sorts by weight descending and deals from both ends
@@ -97,7 +117,7 @@ def _spread(indices: List[int], weights: Sequence[float]) -> List[int]:
     """
     if len(indices) < 3:
         return indices
-    ranked = sorted(indices, key=lambda i: (-weights[i], i))
+    ranked = sorted(indices, key=lambda i: (-weights[i], keys[i]))
     out: List[int] = []
     lo, hi = 0, len(ranked) - 1
     while lo <= hi:
@@ -107,6 +127,42 @@ def _spread(indices: List[int], weights: Sequence[float]) -> List[int]:
         lo += 1
         hi -= 1
     return out
+
+
+def rank_steps(
+    steps: Sequence[Step],
+    config: MachineConfig,
+    model: FaultModel,
+) -> List[int]:
+    """Indices of ``steps`` in repair order under ``model``.
+
+    Fault-impacted steps first (largest estimated inflation over the
+    healthy cost), root-heavy steps interleaved with local-heavy ones
+    within equally-impacted groups.  This is the ordering core of
+    :func:`repair_schedule`, exposed so the adaptive executor can
+    re-rank the *remaining* steps mid-run under an inferred model.
+    """
+    healthy = [step_cost_estimate(s, config) for s in steps]
+    degraded = [step_cost_estimate(s, config, model) for s in steps]
+    impact = [d - h for d, h in zip(degraded, healthy)]
+    root = [float(_root_bytes(s, config)) for s in steps]
+    keys = [_step_key(s) for s in steps]
+
+    # Heaviest fault impact first; step content breaks ties (so the
+    # order depends only on the step multiset, never on input order).
+    order = sorted(range(len(steps)), key=lambda i: (-impact[i], keys[i]))
+
+    # Rebalance root traffic inside equal-impact groups.
+    rebalanced: List[int] = []
+    group: List[int] = []
+    scale = max(max((abs(x) for x in impact), default=0.0), 1e-30)
+    for idx in order:
+        if group and abs(impact[group[0]] - impact[idx]) > _IMPACT_RTOL * scale:
+            rebalanced.extend(_spread(group, root, keys))
+            group = []
+        group.append(idx)
+    rebalanced.extend(_spread(group, root, keys))
+    return rebalanced
 
 
 def repair_schedule(
@@ -142,34 +198,14 @@ def repair_schedule(
 
     with obs.span("build/repair", category="build", nprocs=schedule.nprocs):
         model = FaultModel(plan, fat_tree_for(config))
-        healthy = [step_cost_estimate(s, config) for s in schedule.steps]
-        degraded = [
-            step_cost_estimate(s, config, model) for s in schedule.steps
-        ]
-        impact = [d - h for d, h in zip(degraded, healthy)]
-        root = [float(_root_bytes(s, config)) for s in schedule.steps]
-
-        # Heaviest fault impact first; original order breaks ties (stable).
-        order = sorted(range(schedule.nsteps), key=lambda i: (-impact[i], i))
-
-        # Rebalance root traffic inside equal-impact groups.
-        rebalanced: List[int] = []
-        group: List[int] = []
-        scale = max(max((abs(x) for x in impact), default=0.0), 1e-30)
-        for idx in order:
-            if (
-                group
-                and abs(impact[group[0]] - impact[idx]) > _IMPACT_RTOL * scale
-            ):
-                rebalanced.extend(_spread(group, root))
-                group = []
-            group.append(idx)
-        rebalanced.extend(_spread(group, root))
-
+        rebalanced = rank_steps(schedule.steps, config, model)
         steps: Tuple[Step, ...] = tuple(schedule.steps[i] for i in rebalanced)
+        name = schedule.name
+        if not name.endswith("+repair"):
+            name = f"{name}+repair"
         return Schedule(
             nprocs=schedule.nprocs,
             steps=steps,
-            name=f"{schedule.name}+repair",
+            name=name,
             exchange_order=schedule.exchange_order,
         )

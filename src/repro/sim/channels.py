@@ -102,6 +102,38 @@ class RendezvousTable:
         return True
 
     # ------------------------------------------------------------------
+    def purge_rank(
+        self, rank: int
+    ) -> Tuple[List[PostedSend], List[PostedRecv]]:
+        """Remove every unmatched posting involving ``rank`` (it died).
+
+        Returns ``(sends, recvs)``: the purged sends addressed to or
+        posted by the dead rank, and the purged receives posted by live
+        ranks that name the dead rank as their source.  (The dead rank's
+        own receives are silently discarded.)
+        """
+        sends: List[PostedSend] = list(self._sends.pop(rank, []))
+        for dst, pending in list(self._sends.items()):
+            kept = [s for s in pending if s.src != rank]
+            if len(kept) != len(pending):
+                sends.extend(s for s in pending if s.src == rank)
+                if kept:
+                    self._sends[dst] = kept
+                else:
+                    del self._sends[dst]
+        self._recvs.pop(rank, None)
+        recvs: List[PostedRecv] = []
+        for dst, pending in list(self._recvs.items()):
+            kept = [r for r in pending if r.src != rank]
+            if len(kept) != len(pending):
+                recvs.extend(r for r in pending if r.src == rank)
+                if kept:
+                    self._recvs[dst] = kept
+                else:
+                    del self._recvs[dst]
+        return sends, recvs
+
+    # ------------------------------------------------------------------
     def pending_sends(self) -> int:
         return sum(len(v) for v in self._sends.values())
 

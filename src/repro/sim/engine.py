@@ -89,6 +89,8 @@ class SimResult:
     #: of the schedule-level idle metrics; the paper's "processor idle
     #: time" reduction claims are checked against this.
     wait_times: List[float] = field(default_factory=list)
+    #: Ranks killed by NodeFailure faults (empty on a healthy run).
+    failed_ranks: List[int] = field(default_factory=list)
 
     def rank_result(self, rank: int) -> Any:
         return self.results[rank]
@@ -181,6 +183,12 @@ class Engine:
         self._send_handles: Dict[int, SendHandle] = {}
         #: Handle seq -> process blocked in Wait on it.
         self._waiters: Dict[int, Process] = {}
+        #: Ranks killed by NodeFailure faults, and their peers' timeout.
+        self.dead_ranks: set = set()
+        self._death_detect: Dict[int, float] = {}
+        #: Optional hook called as ``on_death(rank, now)`` right after a
+        #: rank is torn down (the resilience layer's failure detector).
+        self.on_death: Optional[Callable[[int, float], None]] = None
 
     # ==================================================================
     # Public API
@@ -194,6 +202,8 @@ class Engine:
         self.procs = [Process(rank=r, gen=g) for r, g in enumerate(programs)]
         for proc in self.procs:
             self._schedule(0.0, lambda p=proc: self._resume(p, None))
+        for rank, (at, detect) in sorted(self.faults.failure_times().items()):
+            self._schedule(at, lambda r=rank, d=detect: self._kill_rank(r, d))
 
         while self.queue:
             # Drain every event at the current instant (including cascades
@@ -212,7 +222,11 @@ class Engine:
                 cb()
             self._arm_network_event()
 
-        unfinished = [p for p in self.procs if not p.done]
+        unfinished = [
+            p
+            for p in self.procs
+            if not p.done and p.state is not ProcState.DEAD
+        ]
         if unfinished:
             raise DeadlockError(self._deadlock_report(unfinished))
 
@@ -230,6 +244,7 @@ class Engine:
             trace=self.trace,
             message_count=self._messages_done,
             wait_times=[p.wait_time for p in self.procs],
+            failed_ranks=sorted(self.dead_ranks),
         )
 
     # ==================================================================
@@ -240,6 +255,8 @@ class Engine:
 
     def _resume(self, proc: Process, value: Any) -> None:
         """Advance one rank's generator with ``value`` and dispatch."""
+        if proc.state is ProcState.DEAD:
+            return  # a callback armed before the rank was killed
         if self.tracer is not None:
             self.tracer.op_end(
                 proc.rank, self.now, self._op_causes.pop(proc.rank, None)
@@ -335,17 +352,7 @@ class Engine:
             proc.state = ProcState.BLOCKED_BARRIER
             proc.waiting_on = "barrier"
             self._barrier_waiting.append(proc)
-            if len(self._barrier_waiting) == self.config.nprocs:
-                waiters, self._barrier_waiting = self._barrier_waiting, []
-                done_at = self.now + self.control.barrier(self.config.nprocs)
-                for p in waiters:
-                    if self.tracer is not None:
-                        self._op_causes[p.rank] = {
-                            "kind": "barrier",
-                            "last_rank": proc.rank,
-                            "last_arrival": self.now,
-                        }
-                    self._schedule(done_at, lambda p=p: self._resume(p, None))
+            self._check_barrier(proc.rank)
         elif isinstance(request, SysBroadcast):
             self._join_collective(proc, "bcast", request)
         elif isinstance(request, Reduce):
@@ -355,6 +362,26 @@ class Engine:
                 f"rank {proc.rank} yielded unsupported request: {request!r}"
             )
         proc.last_event_time = self.now
+
+    def _live_count(self) -> int:
+        return self.config.nprocs - len(self.dead_ranks)
+
+    def _check_barrier(self, last_rank: int) -> None:
+        """Release the barrier once every *live* rank has arrived."""
+        if not self._barrier_waiting:
+            return
+        if len(self._barrier_waiting) < self._live_count():
+            return
+        waiters, self._barrier_waiting = self._barrier_waiting, []
+        done_at = self.now + self.control.barrier(self.config.nprocs)
+        for p in waiters:
+            if self.tracer is not None:
+                self._op_causes[p.rank] = {
+                    "kind": "barrier",
+                    "last_rank": last_rank,
+                    "last_arrival": self.now,
+                }
+            self._schedule(done_at, lambda p=p: self._resume(p, None))
 
     # ==================================================================
     # Point-to-point
@@ -366,6 +393,13 @@ class Engine:
             raise ValueError(f"rank {proc.rank}: self-send is not supported")
 
     def _post_send(self, proc: Process, req: Send) -> None:
+        if proc.state is ProcState.DEAD:
+            return
+        if req.dst in self.dead_ranks:
+            self._fail_to_dead(
+                proc, req.dst, req.nbytes, req.tag, posted_at=self.now
+            )
+            return
         send, recv = self.rendezvous.post_send(
             proc.rank, req.dst, req.nbytes, req.payload, req.tag, self.now
         )
@@ -373,6 +407,23 @@ class Engine:
             self._start_transfer(send, recv)
 
     def _post_isend(self, proc: Process, req: Isend, handle: SendHandle) -> None:
+        if proc.state is ProcState.DEAD:
+            return
+        if req.dst in self.dead_ranks:
+            # The data is discarded; the handle completes at the
+            # sender's failure-detection timeout, like a blocking send.
+            self._record_dead_drop(proc.rank, req.dst, req.nbytes, req.tag, self.now)
+            self._schedule(self.now, lambda: self._resume(proc, handle))
+            detect = self._death_detect.get(req.dst, 0.0)
+
+            def _flip() -> None:
+                handle.done = True
+                waiter = self._waiters.pop(handle.seq, None)
+                if waiter is not None:
+                    self._schedule(self.now, lambda: self._resume(waiter, None))
+
+            self._schedule(self.now + detect, _flip)
+            return
         send, recv = self.rendezvous.post_send(
             proc.rank, req.dst, req.nbytes, req.payload, req.tag, self.now
         )
@@ -383,11 +434,58 @@ class Engine:
             self._start_transfer(send, recv)
 
     def _post_recv(self, proc: Process, req: Recv) -> None:
+        if proc.state is ProcState.DEAD:
+            return
+        if req.src >= 0 and req.src in self.dead_ranks:
+            detect = self._death_detect.get(req.src, 0.0)
+            if self.tracer is not None:
+                self._op_causes[proc.rank] = {
+                    "kind": "dead",
+                    "src": req.src,
+                    "dst": proc.rank,
+                    "failed_at": self.now,
+                }
+            self._schedule(
+                self.now + detect, lambda: self._resume(proc, DROPPED)
+            )
+            return
         recv, send = self.rendezvous.post_recv(
             proc.rank, req.src, req.tag, self.now
         )
         if send is not None:
             self._start_transfer(send, recv)
+
+    def _record_dead_drop(
+        self, src: int, dst: int, nbytes: int, tag: int, posted_at: float
+    ) -> None:
+        self.trace.add_retry(
+            RetryRecord(
+                src=src,
+                dst=dst,
+                nbytes=nbytes,
+                tag=tag,
+                attempt=self._attempts.get((src, dst, tag), 0),
+                posted_at=posted_at,
+                failed_at=self.now,
+                reason="dead",
+            )
+        )
+
+    def _fail_to_dead(
+        self, sender: Process, dst: int, nbytes: int, tag: int, posted_at: float
+    ) -> None:
+        """Resolve a blocking send to a dead rank through the DROPPED path."""
+        self._record_dead_drop(sender.rank, dst, nbytes, tag, posted_at)
+        detect = self._death_detect.get(dst, 0.0)
+        if self.tracer is not None:
+            self._op_causes[sender.rank] = {
+                "kind": "dead",
+                "src": sender.rank,
+                "dst": dst,
+                "tag": tag,
+                "failed_at": self.now,
+            }
+        self._schedule(self.now + detect, lambda: self._resume(sender, DROPPED))
 
     def _start_transfer(self, send: PostedSend, recv: PostedRecv) -> None:
         key = next(self._flow_seq)
@@ -428,6 +526,12 @@ class Engine:
 
     def _flow_complete(self, key: int) -> None:
         inf = self._in_flight.pop(key)
+        if inf.send.src in self.dead_ranks or inf.send.dst in self.dead_ranks:
+            # Fail-stop: a transfer whose endpoint died mid-flight is
+            # lost with it.  The surviving endpoint (if any) resolves
+            # through the DROPPED path at its detection timeout.
+            self._abort_dead_flow(inf)
+            return
         if inf.drop_detect is not None:
             self._drop_message(inf)
             return
@@ -507,12 +611,13 @@ class Engine:
                 failed_at=self.now,
             )
         )
-        recv, send = self.rendezvous.post_recv(
-            inf.recv.dst, inf.recv.src, inf.recv.tag, self.now
-        )
-        if send is not None:
-            # The re-posted receive matched some other pending send.
-            self._start_transfer(send, recv)
+        if inf.receiver.state is not ProcState.DEAD:
+            recv, send = self.rendezvous.post_recv(
+                inf.recv.dst, inf.recv.src, inf.recv.tag, self.now
+            )
+            if send is not None:
+                # The re-posted receive matched some other pending send.
+                self._start_transfer(send, recv)
         sender = inf.sender
         if self.tracer is not None:
             self._op_causes[sender.rank] = {
@@ -527,6 +632,139 @@ class Engine:
         self._schedule(
             self.now + inf.drop_detect, lambda: self._resume(sender, DROPPED)
         )
+
+    def _abort_dead_flow(self, inf: _InFlight) -> None:
+        """Resolve an in-flight transfer one of whose endpoints died."""
+        dead_peer = inf.send.dst if inf.send.dst in self.dead_ranks else inf.send.src
+        self.trace.add_retry(
+            RetryRecord(
+                src=inf.send.src,
+                dst=inf.send.dst,
+                nbytes=inf.send.nbytes,
+                tag=inf.send.tag,
+                attempt=inf.attempt,
+                posted_at=inf.send.posted_at,
+                failed_at=self.now,
+                reason="dead",
+            )
+        )
+        detect = self._death_detect.get(dead_peer, 0.0)
+        if inf.send.dst in self.dead_ranks:
+            # Sender survives (maybe): unblock it with DROPPED.
+            if inf.handle is not None:
+                inf.handle.done = True
+                waiter = self._waiters.pop(inf.handle.seq, None)
+                if waiter is not None:
+                    self._schedule(
+                        self.now + detect, lambda: self._resume(waiter, None)
+                    )
+            elif inf.sender.state is not ProcState.DEAD:
+                if self.tracer is not None:
+                    self._op_causes[inf.sender.rank] = {
+                        "kind": "dead",
+                        "src": inf.send.src,
+                        "dst": inf.send.dst,
+                        "tag": inf.send.tag,
+                        "failed_at": self.now,
+                    }
+                self._schedule(
+                    self.now + detect,
+                    lambda: self._resume(inf.sender, DROPPED),
+                )
+        if inf.send.src in self.dead_ranks and inf.receiver.state is not ProcState.DEAD:
+            # Receiver survives: its blocking receive fails.
+            if self.tracer is not None:
+                self._op_causes[inf.receiver.rank] = {
+                    "kind": "dead",
+                    "src": inf.send.src,
+                    "dst": inf.send.dst,
+                    "tag": inf.send.tag,
+                    "failed_at": self.now,
+                }
+            self._schedule(
+                self.now + detect, lambda: self._resume(inf.receiver, DROPPED)
+            )
+
+    # ==================================================================
+    # Node failures (fail-stop)
+    # ==================================================================
+    def _kill_rank(self, rank: int, detect: float) -> None:
+        """Tear rank ``rank`` down at the current instant (NodeFailure).
+
+        Its unmatched rendezvous posts are purged; live peers blocked on
+        it are resumed with :data:`DROPPED` ``detect`` seconds later
+        (their software failure-detection timeout).  In-flight transfers
+        touching the rank are left to drain and aborted in
+        :meth:`_flow_complete`.  Barriers and collectives re-check with
+        the reduced live count so survivors are not stranded.
+        """
+        proc = self.procs[rank]
+        if proc.state in (ProcState.DONE, ProcState.DEAD):
+            return
+        if self.tracer is not None:
+            self.tracer.op_end(
+                rank, self.now, {"kind": "death", "rank": rank}
+            )
+            self._op_causes.pop(rank, None)
+            self.tracer.metrics.counter("sim.node_failures").inc()
+        proc.state = ProcState.DEAD
+        proc.finish_time = self.now
+        proc.waiting_on = "dead"
+        proc.gen.close()
+        self.dead_ranks.add(rank)
+        self._death_detect[rank] = detect
+
+        sends_to, recvs_on = self.rendezvous.purge_rank(rank)
+        for send in sends_to:
+            if send.src == rank:
+                continue  # the dead rank's own posts just vanish
+            sender = self.procs[send.src]
+            handle = self._send_handles.pop(send.seq, None)
+            if handle is not None:
+                self._record_dead_drop(
+                    send.src, send.dst, send.nbytes, send.tag, send.posted_at
+                )
+                self._schedule(
+                    self.now + detect,
+                    lambda h=handle: self._flip_handle(h),
+                )
+            elif sender.state is not ProcState.DEAD:
+                self._fail_to_dead(
+                    sender, rank, send.nbytes, send.tag, send.posted_at
+                )
+        for recv in recvs_on:
+            receiver = self.procs[recv.dst]
+            if receiver.state is ProcState.DEAD:
+                continue
+            if self.tracer is not None:
+                self._op_causes[receiver.rank] = {
+                    "kind": "dead",
+                    "src": rank,
+                    "dst": recv.dst,
+                    "failed_at": self.now,
+                }
+            self._schedule(
+                self.now + detect,
+                lambda p=receiver: self._resume(p, DROPPED),
+            )
+        # A dead rank stuck in a barrier/collective must not gate the
+        # survivors — drop it from the membership and re-check.
+        self._barrier_waiting = [
+            p for p in self._barrier_waiting if p.rank != rank
+        ]
+        if self._collective is not None:
+            kind, members = self._collective
+            members[:] = [(p, r) for p, r in members if p.rank != rank]
+        self._check_barrier(rank)
+        self._check_collective()
+        if self.on_death is not None:
+            self.on_death(rank, self.now)
+
+    def _flip_handle(self, handle: SendHandle) -> None:
+        handle.done = True
+        waiter = self._waiters.pop(handle.seq, None)
+        if waiter is not None:
+            self._schedule(self.now, lambda: self._resume(waiter, None))
 
     def _arm_network_event(self) -> None:
         # Called after every drained instant; the fluid network memoizes
@@ -562,7 +800,14 @@ class Engine:
                 f"{have_kind} is in progress"
             )
         members.append((proc, req))
-        if len(members) == self.config.nprocs:
+        self._check_collective()
+
+    def _check_collective(self) -> None:
+        """Complete the pending collective once every live rank joined."""
+        if self._collective is None:
+            return
+        kind, members = self._collective
+        if len(members) >= self._live_count():
             self._collective = None
             self._complete_collective(kind, members)
 
@@ -584,11 +829,16 @@ class Engine:
             if len(roots) != 1:
                 raise RuntimeError(f"broadcast roots disagree: {sorted(roots)}")
             root = roots.pop()
-            root_req = next(req for p, req in members if p.rank == root)
-            done_at = self.now + self.control.broadcast(root_req.nbytes, n)
+            # A dead root never contributed: survivors get no payload.
+            root_req = next(
+                (req for p, req in members if p.rank == root), None
+            )
+            nbytes = root_req.nbytes if root_req else 0
+            payload = root_req.payload if root_req else None
+            done_at = self.now + self.control.broadcast(nbytes, n)
             for p, _ in members:
                 self._schedule(
-                    done_at, lambda p=p: self._resume(p, root_req.payload)
+                    done_at, lambda p=p: self._resume(p, payload)
                 )
             self.trace.add_phase(
                 PhaseRecord(root, "sys-bcast", self.now, done_at)
@@ -609,6 +859,8 @@ class Engine:
     # ==================================================================
     def _deadlock_report(self, unfinished: List[Process]) -> str:
         lines = ["simulation deadlocked; blocked ranks:"]
+        if self.dead_ranks:
+            lines.append(f"  dead ranks: {sorted(self.dead_ranks)}")
         for p in unfinished:
             lines.append(f"  rank {p.rank}: {p.state.value} ({p.waiting_on})")
         lines.append(f"unmatched: {self.rendezvous.describe_pending()}")

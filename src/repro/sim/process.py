@@ -199,6 +199,7 @@ class ProcState(enum.Enum):
     BLOCKED_COLLECTIVE = "blocked-collective"
     DELAYED = "delayed"
     DONE = "done"
+    DEAD = "dead"
 
 
 @dataclass

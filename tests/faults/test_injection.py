@@ -178,3 +178,49 @@ def test_max_records_caps_lists_not_counters():
     assert dataclasses.replace(capped.summary(), truncated=False) == full.summary()
     assert capped.truncated and not full.truncated
     assert capped.total_bytes() == full.total_bytes()
+
+
+def test_exhausted_retry_budget_names_the_message():
+    # Satellite of the resilience work: when the budget runs out, the
+    # error names src, dst, size, tag, and the attempt count — and the
+    # trace holds one retry record per failed attempt.
+    plan = FaultPlan((MessageDrop(1.0, max_consecutive=20),))
+    policy = RetryPolicy(max_retries=3)
+
+    def program(comm: Comm):
+        if comm.rank == 0:
+            yield from comm.reliable_send(1, 64, tag=7, policy=policy)
+        elif comm.rank == 1:
+            yield comm.recv(0, tag=7)
+
+    with pytest.raises(
+        MessageLostError,
+        match=r"rank 0: send to 1 \(64B, tag 7\) lost after 4 attempts",
+    ):
+        run_spmd(MachineConfig(4), program, faults=plan)
+
+
+def test_every_failed_attempt_leaves_a_retry_record():
+    from repro.sim.engine import Engine
+
+    plan = FaultPlan((MessageDrop(1.0, max_consecutive=20),))
+    policy = RetryPolicy(max_retries=3)
+    cfg = MachineConfig(4)
+
+    def program(comm: Comm):
+        if comm.rank == 0:
+            yield from comm.reliable_send(1, 64, tag=7, policy=policy)
+        elif comm.rank == 1:
+            yield comm.recv(0, tag=7)
+
+    engine = Engine(cfg, trace=True, faults=plan)
+    programs = [program(Comm(rank=r, config=cfg)) for r in range(4)]
+    with pytest.raises(MessageLostError, match="lost after 4 attempts"):
+        engine.run(programs)
+    retries = [r for r in engine.trace.retries if (r.src, r.dst) == (0, 1)]
+    # Attempts 0..3 all dropped: four records, sequentially numbered.
+    assert [r.attempt for r in retries] == [0, 1, 2, 3]
+    assert all(r.nbytes == 64 and r.tag == 7 for r in retries)
+    assert all(r.reason == "drop" for r in retries)
+    assert all(r.failed_at > r.posted_at for r in retries)
+    assert engine.trace.lost_bytes >= 64

@@ -140,3 +140,81 @@ def test_repair_rejects_wrong_machine_size():
     sched = pairwise_schedule(CommPattern.complete_exchange(8, 64))
     with pytest.raises(ScheduleError, match="16"):
         repair_schedule(sched, FaultPlan((NodeStraggler(1, 2.0),)), cfg)
+
+
+# ----------------------------------------------------------------------
+# step_cost_estimate: stragglers stretch software, never wire time
+# ----------------------------------------------------------------------
+def test_step_cost_scales_software_not_wire():
+    from repro.faults.model import FaultModel
+    from repro.machine import wire_bytes
+    from repro.machine.fattree import fat_tree_for
+    from repro.schedules import Step, Transfer
+    from repro.schedules.repair import step_cost_estimate
+
+    cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+    params = cfg.params
+    nbytes = 4096
+    step = Step((Transfer(src=0, dst=1, nbytes=nbytes),))
+    factor = 5.0
+    plan = FaultPlan((NodeStraggler(0, factor),))
+    model = FaultModel(plan, fat_tree_for(cfg))
+
+    healthy = step_cost_estimate(step, cfg)
+    degraded = step_cost_estimate(step, cfg, model)
+    level = cfg.route_level(0, 1)
+    wire = wire_bytes(nbytes) / params.level_bandwidth(level)
+    # Sender side dominates once its overhead is stretched 5x; the wire
+    # term must appear exactly once and unscaled.
+    assert degraded == pytest.approx(params.send_overhead * factor + wire)
+    # The delta is purely software: (factor - 1) * send_overhead.
+    sender_healthy = params.send_overhead + wire
+    assert degraded - sender_healthy == pytest.approx(
+        params.send_overhead * (factor - 1.0)
+    )
+    assert healthy == pytest.approx(
+        max(params.send_overhead, params.recv_overhead) + wire
+    )
+
+
+def test_step_cost_link_degrade_scales_wire_only():
+    from repro.faults.model import FaultModel
+    from repro.machine import wire_bytes
+    from repro.machine.fattree import fat_tree_for
+    from repro.schedules import Step, Transfer
+    from repro.schedules.repair import step_cost_estimate
+
+    cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+    params = cfg.params
+    nbytes = 4096
+    step = Step((Transfer(src=0, dst=1, nbytes=nbytes),))
+    plan = FaultPlan((LinkDegrade(1, 0, 0.25),))
+    model = FaultModel(plan, fat_tree_for(cfg))
+    level = cfg.route_level(0, 1)
+    wire = wire_bytes(nbytes) / params.level_bandwidth(level)
+    degraded = step_cost_estimate(step, cfg, model)
+    assert degraded == pytest.approx(params.recv_overhead + wire / 0.25)
+
+
+# ----------------------------------------------------------------------
+# Idempotence: repairing a repaired schedule is a fixed point
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+@given(pattern=patterns(sizes=(8,)), plan=fault_plans())
+@settings(max_examples=25, deadline=None)
+def test_repair_is_idempotent(name, pattern, plan):
+    cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+    once = repair_schedule(BUILDERS[name](pattern), plan, cfg)
+    twice = repair_schedule(once, plan, cfg)
+    assert twice.steps == once.steps
+
+
+def test_repair_never_doubles_the_suffix():
+    cfg = MachineConfig(8, CM5Params(routing_jitter=0.0))
+    sched = pairwise_schedule(CommPattern.complete_exchange(8, 64))
+    plan = FaultPlan((NodeStraggler(3, 4.0),))
+    once = repair_schedule(sched, plan, cfg)
+    twice = repair_schedule(once, plan, cfg)
+    assert once.name.endswith("+repair")
+    assert twice.name == once.name
+    assert twice.name.count("+repair") == 1

@@ -97,3 +97,36 @@ class TestWhatTheTracerSees:
         assert obs.current() is None
         res = execute_schedule(balanced_exchange(8, 128), CFG8, trace=True)
         assert res.sim.message_count > 0
+
+
+class TestDelayMetrics:
+    def test_delay_counter_and_observation(self):
+        from repro.faults import MessageDelay
+
+        plan = FaultPlan((MessageDelay(1.0, 2e-4),), seed=3)
+        with obs.tracing() as tracer:
+            res = execute_schedule(
+                balanced_exchange(N, 256), CFG, faults=plan, trace=True
+            )
+        # Every delivery attempt triggers the p=1 delay: one count and
+        # one seconds-observation per triggered fault.
+        delays = tracer.metrics.counters["faults.delays"].value
+        assert delays >= res.sim.message_count
+        hist = tracer.metrics.histograms["faults.delay_seconds"]
+        assert hist.count == delays
+        assert hist.total == pytest.approx(delays * 2e-4)
+
+    def test_stacked_delays_counted_individually(self):
+        from repro.faults import MessageDelay
+
+        plan = FaultPlan(
+            (MessageDelay(1.0, 2e-4), MessageDelay(1.0, 1e-4)), seed=3
+        )
+        with obs.tracing() as tracer:
+            execute_schedule(
+                balanced_exchange(N, 256), CFG, faults=plan, trace=True
+            )
+        hist = tracer.metrics.histograms["faults.delay_seconds"]
+        # Two faults fire per attempt: two observations each time.
+        assert tracer.metrics.counters["faults.delays"].value == hist.count
+        assert hist.count % 2 == 0

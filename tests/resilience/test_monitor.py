@@ -1,0 +1,109 @@
+"""HealthMonitor: inferring the effective machine from op records.
+
+The monitor never sees the injected :class:`FaultPlan`; it only sees the
+observability layer's per-rank op records.  These tests run real faulted
+executions through :func:`adaptive_execute` (which wires a
+:class:`MonitorTracer` into the engine) and check that the inference
+recovers the undeclared faults — and stays quiet about declared ones.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, LinkDegrade, NodeFailure, NodeStraggler
+from repro.machine import CM5Params, MachineConfig
+from repro.resilience import HealthMonitor, adaptive_execute
+from repro.schedules import CommPattern, schedule_irregular
+
+
+CFG = MachineConfig(16, CM5Params(routing_jitter=0.0))
+
+
+def _schedule(algorithm="greedy", density=0.4):
+    pattern = CommPattern.synthetic(16, density, 4096, seed=7)
+    return schedule_irregular(pattern, algorithm)
+
+
+def test_monitor_flags_undeclared_overhead_straggler():
+    plan = FaultPlan((NodeStraggler(5, 1.0, overhead_factor=3.0),), seed=1)
+    res = adaptive_execute(_schedule(), CFG, faults=plan)
+    flagged = res.monitor.flagged_stragglers()
+    assert 5 in flagged
+    _, overhead = flagged[5]
+    # The send-setup estimator is exact: setup trails the op start by
+    # send_setup * overhead_slow precisely.
+    assert overhead == pytest.approx(3.0, rel=1e-6)
+    assert res.monitor.generation > 0
+
+
+def test_monitor_inference_enters_inferred_plan():
+    plan = FaultPlan((NodeStraggler(5, 1.0, overhead_factor=4.0),), seed=1)
+    res = adaptive_execute(_schedule(), CFG, faults=plan)
+    inferred = res.monitor.inferred_plan()
+    assert any(
+        f.rank == 5 and f.overhead_factor > 2.0 for f in inferred.stragglers
+    )
+
+
+def test_monitor_quiet_on_healthy_run():
+    res = adaptive_execute(_schedule(), CFG)
+    assert res.monitor.flagged_stragglers() == {}
+    assert res.monitor.flagged_links() == {}
+    assert res.monitor.dead == set()
+
+
+def test_monitor_ignores_declared_faults():
+    # The same straggler, declared in advance: nothing left to infer.
+    plan = FaultPlan((NodeStraggler(5, 1.0, overhead_factor=3.0),), seed=1)
+    res = adaptive_execute(_schedule(), CFG, faults=plan, declared=plan)
+    assert res.monitor.flagged_stragglers() == {}
+    # The declared fault still prices into the inferred plan.
+    assert res.monitor.inferred_plan().stragglers
+
+
+def test_monitor_flags_excess_over_declared():
+    # Declared 1.5x, actual 6x: the monitor must still flag the rank.
+    actual = FaultPlan((NodeStraggler(5, 1.0, overhead_factor=6.0),), seed=1)
+    declared = FaultPlan((NodeStraggler(5, 1.0, overhead_factor=1.5),))
+    res = adaptive_execute(_schedule(), CFG, faults=actual, declared=declared)
+    flagged = res.monitor.flagged_stragglers()
+    assert 5 in flagged
+
+
+def test_monitor_flags_degraded_injection_link():
+    # Rank 3's injection link at 10% capacity: every message out of 3
+    # drains at <= 0.1x the healthy rate, so the max-ratio estimate
+    # converges well under the 0.7 flag threshold.
+    plan = FaultPlan((LinkDegrade(1, 3, 0.1, direction="up"),), seed=1)
+    res = adaptive_execute(_schedule(density=0.5), CFG, faults=plan)
+    links = res.monitor.flagged_links()
+    assert ("up", 1, 3) in links
+    assert links[("up", 1, 3)] <= 0.2
+
+
+def test_monitor_records_death():
+    plan = FaultPlan((NodeFailure(2, at=1e-3),), seed=1)
+    res = adaptive_execute(_schedule(), CFG, faults=plan)
+    assert res.monitor.dead == {2}
+    assert res.sim.failed_ranks == [2]
+
+
+def test_monitor_snapshot_is_json_friendly():
+    import json
+
+    plan = FaultPlan(
+        (NodeStraggler(5, 1.0, overhead_factor=3.0), NodeFailure(2, 1e-3)),
+        seed=1,
+    )
+    res = adaptive_execute(_schedule(), CFG, faults=plan)
+    snap = res.monitor.snapshot()
+    json.dumps(snap)  # must not raise
+    assert snap["dead_ranks"] == [2]
+    assert "5" in snap["stragglers"]
+
+
+def test_monitor_generation_gates_plan_cache():
+    monitor = HealthMonitor(CFG)
+    first = monitor.inferred_plan()
+    assert monitor.inferred_plan() is first  # cached while quiet
+    monitor.on_death(1, 0.0)
+    assert monitor.inferred_plan() is not first

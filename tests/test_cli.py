@@ -291,3 +291,66 @@ class TestObservabilityCommands:
     def test_gantt_default_includes_heatmap(self, capsys):
         assert main(["gantt", "--quick"]) == 0
         assert "link utilization" in capsys.readouterr().out
+
+
+class TestChaosCLI:
+    def test_quick_campaign_writes_reports(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["chaos", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+        doc = json.loads((tmp_path / "results" / "chaos.json").read_text())
+        assert doc["schema"] == "repro-chaos/1"
+        assert doc["total"] == 20 and doc["violations"] == 0
+        assert (tmp_path / "results" / "chaos.txt").exists()
+
+    def test_probe_good_plan(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "seed": 3,
+                    "faults": [
+                        {"kind": "node_failure", "rank": 2, "at": 1e-3}
+                    ],
+                }
+            )
+        )
+        assert main(["chaos", "--plan", str(plan)]) == 0
+        out = capsys.readouterr().out
+        assert "failure rank 2" in out and "all invariants held" in out
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            {"kind": "message_delay", "probability": -0.5, "seconds": 1e-4},
+            {"kind": "message_delay", "probability": 0.5, "seconds": -1e-4},
+            {"kind": "link_degrade", "level": 1, "index": 0, "factor": -0.5},
+            {"kind": "node_straggler", "rank": 0, "factor": 0.5},
+            {"kind": "node_failure", "rank": -1, "at": 1e-3},
+            {"kind": "warp_core_breach"},
+        ],
+    )
+    @pytest.mark.parametrize("command", ["faults", "chaos"])
+    def test_invalid_plan_file_exits_2(self, tmp_path, capsys, command, fault):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"faults": [fault]}))
+        assert main([command, "--plan", str(plan), "--quick"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "\n" not in err.rstrip("\n")
+
+    @pytest.mark.parametrize("command", ["faults", "chaos"])
+    def test_missing_plan_file_exits_2(self, tmp_path, capsys, command):
+        missing = tmp_path / "no-such-plan.json"
+        assert main([command, "--plan", str(missing), "--quick"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "cannot read" in err
+
+    @pytest.mark.parametrize("command", ["faults", "chaos"])
+    def test_malformed_json_plan_exits_2(self, tmp_path, capsys, command):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{not json")
+        assert main([command, "--plan", str(plan), "--quick"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "malformed" in err
