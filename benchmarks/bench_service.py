@@ -1,0 +1,73 @@
+"""Service-layer benchmark: sustained scheduling throughput under load.
+
+Where the other benchmarks measure one schedule (construction cost,
+simulated exchange time), this one measures the *serving* layer of
+:mod:`repro.service`: a Zipf-distributed stream of scheduling requests
+over a Table 11-style pattern corpus, with a fraction of requests
+drifted one cell to exercise the warm-start repair tier.  The naive
+baseline rebuilds every request from scratch through the same builder
+registry, so ``speedup`` is the honest value of the content-addressed
+cache + single-flight dedup + warm-start tiers.
+
+Outputs:
+
+* ``BENCH_service.json`` at the repo root — machine-readable (schema
+  ``repro-bench-service/1``), comparable with ``python -m repro
+  perfcmp``;
+* ``results/service_bench.txt`` — the human-readable table.
+
+Run standalone (``python benchmarks/bench_service.py [--quick]``) or
+under pytest (``PYTHONPATH=src python -m pytest
+benchmarks/bench_service.py``; quick scale when
+``REPRO_BENCH_SCALE=small``).
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+if __name__ == "__main__":  # standalone: make src/ importable
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.service import render_service_bench, run_service_bench
+
+
+def run_and_save(quick: bool, progress=None) -> dict:
+    """Run the bench and persist BENCH_service.json + the text report."""
+    bench = run_service_bench(quick=quick, progress=progress)
+    path = _REPO_ROOT / "BENCH_service.json"
+    path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    results = _REPO_ROOT / "results"
+    results.mkdir(exist_ok=True)
+    (results / "service_bench.txt").write_text(
+        render_service_bench(bench) + "\n"
+    )
+    return bench
+
+
+def test_service_bench(emit):
+    quick = os.environ.get("REPRO_BENCH_SCALE", "full") == "small"
+    bench = run_and_save(quick)
+    emit("service_bench", render_service_bench(bench))
+    for name, row in bench["workloads"].items():
+        assert row["lint_failures"] == 0, f"{name}: served a bad schedule"
+        assert row["hit_rate"] > 0, f"{name}: cache never hit"
+        assert row["schedules_per_sec"] > 0, f"{name}: no throughput"
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus and request counts (CI smoke scale)",
+    )
+    cli_args = parser.parse_args()
+    doc = run_and_save(cli_args.quick, progress=print)
+    print()
+    print(render_service_bench(doc))
+    print(f"[saved to {_REPO_ROOT / 'BENCH_service.json'}]")

@@ -15,7 +15,10 @@ construction identical because the simulator is deterministic.
 from __future__ import annotations
 
 import json
+import math
 import os
+import sys
+import tempfile
 import threading
 from pathlib import Path
 from typing import Callable, Dict, Optional
@@ -31,11 +34,53 @@ class SimCache:
         self._lock = threading.Lock()
         self._path = Path(path) if path is not None else None
         if self._path is not None and self._path.exists():
-            try:
-                self._mem.update(json.loads(self._path.read_text()))
-            except (json.JSONDecodeError, OSError):
-                # A corrupt cache is silently rebuilt.
-                self._mem = {}
+            self._load_disk()
+
+    def _load_disk(self) -> None:
+        """Load the disk tier, dropping anything that is not str -> float.
+
+        A simulation result is always a finite scalar; a key mapped to a
+        list, a string, or ``NaN`` means the file was corrupted or
+        hand-edited, and trusting it would silently poison every figure
+        built on top.  Bad entries (or a wholly unreadable file) are
+        dropped with a one-line warning, never used.
+        """
+        assert self._path is not None
+        try:
+            doc = json.loads(self._path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            print(
+                f"warning: sim cache {self._path}: unreadable, rebuilding"
+                f" ({exc})",
+                file=sys.stderr,
+            )
+            return
+        if not isinstance(doc, dict):
+            print(
+                f"warning: sim cache {self._path}: not a JSON object, "
+                "rebuilding",
+                file=sys.stderr,
+            )
+            return
+        dropped = 0
+        for key, value in doc.items():
+            # bool is an int subclass but a type error here all the same;
+            # json.loads happily parses NaN/Infinity, which are never
+            # legitimate simulation results.
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and math.isfinite(value)
+            ):
+                self._mem[key] = float(value)
+            else:
+                dropped += 1
+        if dropped:
+            print(
+                f"warning: sim cache {self._path}: dropped {dropped} "
+                "non-numeric entr(y/ies)",
+                file=sys.stderr,
+            )
 
     def get_or_compute(self, key: str, fn: Callable[[], float]) -> float:
         with self._lock:
@@ -48,12 +93,30 @@ class SimCache:
         return value
 
     def _flush(self) -> None:
+        """Atomic write: unique temp file + rename, never a torn cache.
+
+        The temp name must be unique per writer — a fixed ``.tmp``
+        sibling lets two processes interleave write/replace and publish
+        a half-written file.
+        """
         if self._path is None:
             return
-        tmp = self._path.with_suffix(".tmp")
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text(json.dumps(self._mem, indent=0, sort_keys=True))
-        os.replace(tmp, self._path)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self._path.parent),
+            prefix=f".{self._path.name}-",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(json.dumps(self._mem, indent=0, sort_keys=True))
+            os.replace(tmp, self._path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def __len__(self) -> int:
         return len(self._mem)

@@ -14,6 +14,11 @@ a drift there is a correctness problem masquerading as a perf delta,
 and is reported as such (machine differences change wall clock, never
 simulated milliseconds).
 
+Both BENCH families are accepted — ``repro-bench-sim/*`` (the hot-path
+perf harness) and ``repro-bench-service/*`` (the scheduling-service
+bench) — but baseline and current must come from the *same* family;
+the ``sim_ms`` drift check applies only where the field exists.
+
 Workloads present in only one file are listed per name *and* counted in
 the summary line, but never judged as regressions, so a baseline
 captured at full scale can be compared against a ``--quick`` run (the
@@ -36,13 +41,24 @@ __all__ = ["PerfDelta", "PerfComparison", "load_bench", "compare_benches", "rend
 DEFAULT_THRESHOLD = 0.10
 
 
+#: BENCH schema families perfcmp understands.  Every family's workloads
+#: carry ``wall_seconds``; ``sim_ms`` cross-checking only applies where
+#: present (the service schema has no simulated time).
+_SCHEMA_FAMILIES = ("repro-bench-sim/", "repro-bench-service/")
+
+
+def _schema_family(doc: Dict[str, object]) -> str:
+    schema = str(doc.get("schema", ""))
+    return schema.split("/")[0] + "/"
+
+
 def load_bench(path) -> Dict[str, object]:
     """Load and minimally validate one BENCH document."""
     doc = json.loads(Path(path).read_text())
     if not isinstance(doc, dict) or "workloads" not in doc:
         raise ValueError(f"{path}: not a BENCH document (no 'workloads' key)")
     schema = doc.get("schema", "")
-    if not str(schema).startswith("repro-bench-sim/"):
+    if not any(str(schema).startswith(f) for f in _SCHEMA_FAMILIES):
         raise ValueError(f"{path}: unknown BENCH schema {schema!r}")
     return doc
 
@@ -91,6 +107,12 @@ def compare_benches(
     """Compare per-workload wall times; see the module docstring."""
     if threshold <= 0:
         raise ValueError(f"threshold must be positive, got {threshold}")
+    if _schema_family(baseline) != _schema_family(current):
+        raise ValueError(
+            f"schema mismatch: baseline {baseline.get('schema')!r} vs "
+            f"current {current.get('schema')!r}; comparing a sim bench "
+            "against a service bench is meaningless"
+        )
     base_wl: Dict[str, dict] = baseline["workloads"]  # type: ignore[assignment]
     cur_wl: Dict[str, dict] = current["workloads"]  # type: ignore[assignment]
     cmp = PerfComparison(threshold=threshold)

@@ -13,7 +13,10 @@ figure data as CSV files.
 
 Performance: ``perf`` times the canonical hot-path workloads and writes
 ``BENCH_sim.json``; ``perfcmp`` diffs two such files and exits non-zero
-on wall-clock regressions (see ``--baseline/--current/--threshold``).
+on wall-clock regressions (see ``--baseline/--current/--threshold``);
+``serve-bench`` drives the scheduling service under a Zipf request
+stream and writes ``BENCH_service.json`` (see
+``--requests/--corpus/--skew/--arrival/--jobs``).
 
 Validation: ``validate`` lints generator schedules (or ``--schedule
 FILE``) for conservation, deadlock-freedom and payload-mode staging;
@@ -532,7 +535,11 @@ def cmd_chaos(args: argparse.Namespace) -> None:
             )
         print("all invariants held")
         return
-    report = run_campaign(quick=args.quick, seed_base=args.fault_seed)
+    if args.jobs < 0:
+        raise CLIError(f"--jobs must be >= 0, got {args.jobs}")
+    report = run_campaign(
+        quick=args.quick, seed_base=args.fault_seed, jobs=args.jobs
+    )
     txt, js = write_chaos(report, "results")
     print(render_chaos(report))
     print(f"[chaos report written to {txt} and {js}]")
@@ -541,6 +548,72 @@ def cmd_chaos(args: argparse.Namespace) -> None:
             f"{len(report.violations)} of {report.total} chaos runs "
             "violated invariants"
         )
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> None:
+    """Benchmark the scheduling service under a Zipf request stream.
+
+    Serves a stream of scheduling requests through the content-addressed
+    cache / warm-start / single-flight tiers of :mod:`repro.service` and
+    writes ``BENCH_service.json`` (schema ``repro-bench-service/1``)
+    plus ``results/service_bench.txt``.  ``--requests/--corpus/--skew/
+    --arrival/--jobs`` shape the workload; ``--quick`` is the CI smoke
+    scale.  Exits 1 when any served schedule fails the linter or the
+    cache never hits — a serving layer that rebuilds everything (or
+    serves garbage) is broken, however fast.
+    """
+    import json as _json
+
+    from .service import (
+        ARRIVAL_PROCESSES,
+        arrival_names,
+        render_service_bench,
+        run_service_bench,
+    )
+
+    if args.arrival not in ARRIVAL_PROCESSES:
+        raise CLIError(
+            f"unknown --arrival {args.arrival!r}; choose from "
+            f"{', '.join(arrival_names())}"
+        )
+    if args.requests is not None and args.requests < 1:
+        raise CLIError(f"--requests must be >= 1, got {args.requests}")
+    if args.corpus is not None and args.corpus < 1:
+        raise CLIError(f"--corpus must be >= 1, got {args.corpus}")
+    if args.skew < 0:
+        raise CLIError(f"--skew must be non-negative, got {args.skew}")
+    if args.jobs < 0:
+        raise CLIError(f"--jobs must be >= 0, got {args.jobs}")
+    bench = run_service_bench(
+        quick=args.quick,
+        skew=args.skew,
+        arrival=args.arrival,
+        workers=args.jobs,
+        corpus_size=args.corpus,
+        requests=args.requests,
+        progress=print,
+    )
+    out = Path("BENCH_service.json")
+    out.write_text(_json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    report = render_service_bench(bench)
+    results = Path("results")
+    results.mkdir(exist_ok=True)
+    (results / "service_bench.txt").write_text(report + "\n")
+    print()
+    print(report)
+    print(f"[bench written to {out}]")
+    bad = [
+        name
+        for name, wl in bench["workloads"].items()
+        if wl["lint_failures"] or wl["hit_rate"] <= 0
+    ]
+    if bad:
+        print(
+            f"serve-bench: lint failures or zero hit rate in "
+            f"{', '.join(bad)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
 
 
 def cmd_perf(args: argparse.Namespace) -> None:
@@ -725,6 +798,7 @@ COMMANDS = {
     "calibrate": cmd_calibrate,
     "perf": cmd_perf,
     "perfcmp": cmd_perfcmp,
+    "serve-bench": cmd_serve_bench,
     "validate": cmd_validate,
     "conformance": cmd_conformance,
     "trace": cmd_trace,
@@ -739,6 +813,7 @@ def cmd_all(args: argparse.Namespace) -> None:
             "report",
             "perf",
             "perfcmp",
+            "serve-bench",
             "conformance",
             "trace",
             "critpath",
@@ -834,6 +909,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=0.10,
         help="relative wall-clock slack before `perfcmp` fails (default 0.10)",
+    )
+    service_group = parser.add_argument_group(
+        "scheduling service (`serve-bench`; `--jobs` also serves `chaos`)"
+    )
+    service_group.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="requests per serve-bench workload (default: scale preset)",
+    )
+    service_group.add_argument(
+        "--corpus",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distinct patterns per serve-bench workload",
+    )
+    service_group.add_argument(
+        "--skew",
+        type=float,
+        default=1.1,
+        metavar="S",
+        help="Zipf skew of the request mix (0 = uniform, default 1.1)",
+    )
+    service_group.add_argument(
+        "--arrival",
+        default="poisson",
+        metavar="NAME",
+        help="arrival process: poisson, bursty, closed-loop",
+    )
+    service_group.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for cold builds / chaos runs (0 = inline)",
     )
     validate_group = parser.add_argument_group(
         "schedule validation (`validate` / `conformance`)"

@@ -28,6 +28,7 @@ reproducible, and a failing seed is a standalone repro.  Results land in
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import os
@@ -344,20 +345,51 @@ def probe_plan(
     )
 
 
+@functools.lru_cache(maxsize=None)
+def _cell_context(nprocs: int, algorithm: str) -> Tuple[Schedule, MachineConfig]:
+    """Per-process cell cache so parallel workers build each cell once."""
+    return _cell_schedule(nprocs, algorithm), MachineConfig(nprocs)
+
+
+def _campaign_run(
+    spec: Tuple[int, int, str, float, int]
+) -> ChaosRun:
+    """Execute one fully-specified campaign run (worker-pool entry point).
+
+    The spec carries everything the run depends on — seed, cell, and the
+    parent-measured healthy baseline — so a forked or spawned worker
+    produces the byte-identical :class:`ChaosRun` the sequential path
+    would.
+    """
+    seed, nprocs, algorithm, healthy, message_count = spec
+    schedule, config = _cell_context(nprocs, algorithm)
+    plan = random_plan(seed, nprocs)
+    return _run_one(
+        schedule, config, plan, seed, algorithm, healthy, message_count
+    )
+
+
 def run_campaign(
     quick: bool = False,
     seed_base: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 0,
 ) -> ChaosReport:
     """Run the chaos grid and return every run's verdicts.
 
     ``quick`` shrinks the grid to one machine size and 5 plans per
     algorithm (20 runs, CI-sized); the full campaign is 204 runs.
     ``seed_base`` offsets every plan seed, giving disjoint campaigns.
+    ``jobs`` fans runs out over a process pool
+    (:class:`repro.service.WorkerPool`); every run is fully specified by
+    its spec, so the report — ordering, digests, violations — is
+    identical at any job count.
     """
+    from ..service.pool import WorkerPool
+
     sizes = (16,) if quick else _SIZES
     plans_per_cell = _QUICK_PLANS if quick else _PLANS_PER_CELL
-    report = ChaosReport()
+    specs: List[Tuple[int, int, str, float, int]] = []
     seed = seed_base
     for nprocs in sizes:
         config = MachineConfig(nprocs)
@@ -366,24 +398,20 @@ def run_campaign(
             healthy = adaptive_execute(schedule, config, trace=False).time
             message_count = sum(1 for _ in schedule.all_transfers())
             for _ in range(plans_per_cell):
-                plan = random_plan(seed, nprocs)
-                run = _run_one(
-                    schedule,
-                    config,
-                    plan,
-                    seed,
-                    algorithm,
-                    healthy,
-                    message_count,
-                )
-                report.runs.append(run)
-                if progress is not None:
-                    mark = "ok" if run.ok else "VIOLATION"
-                    progress(
-                        f"seed {seed:4d} N={nprocs:<3d} {algorithm:<9s}"
-                        f" {mark}"
-                    )
+                specs.append((seed, nprocs, algorithm, healthy, message_count))
                 seed += 1
+
+    def _note(run: ChaosRun) -> None:
+        if progress is not None:
+            mark = "ok" if run.ok else "VIOLATION"
+            progress(
+                f"seed {run.seed:4d} N={run.nprocs:<3d} {run.algorithm:<9s}"
+                f" {mark}"
+            )
+
+    report = ChaosReport()
+    with WorkerPool(jobs) as pool:
+        report.runs.extend(pool.map_ordered(_campaign_run, specs, _note))
     return report
 
 

@@ -1,0 +1,166 @@
+"""Pluggable arrival processes for the streaming workload driver.
+
+The driver asks an arrival process for request timestamps; the process
+shapes the *offered load* (steady, bursty, or feedback-limited) while
+the request mix is chosen independently (Zipf over the pattern corpus).
+Processes register by name in :data:`ARRIVAL_PROCESSES` so the CLI and
+bench can select them with a string, and new ones plug in with the
+:func:`register_arrival` decorator — the registry pattern the schedule
+algorithms already use.
+
+Every process is seeded and deterministic: the same (name, rate, seed)
+yields the same timestamp sequence on every run, which is what lets a
+bench assert its hit-rate numbers in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "register_arrival",
+    "make_arrivals",
+    "arrival_names",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "ClosedLoopArrivals",
+]
+
+#: name -> factory(rate, seed) for the driver and CLI.
+ARRIVAL_PROCESSES: Dict[str, Callable[..., "ArrivalProcess"]] = {}
+
+
+def register_arrival(name: str):
+    """Class decorator: add an arrival process to the registry."""
+
+    def deco(cls):
+        ARRIVAL_PROCESSES[name] = cls
+        cls.registry_name = name
+        return cls
+
+    return deco
+
+
+def arrival_names() -> List[str]:
+    """Registered process names, registration order."""
+    return list(ARRIVAL_PROCESSES)
+
+
+def make_arrivals(name: str, rate: float, seed: int = 0) -> "ArrivalProcess":
+    """Instantiate a registered arrival process by name."""
+    try:
+        factory = ARRIVAL_PROCESSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival process {name!r}; choose from "
+            f"{arrival_names()}"
+        ) from None
+    return factory(rate=rate, seed=seed)
+
+
+class ArrivalProcess:
+    """Base: a seeded generator of monotone arrival timestamps.
+
+    ``closed`` distinguishes feedback-limited processes: an open process
+    fixes its timestamps in advance (arrivals ignore service progress),
+    a closed one re-times each arrival after the previous response.
+    """
+
+    closed = False
+    registry_name = "?"
+
+    def __init__(self, rate: float, seed: int = 0):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.seed = seed
+
+    def times(self, n: int) -> List[float]:
+        """``n`` monotonically non-decreasing arrival timestamps."""
+        raise NotImplementedError
+
+
+@register_arrival("poisson")
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: i.i.d. exponential gaps at ``rate``/s."""
+
+    def times(self, n: int) -> List[float]:
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(1.0 / self.rate, size=n)
+        return np.cumsum(gaps).tolist()
+
+
+@register_arrival("bursty")
+class BurstyArrivals(ArrivalProcess):
+    """On/off modulated Poisson: bursts at ``burst_factor``x the mean.
+
+    The process alternates exponentially-long ON and OFF periods
+    (``duty`` fraction ON); arrivals only occur during ON, at a rate
+    inflated so the long-run mean still matches ``rate``.  This is the
+    classic interrupted-Poisson shape of synchronized tenants — the mix
+    a serving layer's dedup/caching tiers must absorb.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int = 0,
+        duty: float = 0.25,
+        cycle: float = 1.0,
+    ):
+        super().__init__(rate, seed)
+        if not 0 < duty < 1:
+            raise ValueError(f"duty must be in (0, 1), got {duty}")
+        if cycle <= 0:
+            raise ValueError(f"cycle must be positive, got {cycle}")
+        self.duty = duty
+        self.cycle = cycle
+
+    @property
+    def burst_factor(self) -> float:
+        return 1.0 / self.duty
+
+    def times(self, n: int) -> List[float]:
+        rng = np.random.default_rng(self.seed)
+        out: List[float] = []
+        t = 0.0
+        on_rate = self.rate * self.burst_factor
+        while len(out) < n:
+            on_len = rng.exponential(self.cycle * self.duty)
+            end = t + on_len
+            while len(out) < n:
+                t += rng.exponential(1.0 / on_rate)
+                if t > end:
+                    t = end
+                    break
+                out.append(t)
+            t += rng.exponential(self.cycle * (1.0 - self.duty))
+        return out[:n]
+
+
+@register_arrival("closed-loop")
+class ClosedLoopArrivals(ArrivalProcess):
+    """Fixed client population with think time: load follows service.
+
+    ``rate`` is interpreted as the per-client request rate while
+    thinking (think time = 1/rate); the driver spaces each client's
+    next arrival a think-gap after its previous *response*, so offered
+    load self-limits when the service slows — the classic closed-loop
+    benchmark shape.  :meth:`times` returns the think gaps; the driver
+    applies them relative to completions.
+    """
+
+    closed = True
+
+    def __init__(self, rate: float, seed: int = 0, clients: int = 4):
+        super().__init__(rate, seed)
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        self.clients = clients
+
+    def times(self, n: int) -> List[float]:
+        rng = np.random.default_rng(self.seed)
+        return rng.exponential(1.0 / self.rate, size=n).tolist()

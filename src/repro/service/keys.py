@@ -1,0 +1,224 @@
+"""Cache-key derivation for the scheduling service.
+
+A schedule is a pure function of four inputs: the pattern matrix, the
+machine configuration, the algorithm name, and the builder parameters.
+:func:`derive_key` folds all four into a :class:`ScheduleKey` whose
+digest names the cached artifact — two requests collide exactly when a
+cached schedule can serve both.
+
+Pattern hashing canonicalizes first (Träff et al.'s isomorphic-pattern
+argument): two patterns that differ only by a relabeling of ranks have
+schedules that differ only by the same relabeling, so they should share
+one cache entry.  Canonicalization uses iterative color refinement on
+the weighted communication digraph and *applies* only when refinement
+separates every rank (the permutation is then unique and isomorphism-
+invariant); symmetric patterns such as a complete exchange keep their
+exact hash — a wrong merge is a correctness bug, a missed merge is just
+a cold build.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..machine.params import MachineConfig
+from ..schedules.pattern import CommPattern
+
+__all__ = [
+    "ScheduleKey",
+    "KEY_VERSION",
+    "canonical_order",
+    "canonical_form",
+    "pattern_digest",
+    "machine_fingerprint",
+    "params_fingerprint",
+    "derive_key",
+]
+
+#: Bump when key semantics change so stale disk tiers never serve.
+KEY_VERSION = 1
+
+#: Refinement is capped at this many rounds; colors stabilize in at most
+#: ``nprocs`` rounds, the cap only guards pathological inputs.
+_MAX_ROUNDS = 64
+
+
+def _sha(*parts: bytes) -> str:
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(p)
+    return h.hexdigest()
+
+
+def canonical_order(matrix: np.ndarray) -> Optional[np.ndarray]:
+    """Isomorphism-invariant rank ordering, or None when ambiguous.
+
+    Runs 1-dimensional color refinement on the weighted digraph: a
+    rank's initial color summarizes its in/out byte multisets, and each
+    round folds in the colors of its communication partners (weighted by
+    the byte counts on the edges).  When refinement ends with all
+    ``nprocs`` colors distinct, sorting ranks by color is a canonical
+    order shared by every relabeling of the pattern.  When two ranks
+    stay color-tied (the pattern has a potential automorphism, e.g. any
+    complete exchange) canonicalization does not apply and ``None`` is
+    returned — callers fall back to the exact matrix hash.
+    """
+    n = matrix.shape[0]
+    colors = [
+        _sha(
+            repr(
+                (
+                    sorted(int(b) for b in matrix[i] if b),
+                    sorted(int(b) for b in matrix[:, i] if b),
+                )
+            ).encode()
+        )
+        for i in range(n)
+    ]
+    distinct = len(set(colors))
+    for _ in range(_MAX_ROUNDS):
+        if distinct == n:
+            break
+        new = [
+            _sha(
+                repr(
+                    (
+                        colors[i],
+                        sorted(
+                            (colors[j], int(matrix[i, j]))
+                            for j in range(n)
+                            if matrix[i, j]
+                        ),
+                        sorted(
+                            (colors[j], int(matrix[j, i]))
+                            for j in range(n)
+                            if matrix[j, i]
+                        ),
+                    )
+                ).encode()
+            )
+            for i in range(n)
+        ]
+        new_distinct = len(set(new))
+        if new_distinct == distinct:
+            colors = new
+            break
+        colors, distinct = new, new_distinct
+    if distinct != n:
+        return None
+    return np.array(sorted(range(n), key=lambda i: colors[i]), dtype=np.int64)
+
+
+@functools.lru_cache(maxsize=4096)
+def canonical_form(
+    pattern: CommPattern,
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """``(canonical_matrix, order)`` or ``(None, None)`` when ambiguous.
+
+    ``order[k]`` is the original rank seated at canonical position
+    ``k``; the canonical matrix is the pattern relabeled through that
+    seating, identical for every relabeling of the same pattern.
+    Memoized — refinement costs more than a small cold build, and the
+    scheduler consults the canonical form on both the key and the
+    store-entry sides of one request.
+    """
+    order = canonical_order(pattern.matrix)
+    if order is None:
+        return None, None
+    return pattern.matrix[np.ix_(order, order)], order
+
+
+def pattern_digest(pattern: CommPattern) -> str:
+    """Exact content hash of one pattern matrix."""
+    m = np.ascontiguousarray(pattern.matrix)
+    return _sha(str(m.shape[0]).encode(), m.tobytes())
+
+
+@functools.lru_cache(maxsize=256)
+def machine_fingerprint(config: MachineConfig) -> str:
+    """Hash of the partition size and every model parameter."""
+    items = [("nprocs", config.nprocs)]
+    items.extend(
+        (f.name, getattr(config.params, f.name))
+        for f in fields(config.params)
+    )
+    return _sha(repr(sorted(items)).encode())
+
+
+def params_fingerprint(params: Optional[Mapping[str, object]]) -> str:
+    """Hash of the builder's keyword parameters (sorted, JSON-encoded)."""
+    doc = json.dumps(dict(params or {}), sort_keys=True, default=repr)
+    return _sha(doc.encode())
+
+
+@dataclass(frozen=True)
+class ScheduleKey:
+    """Content address of one (pattern, machine, algorithm, params) build.
+
+    ``pattern`` is the canonical-form hash when canonicalization applied
+    (``canonical`` True) and the exact matrix hash otherwise; two
+    relabel-isomorphic patterns therefore share a key exactly when the
+    refinement is discrete.  The store pairs every entry with the exact
+    pattern it was built for, so a shared key never serves the wrong
+    ranks — the scheduler relabels and re-lints on an isomorphic hit.
+    """
+
+    algorithm: str
+    machine: str
+    pattern: str
+    params: str
+    canonical: bool
+    nprocs: int
+    version: int = KEY_VERSION
+
+    @functools.cached_property
+    def digest(self) -> str:
+        """Stable hex name of this key (store filename)."""
+        return _sha(
+            repr(
+                (
+                    self.version,
+                    self.algorithm,
+                    self.machine,
+                    self.pattern,
+                    self.params,
+                    self.canonical,
+                    self.nprocs,
+                )
+            ).encode()
+        )
+
+
+def derive_key(
+    pattern: CommPattern,
+    algorithm: str,
+    config: MachineConfig,
+    params: Optional[Mapping[str, object]] = None,
+    canonicalize: bool = True,
+) -> ScheduleKey:
+    """Content-address one scheduling request.
+
+    With ``canonicalize`` (the default) the pattern component is the
+    canonical-form hash whenever refinement is discrete, so relabeled
+    but isomorphic patterns share the key.
+    """
+    canonical_hash: Optional[str] = None
+    if canonicalize:
+        cmatrix, _ = canonical_form(pattern)
+        if cmatrix is not None:
+            cm = np.ascontiguousarray(cmatrix)
+            canonical_hash = _sha(str(cm.shape[0]).encode(), cm.tobytes())
+    return ScheduleKey(
+        algorithm=algorithm,
+        machine=machine_fingerprint(config),
+        pattern=canonical_hash or pattern_digest(pattern),
+        params=params_fingerprint(params),
+        canonical=canonical_hash is not None,
+        nprocs=pattern.nprocs,
+    )

@@ -1,0 +1,579 @@
+"""The scheduling service: cached, deduplicated, concurrent construction.
+
+:class:`Scheduler` is the long-lived front end the ROADMAP's serving
+scenarios call into.  One request — ``(pattern, algorithm, machine,
+params)`` — resolves through four tiers, cheapest first:
+
+1. **exact hit** — the content-addressed :class:`ScheduleStore` holds a
+   build for this very key and pattern; the stored bytes deserialize
+   straight into the response (byte-identical to the cold build that
+   produced them);
+2. **isomorphic hit** — the key matched through canonical-form hashing
+   but the stored entry was built for a *relabeling* of this pattern;
+   the stored schedule is relabeled through the two canonical seatings
+   and re-validated with the linter before serving;
+3. **warm start** — no key match, but a cached entry in the same
+   (machine, algorithm, params) bucket is within a small edit distance;
+   the cached schedule is adapted transfer-by-transfer, rebalanced with
+   :func:`repro.schedules.repair.rank_steps`, and re-validated — the
+   paper's "schedules outlive the iteration" argument applied to
+   pattern drift (a mesh repartition moves a few halo edges, not the
+   whole pattern);
+4. **cold build** — the registered builder runs, optionally on the
+   process-pool worker tier, and the result is linted and stored.
+
+Concurrent identical requests are *single-flighted*: the first thread
+builds, the rest wait on the same future, so a burst of N identical
+requests costs one construction (and emits exactly one ``build/<name>``
+span).  Hit/warm/miss traffic is mirrored to ``repro.obs`` counters
+(``service.*``) and to the scheduler's own :class:`MetricsRegistry` so
+a bench can report rates without installing a tracer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..faults.plan import FaultPlan
+from ..faults.model import FaultModel
+from ..machine.fattree import fat_tree_for
+from ..machine.params import MachineConfig
+from ..obs.metrics import MetricsRegistry
+from ..schedules.irregular import IRREGULAR_ALGORITHMS
+from ..schedules.pattern import CommPattern
+from ..schedules.repair import rank_steps
+from ..schedules.schedule import Schedule, Step, Transfer
+from ..schedules.serialize import schedule_from_json, schedule_to_json
+from ..schedules.validate import lint_schedule, validate_schedule
+from .keys import (
+    ScheduleKey,
+    canonical_form,
+    derive_key,
+    machine_fingerprint,
+    params_fingerprint,
+)
+from .pool import WorkerPool
+from .store import ScheduleStore, StoreEntry
+
+__all__ = ["ServiceResponse", "Scheduler", "adapt_schedule"]
+
+#: Response provenance values, cheapest tier first.
+SOURCES = ("hit", "isomorphic", "warm", "cold")
+
+#: params_fingerprint(None), precomputed for the common no-params call.
+_NO_PARAMS_FP = params_fingerprint(None)
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One served schedule with provenance and timing."""
+
+    schedule: Schedule
+    serialized: str
+    key: ScheduleKey
+    #: "hit" | "isomorphic" | "warm" | "cold".
+    source: str
+    #: Wall seconds from request to response on the calling thread.
+    latency: float
+    #: Warm starts record how far the donor pattern was (matrix cells).
+    edit_distance: int = 0
+    #: True when this thread coalesced onto another thread's build.
+    deduped: bool = False
+
+
+def _build_serialized(
+    matrix: List[List[int]],
+    algorithm: str,
+    params: Dict[str, object],
+) -> str:
+    """Cold build in (possibly) a worker process; returns schedule JSON.
+
+    Module-level and argument-pure so the process-pool tier can pickle
+    it; the parent deserializes, so the store's bytes are exactly the
+    serialized form of the schedule every response hands out.
+    """
+    builder = IRREGULAR_ALGORITHMS[algorithm]
+    schedule = builder(CommPattern(matrix), **params)
+    return schedule_to_json(schedule)
+
+
+def _relabel(schedule: Schedule, mapping: np.ndarray, name: str) -> Schedule:
+    """Apply a rank mapping to every transfer (steps keep their order)."""
+    steps = tuple(
+        Step(
+            tuple(
+                Transfer(
+                    src=int(mapping[t.src]),
+                    dst=int(mapping[t.dst]),
+                    nbytes=t.nbytes,
+                    pack_bytes=t.pack_bytes,
+                    unpack_bytes=t.unpack_bytes,
+                )
+                for t in step
+            )
+        )
+        for step in schedule.steps
+    )
+    return Schedule(
+        nprocs=schedule.nprocs,
+        steps=steps,
+        name=name,
+        exchange_order=schedule.exchange_order,
+    )
+
+
+def _base_name(name: str) -> str:
+    for suffix in ("+warm", "+iso"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+    return name
+
+
+def adapt_schedule(
+    donor: Schedule,
+    donor_pattern: np.ndarray,
+    pattern: CommPattern,
+    config: MachineConfig,
+) -> Optional[Schedule]:
+    """Warm-start repair: edit a cached schedule toward a near pattern.
+
+    Three kinds of cell drift are patched in place: a changed byte count
+    rewrites the transfer, a removed message drops it, and an added
+    message is packed first-fit into appended steps (one send per
+    sender, one receive per receiver per new step, mirroring the
+    matching-like structure every builder emits).  The edited step
+    multiset is then re-sequenced with :func:`rank_steps` under a
+    healthy fault model — the same root-traffic spreading
+    :func:`repair_schedule` applies, here rebalancing around the edits.
+
+    Returns ``None`` for store-and-forward donors (their steps carry
+    data dependencies; editing them is not sound).  Callers must lint
+    the result against ``pattern`` before serving it.
+    """
+    if donor.nprocs != pattern.nprocs:
+        return None
+    for _, t in donor.all_transfers():
+        if t.pack_bytes or t.unpack_bytes:
+            return None
+
+    diff = donor_pattern != pattern.matrix
+    changed = {
+        (int(i), int(j)): int(pattern.matrix[i, j])
+        for i, j in zip(*np.nonzero(diff))
+    }
+
+    steps: List[List[Transfer]] = []
+    for step in donor.steps:
+        edited: List[Transfer] = []
+        for t in step:
+            want = changed.get((t.src, t.dst))
+            if want is None:
+                edited.append(t)
+            elif want > 0:
+                edited.append(Transfer(t.src, t.dst, want))
+            # want == 0: message no longer required — drop it.
+        if edited:
+            steps.append(edited)
+
+    covered = {(t.src, t.dst) for s in steps for t in s}
+    added = [
+        (i, j, b)
+        for (i, j), b in sorted(changed.items())
+        if b > 0 and (i, j) not in covered and donor_pattern[i, j] == 0
+    ]
+    new_steps: List[List[Transfer]] = []
+    for i, j, b in added:
+        for ns in new_steps:
+            if all(t.src != i and t.dst != j for t in ns):
+                ns.append(Transfer(i, j, b))
+                break
+        else:
+            new_steps.append([Transfer(i, j, b)])
+    steps.extend(new_steps)
+    if not steps:
+        return None
+
+    final = [Step(tuple(s)) for s in steps]
+    healthy = FaultModel(FaultPlan(()), fat_tree_for(config))
+    order = rank_steps(final, config, healthy)
+    return Schedule(
+        nprocs=donor.nprocs,
+        steps=tuple(final[i] for i in order),
+        name=f"{_base_name(donor.name)}+warm",
+        exchange_order=donor.exchange_order,
+    )
+
+
+class Scheduler:
+    """Long-lived scheduling service over a :class:`ScheduleStore`.
+
+    ``workers`` sizes the process-pool tier for cold builds (0 builds
+    inline on the calling thread — deterministic and span-visible, the
+    right choice for tests and small patterns).  ``warm_edit_limit``
+    bounds how far a donor pattern may drift before warm start gives
+    way to a cold build; ``lint_responses`` additionally lints *every*
+    response before it leaves the service (cold, isomorphic and warm
+    results are always linted regardless).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ScheduleStore] = None,
+        workers: int = 0,
+        warm_edit_limit: int = 4,
+        canonicalize: bool = True,
+        lint_responses: bool = False,
+    ):
+        self.store = store if store is not None else ScheduleStore()
+        self.pool = WorkerPool(workers).__enter__()
+        self.warm_edit_limit = warm_edit_limit
+        self.canonicalize = canonicalize
+        self.lint_responses = lint_responses
+        self.metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        #: Relabeled/adapted results memoized by exact pattern digest so
+        #: repeated near-miss traffic stays warm without ever entering
+        #: the store (store bytes stay byte-identical to cold builds).
+        self._warm: Dict[Tuple[str, bytes], Tuple[str, str, int]] = {}
+        #: (pattern bytes, algorithm, machine, params) -> ScheduleKey.
+        #: Key derivation canonicalizes the pattern graph, which costs
+        #: more than a small cold build; repeat traffic must not pay it.
+        self._keys: Dict[Tuple[bytes, str, str, str], ScheduleKey] = {}
+        #: serialized -> Schedule, so hits skip re-parsing the JSON.
+        #: Schedule is frozen; sharing one instance across responses is
+        #: sound.
+        self._schedules: Dict[str, Schedule] = {}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, value: Optional[float] = None) -> None:
+        if value is None:
+            self.metrics.counter(name).inc()
+            obs.count(name)
+        else:
+            self.metrics.histogram(name).observe(value)
+            obs.observe(name, value)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: requests, hits, warm hits, cold builds..."""
+        return {
+            name: c.value for name, c in sorted(self.metrics.counters.items())
+        }
+
+    def _deserialize(self, serialized: str) -> Schedule:
+        """Parse schedule JSON once per distinct byte string."""
+        schedule = self._schedules.get(serialized)
+        if schedule is None:
+            schedule = schedule_from_json(serialized)
+            with self._lock:
+                self._schedules[serialized] = schedule
+        return schedule
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        pattern: CommPattern,
+        algorithm: str,
+        config: Optional[MachineConfig] = None,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> ServiceResponse:
+        """Serve one schedule, consulting every tier (see module doc)."""
+        if algorithm not in IRREGULAR_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose from "
+                f"{sorted(IRREGULAR_ALGORITHMS)}"
+            )
+        if config is None:
+            config = MachineConfig(pattern.nprocs)
+        if config.nprocs != pattern.nprocs:
+            raise ValueError(
+                f"machine has {config.nprocs} nodes, pattern has "
+                f"{pattern.nprocs}"
+            )
+        t0 = time.perf_counter()
+        self._count("service.requests")
+        pbytes = pattern.matrix.tobytes()
+        memo_key = (
+            pbytes,
+            algorithm,
+            machine_fingerprint(config),
+            params_fingerprint(params) if params else _NO_PARAMS_FP,
+        )
+        key = self._keys.get(memo_key)
+        if key is None:
+            key = derive_key(
+                pattern,
+                algorithm,
+                config,
+                params,
+                canonicalize=self.canonicalize,
+            )
+            with self._lock:
+                self._keys[memo_key] = key
+
+        response = self._serve_cached(key, pattern, pbytes, config, t0)
+        if response is None:
+            response = self._single_flight(key, pattern, config, params, t0)
+        if self.lint_responses:
+            validate_schedule(response.schedule, pattern)
+        self._count("service.latency", response.latency)
+        return response
+
+    def request_many(
+        self,
+        requests: List[Tuple[CommPattern, str]],
+        config: Optional[MachineConfig] = None,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> List[ServiceResponse]:
+        """Serve a batch in order (identical keys coalesce via the store)."""
+        return [
+            self.request(pattern, algorithm, config, params)
+            for pattern, algorithm in requests
+        ]
+
+    # ------------------------------------------------------------------
+    def _serve_cached(
+        self,
+        key: ScheduleKey,
+        pattern: CommPattern,
+        pbytes: bytes,
+        config: MachineConfig,
+        t0: float,
+    ) -> Optional[ServiceResponse]:
+        entry = self.store.get(key)
+        if entry is not None:
+            if entry.pattern_bytes == pbytes:
+                self._count("service.hits")
+                return ServiceResponse(
+                    schedule=self._deserialize(entry.serialized),
+                    serialized=entry.serialized,
+                    key=key,
+                    source="hit",
+                    latency=time.perf_counter() - t0,
+                )
+            iso = self._serve_isomorphic(key, entry, pattern, pbytes, t0)
+            if iso is not None:
+                return iso
+        return self._serve_warm(key, pattern, pbytes, config, t0)
+
+    def _memoized_warm(
+        self, key: ScheduleKey, pbytes: bytes, t0: float
+    ) -> Optional[ServiceResponse]:
+        memo = self._warm.get((key.digest, pbytes))
+        if memo is None:
+            return None
+        serialized, source, dist = memo
+        self._count(
+            "service.warm_hits" if source == "warm" else "service.iso_hits"
+        )
+        return ServiceResponse(
+            schedule=self._deserialize(serialized),
+            serialized=serialized,
+            key=key,
+            source=source,
+            latency=time.perf_counter() - t0,
+            edit_distance=dist,
+        )
+
+    def _serve_isomorphic(
+        self,
+        key: ScheduleKey,
+        entry: StoreEntry,
+        pattern: CommPattern,
+        pbytes: bytes,
+        t0: float,
+    ) -> Optional[ServiceResponse]:
+        """Relabel a canonical-key hit built for an isomorphic pattern."""
+        memo = self._memoized_warm(key, pbytes, t0)
+        if memo is not None:
+            return memo
+        if entry.order is None or not key.canonical:
+            return None
+        _, order = canonical_form(pattern)
+        if order is None:
+            return None
+        with obs.span(
+            "service/relabel", category="service", nprocs=pattern.nprocs
+        ):
+            # entry rank r sits at canonical seat pos0[r]; the requested
+            # pattern seats rank order[pos0[r]] there.
+            pos0 = np.empty(len(entry.order), dtype=np.int64)
+            pos0[entry.order] = np.arange(len(entry.order))
+            mapping = order[pos0]
+            donor = schedule_from_json(entry.serialized)
+            relabeled = _relabel(
+                donor, mapping, f"{_base_name(donor.name)}+iso"
+            )
+            report = lint_schedule(relabeled, pattern)
+        if not report.ok:
+            self._count("service.iso_rejects")
+            return None
+        serialized = schedule_to_json(relabeled)
+        with self._lock:
+            self._warm[(key.digest, pbytes)] = (serialized, "isomorphic", 0)
+            self._schedules[serialized] = relabeled
+        self._count("service.iso_hits")
+        return ServiceResponse(
+            schedule=relabeled,
+            serialized=serialized,
+            key=key,
+            source="isomorphic",
+            latency=time.perf_counter() - t0,
+        )
+
+    def _serve_warm(
+        self,
+        key: ScheduleKey,
+        pattern: CommPattern,
+        pbytes: bytes,
+        config: MachineConfig,
+        t0: float,
+    ) -> Optional[ServiceResponse]:
+        memo = self._memoized_warm(key, pbytes, t0)
+        if memo is not None:
+            return memo
+        if self.warm_edit_limit <= 0:
+            return None
+        for dist, entry in self.store.near_misses(
+            key, pattern, self.warm_edit_limit
+        ):
+            with obs.span(
+                "service/warm_adapt",
+                category="service",
+                nprocs=pattern.nprocs,
+                edits=dist,
+            ):
+                donor = schedule_from_json(entry.serialized)
+                adapted = adapt_schedule(
+                    donor, entry.pattern, pattern, config
+                )
+                if adapted is None:
+                    continue
+                report = lint_schedule(adapted, pattern)
+            if not report.ok:
+                self._count("service.warm_rejects")
+                continue
+            serialized = schedule_to_json(adapted)
+            with self._lock:
+                self._warm[(key.digest, pbytes)] = (serialized, "warm", dist)
+                self._schedules[serialized] = adapted
+            self._count("service.warm_hits")
+            return ServiceResponse(
+                schedule=adapted,
+                serialized=serialized,
+                key=key,
+                source="warm",
+                latency=time.perf_counter() - t0,
+                edit_distance=dist,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def _single_flight(
+        self,
+        key: ScheduleKey,
+        pattern: CommPattern,
+        config: MachineConfig,
+        params: Optional[Mapping[str, object]],
+        t0: float,
+    ) -> ServiceResponse:
+        """Cold build with in-flight deduplication.
+
+        The first thread to miss on a digest owns the build; every
+        concurrent identical request waits on the owner's future and is
+        charged as a dedup hit, never a second construction.
+        """
+        digest = key.digest
+        with self._lock:
+            future = self._inflight.get(digest)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._inflight[digest] = future
+        if not owner:
+            serialized = future.result()
+            self._count("service.inflight_dedup")
+            return ServiceResponse(
+                schedule=self._deserialize(serialized),
+                serialized=serialized,
+                key=key,
+                source="cold",
+                latency=time.perf_counter() - t0,
+                deduped=True,
+            )
+        try:
+            serialized = self._cold_build(key, pattern, config, params)
+        except BaseException as exc:
+            future.set_exception(exc)
+            with self._lock:
+                self._inflight.pop(digest, None)
+            raise
+        future.set_result(serialized)
+        with self._lock:
+            self._inflight.pop(digest, None)
+        self._count("service.cold_builds")
+        return ServiceResponse(
+            schedule=self._deserialize(serialized),
+            serialized=serialized,
+            key=key,
+            source="cold",
+            latency=time.perf_counter() - t0,
+        )
+
+    def _cold_build(
+        self,
+        key: ScheduleKey,
+        pattern: CommPattern,
+        config: MachineConfig,
+        params: Optional[Mapping[str, object]],
+    ) -> str:
+        kwargs = dict(params or {})
+        with obs.span(
+            f"service/build/{key.algorithm}",
+            category="service",
+            nprocs=pattern.nprocs,
+        ):
+            serialized = self.pool.submit(
+                _build_serialized,
+                pattern.matrix.tolist(),
+                key.algorithm,
+                kwargs,
+            ).result()
+        schedule = schedule_from_json(serialized)
+        validate_schedule(schedule, pattern)
+        with self._lock:
+            self._schedules[serialized] = schedule
+        order = None
+        if key.canonical:
+            _, order = canonical_form(pattern)
+        staged = any(
+            t.pack_bytes or t.unpack_bytes
+            for _, t in schedule.all_transfers()
+        )
+        self.store.put(
+            StoreEntry(
+                key=key,
+                pattern=pattern.matrix.copy(),
+                order=order,
+                serialized=serialized,
+                staged=staged,
+            )
+        )
+        return serialized

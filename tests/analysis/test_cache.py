@@ -52,3 +52,40 @@ class TestSimCache:
         cache.get_or_compute("b", lambda: 2.0)
         stored = json.loads((tmp_path / "c.json").read_text())
         assert stored == {"a": 1.0, "b": 2.0}
+
+class TestLoadHardening:
+    def test_non_numeric_entries_dropped_with_warning(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({
+            "good": 1.5,
+            "listy": [1, 2],
+            "stringy": "7.0",
+            "booly": True,
+        }))
+        cache = SimCache(path)
+        assert len(cache) == 1
+        assert cache.get_or_compute("good", lambda: 0.0) == 1.5
+        err = capsys.readouterr().err
+        assert "dropped 3" in err
+
+    def test_nan_and_infinity_dropped(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        # json.loads accepts bare NaN/Infinity; the cache must not.
+        path.write_text('{"nan": NaN, "inf": Infinity, "ok": 2.0}')
+        cache = SimCache(path)
+        assert len(cache) == 1
+        assert "dropped 2" in capsys.readouterr().err
+
+    def test_non_object_document_rebuilt(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        path.write_text("[1, 2, 3]")
+        cache = SimCache(path)
+        assert len(cache) == 0
+        assert "not a JSON object" in capsys.readouterr().err
+
+    def test_flush_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "c.json"
+        cache = SimCache(path)
+        cache.get_or_compute("k", lambda: 1.0)
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "c.json"]
+        assert leftovers == []

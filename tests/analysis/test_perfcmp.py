@@ -154,3 +154,49 @@ class TestLoad:
         path.write_text(json.dumps({"schema": "nope/9", "workloads": {}}))
         with pytest.raises(ValueError, match="schema"):
             load_bench(path)
+
+def service_bench(workloads):
+    return {"schema": "repro-bench-service/1", "workloads": workloads}
+
+
+def service_row(wall, speedup=6.0, hit_rate=0.9):
+    return {"wall_seconds": wall, "speedup": speedup, "hit_rate": hit_rate}
+
+
+class TestSchemaFamilies:
+    def test_service_schema_accepted(self, tmp_path):
+        path = tmp_path / "b.json"
+        doc = service_bench({"w": service_row(1.0)})
+        path.write_text(json.dumps(doc))
+        assert load_bench(path) == doc
+
+    def test_service_vs_service_compares(self):
+        cmp = compare_benches(
+            service_bench({"w": service_row(1.0)}),
+            service_bench({"w": service_row(1.05)}),
+        )
+        assert cmp.ok
+        # The service schema has no sim_ms; absence on both sides is
+        # never reported as drift.
+        assert cmp.sim_drifts == []
+
+    def test_service_regression_detected(self):
+        cmp = compare_benches(
+            service_bench({"w": service_row(1.0)}),
+            service_bench({"w": service_row(1.5)}),
+        )
+        assert [d.name for d in cmp.regressions] == ["w"]
+
+    def test_cross_family_comparison_is_hard_error(self):
+        with pytest.raises(ValueError, match="schema mismatch"):
+            compare_benches(
+                bench({"w": row(1.0)}),
+                service_bench({"w": service_row(1.0)}),
+            )
+
+    def test_service_nonpositive_baseline_is_hard_error(self):
+        with pytest.raises(ValueError, match="baseline wall time"):
+            compare_benches(
+                service_bench({"w": service_row(0.0)}),
+                service_bench({"w": service_row(1.0)}),
+            )

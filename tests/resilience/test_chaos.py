@@ -89,3 +89,19 @@ def test_report_schema_and_files(tmp_path):
     rendered = open(txt).read()
     assert "all invariants held" in rendered
     assert rendered.strip() == render_chaos(report).strip()
+
+def test_campaign_parallel_jobs_byte_identical():
+    # The worker-pool path must not change a single digit of the report:
+    # specs are computed in the parent, results return in input order.
+    serial = run_campaign(quick=True, jobs=0)
+    parallel = run_campaign(quick=True, jobs=2)
+    assert serial.to_dict() == parallel.to_dict()
+
+
+def test_campaign_progress_order_stable_across_jobs():
+    def collect(jobs):
+        seen = []
+        run_campaign(quick=True, jobs=jobs, progress=seen.append)
+        return seen
+
+    assert collect(0) == collect(2)

@@ -1,0 +1,90 @@
+"""Arrival-process registry: determinism, monotonicity, validation."""
+
+import pytest
+
+from repro.service import (
+    ARRIVAL_PROCESSES,
+    BurstyArrivals,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+    arrival_names,
+    make_arrivals,
+)
+
+
+class TestRegistry:
+    def test_builtin_names_registered(self):
+        names = arrival_names()
+        for expected in ("poisson", "bursty", "closed-loop"):
+            assert expected in names
+
+    def test_make_arrivals_resolves_names(self):
+        assert isinstance(make_arrivals("poisson", 100.0), PoissonArrivals)
+        assert isinstance(make_arrivals("bursty", 100.0), BurstyArrivals)
+        assert isinstance(
+            make_arrivals("closed-loop", 100.0), ClosedLoopArrivals
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            make_arrivals("lognormal", 100.0)
+
+    def test_registry_name_attached(self):
+        for name, factory in ARRIVAL_PROCESSES.items():
+            assert factory.registry_name == name
+
+    def test_only_closed_loop_is_closed(self):
+        assert ClosedLoopArrivals(100.0).closed
+        assert not PoissonArrivals(100.0).closed
+        assert not BurstyArrivals(100.0).closed
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["poisson", "bursty", "closed-loop"])
+    def test_same_seed_same_times(self, name):
+        a = make_arrivals(name, 150.0, seed=7).times(64)
+        b = make_arrivals(name, 150.0, seed=7).times(64)
+        assert a == b
+        assert len(a) == 64
+
+    @pytest.mark.parametrize("name", ["poisson", "bursty"])
+    def test_different_seed_different_times(self, name):
+        a = make_arrivals(name, 150.0, seed=7).times(64)
+        b = make_arrivals(name, 150.0, seed=8).times(64)
+        assert a != b
+
+    @pytest.mark.parametrize("name", ["poisson", "bursty"])
+    def test_open_timestamps_monotone_positive(self, name):
+        times = make_arrivals(name, 150.0, seed=3).times(128)
+        assert all(t > 0 for t in times)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_closed_loop_gaps_positive(self):
+        gaps = ClosedLoopArrivals(150.0, seed=3).times(128)
+        assert all(g > 0 for g in gaps)
+
+
+class TestValidation:
+    def test_rate_must_be_positive(self):
+        for cls in (PoissonArrivals, BurstyArrivals, ClosedLoopArrivals):
+            with pytest.raises(ValueError, match="rate"):
+                cls(0.0)
+            with pytest.raises(ValueError, match="rate"):
+                cls(-1.0)
+
+    def test_bursty_duty_bounds(self):
+        with pytest.raises(ValueError, match="duty"):
+            BurstyArrivals(100.0, duty=0.0)
+        with pytest.raises(ValueError, match="duty"):
+            BurstyArrivals(100.0, duty=1.0)
+
+    def test_bursty_cycle_positive(self):
+        with pytest.raises(ValueError, match="cycle"):
+            BurstyArrivals(100.0, cycle=0.0)
+
+    def test_closed_loop_clients_minimum(self):
+        with pytest.raises(ValueError, match="clients"):
+            ClosedLoopArrivals(100.0, clients=0)
+
+    def test_bursty_burst_factor(self):
+        assert BurstyArrivals(100.0, duty=0.25).burst_factor == 4.0

@@ -1,0 +1,123 @@
+"""Workload driver: corpus, Zipf mix, drift stream, bench cell."""
+
+import numpy as np
+import pytest
+
+from repro.schedules import CommPattern
+from repro.service import (
+    SERVICE_SCHEMA,
+    drift_variant,
+    pattern_corpus,
+    render_service_bench,
+    request_stream,
+    run_service_cell,
+    zipf_mix,
+)
+
+
+class TestPatternCorpus:
+    def test_exact_size_and_unique_names(self):
+        corpus = pattern_corpus(8, 20)
+        assert len(corpus) == 20
+        names = [name for name, _ in corpus]
+        assert len(set(names)) == 20
+        for _, p in corpus:
+            assert p.nprocs == 8
+
+    def test_deterministic(self):
+        a = pattern_corpus(8, 10, seed=4)
+        b = pattern_corpus(8, 10, seed=4)
+        for (na, pa), (nb, pb) in zip(a, b):
+            assert na == nb
+            np.testing.assert_array_equal(pa.matrix, pb.matrix)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="corpus size"):
+            pattern_corpus(8, 0)
+
+
+class TestZipfMix:
+    def test_deterministic_and_in_range(self):
+        a = zipf_mix(500, 20, 1.1, seed=2)
+        assert a == zipf_mix(500, 20, 1.1, seed=2)
+        assert len(a) == 500
+        assert all(0 <= i < 20 for i in a)
+
+    def test_skew_concentrates_mass(self):
+        flat = zipf_mix(2000, 20, 0.0, seed=2)
+        skewed = zipf_mix(2000, 20, 2.0, seed=2)
+
+        def top_share(mix):
+            counts = np.bincount(mix, minlength=20)
+            return counts.max() / len(mix)
+
+        assert top_share(skewed) > top_share(flat)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError, match="skew"):
+            zipf_mix(10, 5, -0.5)
+
+
+class TestDrift:
+    def test_drift_variant_is_edit_distance_one(self):
+        p = CommPattern.synthetic(8, 0.4, 512, seed=3)
+        v = drift_variant(p, seed=9)
+        diff = np.count_nonzero(p.matrix != v.matrix)
+        assert diff == 1
+        # The changed message doubled, never vanished.
+        i, j = map(int, np.argwhere(p.matrix != v.matrix)[0])
+        assert v.matrix[i, j] == 2 * p.matrix[i, j]
+
+    def test_request_stream_mixes_in_fixed_variants(self):
+        corpus = pattern_corpus(8, 5, seed=1)
+        mix = zipf_mix(200, 5, 1.1, seed=1)
+        stream = request_stream(corpus, mix, drift=0.3, seed=1)
+        assert len(stream) == 200
+        drifted = [name for name, _ in stream if name.endswith("~drift")]
+        assert drifted  # at 30% drift over 200 requests, some must appear
+        # One fixed variant per corpus entry: same name -> same matrix.
+        by_name = {}
+        for name, p in stream:
+            if name in by_name:
+                np.testing.assert_array_equal(by_name[name], p.matrix)
+            else:
+                by_name[name] = p.matrix
+
+    def test_zero_drift_passes_corpus_through(self):
+        corpus = pattern_corpus(8, 5, seed=1)
+        mix = zipf_mix(50, 5, 1.1, seed=1)
+        stream = request_stream(corpus, mix, drift=0.0, seed=1)
+        assert stream == [corpus[i] for i in mix]
+
+    def test_drift_bounds_validated(self):
+        corpus = pattern_corpus(8, 3, seed=1)
+        with pytest.raises(ValueError, match="drift"):
+            request_stream(corpus, [0], drift=1.5)
+        with pytest.raises(ValueError, match="drift"):
+            request_stream(corpus, [0], drift=-0.1)
+
+
+class TestServiceCell:
+    def test_small_cell_end_to_end(self):
+        cell = run_service_cell(
+            nprocs=8, corpus_size=10, requests=80, drift=0.1, seed=0
+        )
+        assert cell["requests"] == 80
+        assert cell["corpus"] == 10
+        assert cell["lint_failures"] == 0
+        assert cell["hit_rate"] > 0
+        assert cell["schedules_per_sec"] > 0
+        assert cell["counters"]["service.requests"] == 80
+
+    def test_render_includes_every_workload(self):
+        cell = run_service_cell(
+            nprocs=8,
+            corpus_size=5,
+            requests=20,
+            drift=0.0,
+            measure_naive=False,
+        )
+        bench = {"schema": SERVICE_SCHEMA, "workloads": {"w0": cell}}
+        text = render_service_bench(bench)
+        assert "w0" in text
+        assert "speedup" in text

@@ -1,0 +1,139 @@
+"""Cache-key derivation: sensitivity, canonicalization, stability."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CM5Params, MachineConfig
+from repro.schedules import CommPattern
+from repro.service import (
+    KEY_VERSION,
+    canonical_form,
+    canonical_order,
+    derive_key,
+    machine_fingerprint,
+    params_fingerprint,
+    pattern_digest,
+)
+
+
+def asymmetric_pattern(n=8, seed=3):
+    """A synthetic pattern whose color refinement is discrete."""
+    return CommPattern.synthetic(n, 0.4, 512, seed=seed)
+
+
+class TestCanonicalOrder:
+    def test_discrete_for_generic_pattern(self):
+        order = canonical_order(asymmetric_pattern().matrix)
+        assert order is not None
+        assert sorted(order.tolist()) == list(range(8))
+
+    def test_ambiguous_for_complete_exchange(self):
+        ce = CommPattern.complete_exchange(8, 64)
+        assert canonical_order(ce.matrix) is None
+        assert canonical_form(ce) == (None, None)
+
+    def test_relabeling_invariant(self):
+        p = asymmetric_pattern()
+        cm, order = canonical_form(p)
+        assert cm is not None
+        perm = np.random.default_rng(11).permutation(8)
+        relabeled = CommPattern(p.matrix[np.ix_(perm, perm)])
+        cm2, order2 = canonical_form(relabeled)
+        assert cm2 is not None
+        np.testing.assert_array_equal(cm, cm2)
+
+    def test_order_reconstructs_canonical_matrix(self):
+        p = asymmetric_pattern()
+        cm, order = canonical_form(p)
+        np.testing.assert_array_equal(p.matrix[np.ix_(order, order)], cm)
+
+
+class TestKeySensitivity:
+    def test_same_inputs_same_digest(self):
+        p = asymmetric_pattern()
+        cfg = MachineConfig(8)
+        assert (
+            derive_key(p, "greedy", cfg).digest
+            == derive_key(p, "greedy", cfg).digest
+        )
+
+    def test_algorithm_changes_key(self):
+        p = asymmetric_pattern()
+        cfg = MachineConfig(8)
+        assert (
+            derive_key(p, "greedy", cfg).digest
+            != derive_key(p, "balanced", cfg).digest
+        )
+
+    def test_machine_config_changes_key(self):
+        p = asymmetric_pattern()
+        base = derive_key(p, "greedy", MachineConfig(8))
+        tweaked = MachineConfig(8, CM5Params(recv_overhead=123e-6))
+        assert derive_key(p, "greedy", tweaked).digest != base.digest
+
+    def test_builder_params_change_key(self):
+        p = asymmetric_pattern()
+        cfg = MachineConfig(8)
+        a = derive_key(p, "greedy", cfg, params={"order": "lowest"})
+        b = derive_key(p, "greedy", cfg, params={"order": "highest"})
+        assert a.digest != b.digest
+        assert a.params != b.params
+
+    def test_single_pattern_cell_changes_key(self):
+        p = asymmetric_pattern()
+        cfg = MachineConfig(8)
+        m = p.matrix.copy()
+        i, j = next(zip(*np.nonzero(m)))
+        m[i, j] += 1
+        assert (
+            derive_key(CommPattern(m), "greedy", cfg).digest
+            != derive_key(p, "greedy", cfg).digest
+        )
+
+    def test_isomorphic_patterns_share_key_when_canonical(self):
+        p = asymmetric_pattern()
+        cfg = MachineConfig(8)
+        perm = np.random.default_rng(5).permutation(8)
+        q = CommPattern(p.matrix[np.ix_(perm, perm)])
+        kp, kq = derive_key(p, "greedy", cfg), derive_key(q, "greedy", cfg)
+        assert kp.canonical and kq.canonical
+        assert kp.digest == kq.digest
+
+    def test_symmetric_pattern_falls_back_to_exact_hash(self):
+        ce = CommPattern.complete_exchange(8, 64)
+        key = derive_key(ce, "greedy", MachineConfig(8))
+        assert not key.canonical
+        assert key.pattern == pattern_digest(ce)
+
+    def test_canonicalize_false_uses_exact_hash(self):
+        p = asymmetric_pattern()
+        key = derive_key(p, "greedy", MachineConfig(8), canonicalize=False)
+        assert not key.canonical
+        assert key.pattern == pattern_digest(p)
+
+    def test_key_records_version_and_nprocs(self):
+        p = asymmetric_pattern()
+        key = derive_key(p, "greedy", MachineConfig(8))
+        assert key.version == KEY_VERSION
+        assert key.nprocs == 8
+
+
+class TestFingerprints:
+    def test_machine_fingerprint_covers_every_param(self):
+        a = machine_fingerprint(MachineConfig(8))
+        b = machine_fingerprint(
+            MachineConfig(8, CM5Params(switch_contention=0.9))
+        )
+        assert a != b
+        assert machine_fingerprint(MachineConfig(8)) == a
+
+    def test_params_fingerprint_order_independent(self):
+        assert params_fingerprint({"a": 1, "b": 2}) == params_fingerprint(
+            {"b": 2, "a": 1}
+        )
+        assert params_fingerprint(None) == params_fingerprint({})
+
+    def test_pattern_digest_exact(self):
+        p = asymmetric_pattern()
+        q = CommPattern(p.matrix.copy())
+        assert pattern_digest(p) == pattern_digest(q)

@@ -1,0 +1,148 @@
+"""Scheduler service: tiers, byte identity, single-flight, errors."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.machine import MachineConfig
+from repro.schedules import CommPattern, lint_schedule, schedule_from_json
+from repro.service import ScheduleStore, Scheduler, drift_variant
+
+
+def pattern(n=8, seed=3):
+    return CommPattern.synthetic(n, 0.4, 512, seed=seed)
+
+
+class TestTiers:
+    def test_cold_then_hit_byte_identical(self):
+        with Scheduler() as sched:
+            cold = sched.request(pattern(), "greedy")
+            hit = sched.request(pattern(), "greedy")
+        assert cold.source == "cold"
+        assert hit.source == "hit"
+        assert hit.serialized == cold.serialized
+        assert hit.key.digest == cold.key.digest
+
+    def test_hit_survives_store_reload(self, tmp_path):
+        with Scheduler(ScheduleStore(tmp_path)) as sched:
+            cold = sched.request(pattern(), "greedy")
+        with Scheduler(ScheduleStore(tmp_path)) as fresh:
+            hit = fresh.request(pattern(), "greedy")
+        assert hit.source == "hit"
+        assert hit.serialized == cold.serialized
+
+    def test_warm_start_serves_linted_adaptation(self):
+        with Scheduler() as sched:
+            p = pattern()
+            sched.request(p, "greedy")
+            drifted = drift_variant(p, seed=7)
+            warm = sched.request(drifted, "greedy")
+            assert warm.source == "warm"
+            assert warm.edit_distance == 1
+            assert lint_schedule(warm.schedule, drifted).ok
+            # Repeat near-miss traffic is memoized, not re-adapted.
+            again = sched.request(drifted, "greedy")
+            assert again.source == "warm"
+            assert again.serialized == warm.serialized
+
+    def test_isomorphic_relabel_hit(self):
+        with Scheduler() as sched:
+            p = pattern()
+            cold = sched.request(p, "greedy")
+            assert cold.key.canonical
+            perm = np.random.default_rng(5).permutation(8)
+            q = CommPattern(p.matrix[np.ix_(perm, perm)])
+            iso = sched.request(q, "greedy")
+            assert iso.source == "isomorphic"
+            assert iso.key.digest == cold.key.digest
+            assert lint_schedule(iso.schedule, q).ok
+
+    def test_served_serialized_deserializes_to_served_schedule(self):
+        with Scheduler() as sched:
+            resp = sched.request(pattern(), "greedy")
+        assert schedule_from_json(resp.serialized) == resp.schedule
+
+    def test_lint_responses_mode(self):
+        with Scheduler(lint_responses=True) as sched:
+            p = pattern()
+            assert sched.request(p, "greedy").source == "cold"
+            assert sched.request(p, "greedy").source == "hit"
+
+    def test_request_many_preserves_order(self):
+        with Scheduler() as sched:
+            a, b = pattern(seed=3), pattern(seed=4)
+            responses = sched.request_many(
+                [(a, "greedy"), (b, "greedy"), (a, "greedy")]
+            )
+        assert [r.source for r in responses] == ["cold", "cold", "hit"]
+        assert responses[2].serialized == responses[0].serialized
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_build_once(self):
+        n_threads = 8
+        with Scheduler() as sched:
+            barrier = threading.Barrier(n_threads)
+            responses = [None] * n_threads
+            errors = []
+
+            def worker(i):
+                try:
+                    barrier.wait()
+                    responses[i] = sched.request(pattern(), "greedy")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            with obs.tracing() as tracer:
+                threads = [
+                    threading.Thread(target=worker, args=(i,))
+                    for i in range(n_threads)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+
+            assert not errors
+            builds = [s for s in tracer.spans if s.name == "build/GS"]
+            assert len(builds) == 1
+            service_builds = [
+                s for s in tracer.spans if s.name == "service/build/greedy"
+            ]
+            assert len(service_builds) == 1
+            assert sched.stats()["service.cold_builds"] == 1
+            serials = {r.serialized for r in responses}
+            assert len(serials) == 1
+            # Every non-owner either coalesced onto the in-flight build
+            # or landed on the store entry it published.
+            for r in responses:
+                assert r.source in ("cold", "hit")
+                assert not (r.source == "hit" and r.deduped)
+
+
+class TestStats:
+    def test_counters_track_tiers(self):
+        with Scheduler() as sched:
+            p = pattern()
+            sched.request(p, "greedy")
+            sched.request(p, "greedy")
+            sched.request(drift_variant(p, seed=7), "greedy")
+            stats = sched.stats()
+        assert stats["service.requests"] == 3
+        assert stats["service.cold_builds"] == 1
+        assert stats["service.hits"] == 1
+        assert stats["service.warm_hits"] == 1
+
+
+class TestErrors:
+    def test_unknown_algorithm(self):
+        with Scheduler() as sched:
+            with pytest.raises(ValueError, match="unknown algorithm"):
+                sched.request(pattern(), "no-such-builder")
+
+    def test_machine_pattern_size_mismatch(self):
+        with Scheduler() as sched:
+            with pytest.raises(ValueError, match="nodes"):
+                sched.request(pattern(8), "greedy", MachineConfig(16))

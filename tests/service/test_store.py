@@ -1,0 +1,154 @@
+"""ScheduleStore: two tiers, atomic persistence, near-miss scan."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineConfig
+from repro.schedules import CommPattern, greedy_schedule, schedule_to_json
+from repro.service import ScheduleStore, StoreEntry, derive_key
+
+
+def make_entry(seed=3, staged=False, nprocs=8):
+    pattern = CommPattern.synthetic(nprocs, 0.4, 512, seed=seed)
+    key = derive_key(pattern, "greedy", MachineConfig(nprocs))
+    serialized = schedule_to_json(greedy_schedule(pattern))
+    return StoreEntry(
+        key=key,
+        pattern=pattern.matrix.copy(),
+        order=None,
+        serialized=serialized,
+        staged=staged,
+    )
+
+
+class TestMemoryTier:
+    def test_put_get_roundtrip(self):
+        store = ScheduleStore()
+        entry = make_entry()
+        assert store.get(entry.key) is None
+        store.put(entry)
+        got = store.get(entry.key)
+        assert got is not None
+        assert got.serialized == entry.serialized
+        assert len(store) == 1
+
+    def test_clear(self):
+        store = ScheduleStore()
+        store.put(make_entry())
+        store.clear()
+        assert len(store) == 0
+
+
+class TestDiskTier:
+    def test_roundtrip_through_disk(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        entry = make_entry()
+        store.put(entry)
+        fresh = ScheduleStore(tmp_path)
+        got = fresh.get(entry.key)
+        assert got is not None
+        assert got.serialized == entry.serialized
+        np.testing.assert_array_equal(got.pattern, entry.pattern)
+        assert got.key == entry.key
+
+    def test_entry_file_named_by_digest(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        entry = make_entry()
+        store.put(entry)
+        assert (tmp_path / f"{entry.key.digest}.json").exists()
+
+    def test_corrupt_file_skipped_with_warning(self, tmp_path, capsys):
+        store = ScheduleStore(tmp_path)
+        store.put(make_entry())
+        bad = tmp_path / ("0" * 64 + ".json")
+        bad.write_text("{not json")
+        fresh = ScheduleStore(tmp_path)
+        assert len(fresh) == 1
+        assert "skipped 1" in capsys.readouterr().err
+
+    def test_renamed_file_rejected(self, tmp_path, capsys):
+        store = ScheduleStore(tmp_path)
+        entry = make_entry()
+        store.put(entry)
+        # Forge: copy the valid entry under a different digest name.
+        (tmp_path / ("f" * 64 + ".json")).write_text(entry.to_json())
+        fresh = ScheduleStore(tmp_path)
+        assert len(fresh) == 1
+        assert "skipped 1" in capsys.readouterr().err
+
+    def test_no_temp_litter_after_put(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store.put(make_entry())
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestNearMisses:
+    def test_finds_close_pattern(self):
+        store = ScheduleStore()
+        entry = make_entry()
+        store.put(entry)
+        m = entry.pattern.copy()
+        i, j = next(zip(*np.nonzero(m)))
+        m[i, j] *= 2
+        drifted = CommPattern(m)
+        key = derive_key(drifted, "greedy", MachineConfig(8))
+        hits = store.near_misses(key, drifted, limit=4)
+        assert len(hits) == 1
+        dist, found = hits[0]
+        assert dist == 1
+        assert found.serialized == entry.serialized
+
+    def test_respects_edit_limit(self):
+        store = ScheduleStore()
+        entry = make_entry()
+        store.put(entry)
+        m = entry.pattern.copy()
+        cells = list(zip(*np.nonzero(m)))[:5]
+        for i, j in cells:
+            m[i, j] *= 2
+        far = CommPattern(m)
+        key = derive_key(far, "greedy", MachineConfig(8))
+        assert store.near_misses(key, far, limit=4) == []
+        assert len(store.near_misses(key, far, limit=5)) == 1
+
+    def test_staged_entries_excluded(self):
+        store = ScheduleStore()
+        entry = make_entry(staged=True)
+        store.put(entry)
+        m = entry.pattern.copy()
+        i, j = next(zip(*np.nonzero(m)))
+        m[i, j] *= 2
+        drifted = CommPattern(m)
+        key = derive_key(drifted, "greedy", MachineConfig(8))
+        assert store.near_misses(key, drifted, limit=4) == []
+
+    def test_other_algorithm_bucket_not_scanned(self):
+        store = ScheduleStore()
+        entry = make_entry()
+        store.put(entry)
+        m = entry.pattern.copy()
+        i, j = next(zip(*np.nonzero(m)))
+        m[i, j] *= 2
+        drifted = CommPattern(m)
+        key = derive_key(drifted, "balanced", MachineConfig(8))
+        assert store.near_misses(key, drifted, limit=4) == []
+
+
+class TestEntryJson:
+    def test_roundtrip(self):
+        entry = make_entry()
+        back = StoreEntry.from_json(entry.to_json())
+        assert back.key == entry.key
+        np.testing.assert_array_equal(back.pattern, entry.pattern)
+        assert back.serialized == entry.serialized
+        assert back.staged == entry.staged
+
+    def test_rejects_alien_document(self):
+        with pytest.raises(ValueError):
+            StoreEntry.from_json('{"format": "something-else"}')
+
+    def test_rejects_future_version(self):
+        entry = make_entry()
+        doc = entry.to_json().replace('"version":1', '"version":99', 1)
+        with pytest.raises(ValueError):
+            StoreEntry.from_json(doc)
