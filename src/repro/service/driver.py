@@ -286,12 +286,16 @@ def run_service_cell(
         counters = scheduler.stats()
 
     lint_failures = 0
-    seen: Dict[str, bool] = {}
+    # Memoized per (schedule, pattern) *pair* — the same serialized
+    # schedule can legitimately pair with distinct patterns (dedup over
+    # isomorphic traffic), and each pairing needs its own verdict.
+    seen: Dict[Tuple[str, bytes], bool] = {}
     for resp, (_, pattern) in zip(responses, stream):
-        ok = seen.get(resp.serialized)
+        pair = (resp.serialized, pattern.matrix.tobytes())
+        ok = seen.get(pair)
         if ok is None:
             ok = lint_schedule(resp.schedule, pattern).ok
-            seen[resp.serialized] = ok
+            seen[pair] = ok
         lint_failures += not ok
 
     service_s = [r.latency for r in responses]

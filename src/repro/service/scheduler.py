@@ -25,7 +25,11 @@ params)`` — resolves through four tiers, cheapest first:
 Concurrent identical requests are *single-flighted*: the first thread
 builds, the rest wait on the same future, so a burst of N identical
 requests costs one construction (and emits exactly one ``build/<name>``
-span).  Hit/warm/miss traffic is mirrored to ``repro.obs`` counters
+span).  A waiter never serves the owner's bytes blindly — under
+canonical keys two *distinct* relabel-isomorphic patterns share a
+digest, so the waiter checks the published store entry against its own
+pattern and falls back to the relabel+lint tier on a mismatch.
+Hit/warm/miss traffic is mirrored to ``repro.obs`` counters
 (``service.*``) and to the scheduler's own :class:`MetricsRegistry` so
 a bench can report rates without installing a tracer.
 """
@@ -34,6 +38,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -216,11 +221,17 @@ class Scheduler:
 
     ``workers`` sizes the process-pool tier for cold builds (0 builds
     inline on the calling thread — deterministic and span-visible, the
-    right choice for tests and small patterns).  ``warm_edit_limit``
-    bounds how far a donor pattern may drift before warm start gives
-    way to a cold build; ``lint_responses`` additionally lints *every*
-    response before it leaves the service (cold, isomorphic and warm
-    results are always linted regardless).
+    right choice for tests and small patterns); the pool is created
+    lazily on the first cold build and torn down by a finalizer even if
+    the caller never calls :meth:`close`.  ``warm_edit_limit`` bounds
+    how far a donor pattern may drift before warm start gives way to a
+    cold build; ``lint_responses`` additionally lints *every* response
+    before it leaves the service (cold, isomorphic and warm results are
+    always linted regardless).  ``memo_limit`` caps each internal memo
+    (keys, parsed schedules, adapted results) so a truly long-lived
+    service under drifting traffic sheds stale memo entries instead of
+    growing without bound — memos are pure latency devices; the store
+    remains the durable tier.
     """
 
     def __init__(
@@ -230,14 +241,19 @@ class Scheduler:
         warm_edit_limit: int = 4,
         canonicalize: bool = True,
         lint_responses: bool = False,
+        memo_limit: int = 4096,
     ):
+        if memo_limit < 1:
+            raise ValueError(f"memo_limit must be >= 1, got {memo_limit}")
         self.store = store if store is not None else ScheduleStore()
-        self.pool = WorkerPool(workers).__enter__()
+        self.workers = workers
         self.warm_edit_limit = warm_edit_limit
         self.canonicalize = canonicalize
         self.lint_responses = lint_responses
+        self.memo_limit = memo_limit
         self.metrics = MetricsRegistry()
         self._lock = threading.Lock()
+        self._pool: Optional[WorkerPool] = None
         self._inflight: Dict[str, Future] = {}
         #: Relabeled/adapted results memoized by exact pattern digest so
         #: repeated near-miss traffic stays warm without ever entering
@@ -253,8 +269,28 @@ class Scheduler:
         self._schedules: Dict[str, Schedule] = {}
 
     # ------------------------------------------------------------------
+    def _ensure_pool(self) -> WorkerPool:
+        """Create the worker tier on first use, with a GC backstop.
+
+        Lazy creation means a scheduler that only ever serves from the
+        cache spawns no worker processes, and a scheduler that is never
+        :meth:`close`\\ d cannot leak an idle executor for the process
+        lifetime — the finalizer (which holds the pool, not ``self``)
+        shuts the executor down when the scheduler is collected.
+        """
+        with self._lock:
+            pool = self._pool
+            if pool is None:
+                pool = WorkerPool(self.workers).__enter__()
+                self._pool = pool
+                weakref.finalize(self, pool.shutdown)
+        return pool
+
     def close(self) -> None:
-        self.pool.shutdown()
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> "Scheduler":
         return self
@@ -277,13 +313,24 @@ class Scheduler:
             name: c.value for name, c in sorted(self.metrics.counters.items())
         }
 
+    def _memo_put(self, memo: Dict, key, value) -> None:
+        """Bounded memo insert: evict oldest entries past ``memo_limit``.
+
+        Insertion-order (FIFO) eviction, not true LRU — the memos are
+        re-populated from the store on the next request, so shedding a
+        hot entry costs one re-parse/re-adapt, never correctness.
+        """
+        with self._lock:
+            memo[key] = value
+            while len(memo) > self.memo_limit:
+                memo.pop(next(iter(memo)))
+
     def _deserialize(self, serialized: str) -> Schedule:
         """Parse schedule JSON once per distinct byte string."""
         schedule = self._schedules.get(serialized)
         if schedule is None:
             schedule = schedule_from_json(serialized)
-            with self._lock:
-                self._schedules[serialized] = schedule
+            self._memo_put(self._schedules, serialized, schedule)
         return schedule
 
     # ------------------------------------------------------------------
@@ -325,12 +372,13 @@ class Scheduler:
                 params,
                 canonicalize=self.canonicalize,
             )
-            with self._lock:
-                self._keys[memo_key] = key
+            self._memo_put(self._keys, memo_key, key)
 
         response = self._serve_cached(key, pattern, pbytes, config, t0)
         if response is None:
-            response = self._single_flight(key, pattern, config, params, t0)
+            response = self._single_flight(
+                key, pattern, pbytes, config, params, t0
+            )
         if self.lint_responses:
             validate_schedule(response.schedule, pattern)
         self._count("service.latency", response.latency)
@@ -426,9 +474,10 @@ class Scheduler:
             self._count("service.iso_rejects")
             return None
         serialized = schedule_to_json(relabeled)
-        with self._lock:
-            self._warm[(key.digest, pbytes)] = (serialized, "isomorphic", 0)
-            self._schedules[serialized] = relabeled
+        self._memo_put(
+            self._warm, (key.digest, pbytes), (serialized, "isomorphic", 0)
+        )
+        self._memo_put(self._schedules, serialized, relabeled)
         self._count("service.iso_hits")
         return ServiceResponse(
             schedule=relabeled,
@@ -471,9 +520,10 @@ class Scheduler:
                 self._count("service.warm_rejects")
                 continue
             serialized = schedule_to_json(adapted)
-            with self._lock:
-                self._warm[(key.digest, pbytes)] = (serialized, "warm", dist)
-                self._schedules[serialized] = adapted
+            self._memo_put(
+                self._warm, (key.digest, pbytes), (serialized, "warm", dist)
+            )
+            self._memo_put(self._schedules, serialized, adapted)
             self._count("service.warm_hits")
             return ServiceResponse(
                 schedule=adapted,
@@ -490,6 +540,7 @@ class Scheduler:
         self,
         key: ScheduleKey,
         pattern: CommPattern,
+        pbytes: bytes,
         config: MachineConfig,
         params: Optional[Mapping[str, object]],
         t0: float,
@@ -497,8 +548,13 @@ class Scheduler:
         """Cold build with in-flight deduplication.
 
         The first thread to miss on a digest owns the build; every
-        concurrent identical request waits on the owner's future and is
-        charged as a dedup hit, never a second construction.
+        concurrent request on the same digest waits on the owner's
+        future.  A waiter only takes the owner's bytes verbatim when
+        the published store entry covers its *exact* pattern — under
+        canonical keys the digest is shared by every relabeling of the
+        pattern, and the owner may have built for a different one, in
+        which case the waiter re-resolves through the relabel+lint
+        tiers (and cold-builds itself if even those reject).
         """
         digest = key.digest
         with self._lock:
@@ -508,15 +564,24 @@ class Scheduler:
                 future = Future()
                 self._inflight[digest] = future
         if not owner:
-            serialized = future.result()
-            self._count("service.inflight_dedup")
-            return ServiceResponse(
-                schedule=self._deserialize(serialized),
-                serialized=serialized,
-                key=key,
-                source="cold",
-                latency=time.perf_counter() - t0,
-                deduped=True,
+            future.result()  # wait for the owner; surfaces its error
+            # The owner stores its entry before resolving the future.
+            entry = self.store.get(key)
+            if entry is not None and entry.pattern_bytes == pbytes:
+                self._count("service.inflight_dedup")
+                return ServiceResponse(
+                    schedule=self._deserialize(entry.serialized),
+                    serialized=entry.serialized,
+                    key=key,
+                    source="cold",
+                    latency=time.perf_counter() - t0,
+                    deduped=True,
+                )
+            response = self._serve_cached(key, pattern, pbytes, config, t0)
+            if response is not None:
+                return response
+            return self._single_flight(
+                key, pattern, pbytes, config, params, t0
             )
         try:
             serialized = self._cold_build(key, pattern, config, params)
@@ -550,7 +615,7 @@ class Scheduler:
             category="service",
             nprocs=pattern.nprocs,
         ):
-            serialized = self.pool.submit(
+            serialized = self._ensure_pool().submit(
                 _build_serialized,
                 pattern.matrix.tolist(),
                 key.algorithm,
@@ -558,8 +623,7 @@ class Scheduler:
             ).result()
         schedule = schedule_from_json(serialized)
         validate_schedule(schedule, pattern)
-        with self._lock:
-            self._schedules[serialized] = schedule
+        self._memo_put(self._schedules, serialized, schedule)
         order = None
         if key.canonical:
             _, order = canonical_form(pattern)

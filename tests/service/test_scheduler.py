@@ -1,6 +1,7 @@
 """Scheduler service: tiers, byte identity, single-flight, errors."""
 
 import threading
+from concurrent.futures import Future
 
 import numpy as np
 import pytest
@@ -8,7 +9,7 @@ import pytest
 from repro import obs
 from repro.machine import MachineConfig
 from repro.schedules import CommPattern, lint_schedule, schedule_from_json
-from repro.service import ScheduleStore, Scheduler, drift_variant
+from repro.service import ScheduleStore, Scheduler, derive_key, drift_variant
 
 
 def pattern(n=8, seed=3):
@@ -120,6 +121,77 @@ class TestSingleFlight:
             for r in responses:
                 assert r.source in ("cold", "hit")
                 assert not (r.source == "hit" and r.deduped)
+
+    def test_waiter_with_isomorphic_pattern_gets_relabeled_schedule(self):
+        """A dedup waiter must never take the owner's bytes for a
+        *different* (relabel-isomorphic) pattern sharing the digest."""
+
+        class SignalFuture(Future):
+            """Future that reports when a waiter blocks on result()."""
+
+            def __init__(self, waiting):
+                super().__init__()
+                self._waiting = waiting
+
+            def result(self, timeout=None):
+                self._waiting.set()
+                return super().result(timeout)
+
+        with Scheduler() as sched:
+            p = pattern()
+            perm = np.random.default_rng(5).permutation(8)
+            q = CommPattern(p.matrix[np.ix_(perm, perm)])
+            config = MachineConfig(8)
+            key = derive_key(p, "greedy", config)
+            assert key.canonical
+            assert derive_key(q, "greedy", config).digest == key.digest
+
+            waiting = threading.Event()
+            future = SignalFuture(waiting)
+            sched._inflight[key.digest] = future
+            results = []
+            t = threading.Thread(
+                target=lambda: results.append(sched.request(q, "greedy"))
+            )
+            t.start()
+            assert waiting.wait(timeout=30)
+            # The owner's entry for p lands in the store, then the
+            # future resolves — the order _single_flight guarantees.
+            serialized = sched._cold_build(key, p, config, None)
+            del sched._inflight[key.digest]
+            future.set_result(serialized)
+            t.join(timeout=30)
+            assert not t.is_alive()
+
+            (resp,) = results
+            assert resp.source == "isomorphic"
+            assert resp.serialized != serialized
+            assert lint_schedule(resp.schedule, q).ok
+
+
+class TestLifecycle:
+    def test_pool_created_lazily_and_released_on_close(self):
+        sched = Scheduler(workers=0)
+        assert sched._pool is None  # cache-only use spawns no pool
+        sched.request(pattern(), "greedy")
+        assert sched._pool is not None
+        sched.close()
+        assert sched._pool is None
+
+    def test_memos_respect_memo_limit(self):
+        with Scheduler(memo_limit=2) as sched:
+            for seed in range(5):
+                sched.request(pattern(seed=seed), "greedy")
+            assert len(sched._schedules) <= 2
+            assert len(sched._keys) <= 2
+            assert len(sched._warm) <= 2
+            # Eviction costs latency, never correctness: the store
+            # still serves the evicted pattern byte-identically.
+            assert sched.request(pattern(seed=0), "greedy").source == "hit"
+
+    def test_memo_limit_validated(self):
+        with pytest.raises(ValueError, match="memo_limit"):
+            Scheduler(memo_limit=0)
 
 
 class TestStats:
