@@ -34,9 +34,9 @@ if __name__ == "__main__":  # standalone: make src/ importable
 from repro.analysis.perf import render_report, run_perf, write_bench
 
 
-def run_and_save(quick: bool, progress=None) -> dict:
+def run_and_save(quick: bool, progress=None, jobs: int = 0) -> dict:
     """Run the workloads and persist BENCH_sim.json + the text report."""
-    bench = run_perf(quick=quick, progress=progress)
+    bench = run_perf(quick=quick, progress=progress, jobs=jobs)
     write_bench(bench, _REPO_ROOT / "BENCH_sim.json")
     results = _REPO_ROOT / "results"
     results.mkdir(exist_ok=True)
@@ -60,8 +60,16 @@ if __name__ == "__main__":
         action="store_true",
         help="small machines only (CI smoke scale)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for the workload fan-out (0 = inline; "
+        "parallel timings are noisier — see repro.analysis.perf)",
+    )
     cli_args = parser.parse_args()
-    doc = run_and_save(cli_args.quick, progress=print)
+    doc = run_and_save(cli_args.quick, progress=print, jobs=cli_args.jobs)
     print()
     print(render_report(doc))
     print(f"[saved to {_REPO_ROOT / 'BENCH_sim.json'}]")

@@ -10,8 +10,9 @@ the results as a ``BENCH_sim.json`` file that
 
 Workloads (full scale):
 
-* complete exchanges — PEX / BEX / REX at 32, 128 and 256 nodes, 512 B
-  per pair (the Fig. 5-8 regime; 256-node PEX is the headline number);
+* complete exchanges — PEX / BEX / REX at 32, 128, 256 and 1024 nodes,
+  512 B per pair (the Fig. 5-8 regime extended to the paper's largest
+  machine; 256-node PEX is the headline number);
 * irregular — greedy schedules of the Table 11 synthetic patterns
   (32 nodes, densities 25/50/75 %, 512 B);
 * fault-injected — a 16-node PEX under a straggler + message drops + a
@@ -111,7 +112,7 @@ class _Workload:
 
 def perf_workloads(quick: bool = False) -> List[_Workload]:
     """The canonical workload list, in execution order."""
-    machines = (16, 32) if quick else (32, 128, 256)
+    machines = (16, 32) if quick else (32, 128, 256, 1024)
     densities = (0.50,) if quick else (0.25, 0.50, 0.75)
     loads: List[_Workload] = []
     for n in machines:
@@ -147,50 +148,97 @@ def perf_workloads(quick: bool = False) -> List[_Workload]:
     return loads
 
 
-def run_perf(
-    quick: bool = False, progress: "Callable[[str], None] | None" = None
-) -> Dict[str, object]:
-    """Time every canonical workload; returns the BENCH document."""
-    # Untimed warm-up: absorb one-off costs (kernel dlopen, NumPy ufunc
-    # setup, import side effects) so the first timed workload is
-    # comparable to the rest — and quick vs full runs to each other.
-    execute_schedule(pairwise_exchange(8, 64), MachineConfig(8))
-    workloads: Dict[str, Dict[str, float]] = {}
+_WARMED = False
+
+
+def _warm_up() -> None:
+    """Untimed warm-up: absorb one-off costs (kernel dlopen, NumPy ufunc
+    setup, import side effects) so the first timed workload is
+    comparable to the rest — and quick vs full runs to each other.
+    Runs once per process (worker processes warm up on first task)."""
+    global _WARMED
+    if not _WARMED:
+        execute_schedule(pairwise_exchange(8, 64), MachineConfig(8))
+        _WARMED = True
+
+
+def _time_workload(spec: "Tuple[str, bool]") -> "Tuple[str, Dict[str, object]]":
+    """Worker: time one named workload of the ``quick``/full list.
+
+    Module-level and addressed by *name* (the workload lambdas don't
+    pickle) so ``run_perf`` can fan workloads out over a process pool
+    via :func:`repro.analysis.replicate.replicate`.
+    """
+    name, quick = spec
+    _warm_up()
     for wl in perf_workloads(quick):
-        # Short workloads are re-run and the minimum kept: scheduler
-        # noise on sub-second timings easily exceeds any regression
-        # threshold, while the minute-scale sweeps stay single-shot.
-        wall = float("inf")
-        layers: Dict[str, float] = {}
-        for rep in range(3):
-            tracer = Tracer()
-            t0 = time.perf_counter()
-            with tracer.span("build", category="build"):
-                sched = wl.build()
-            with tracer.span("execute", category="execute"):
-                res = wl.execute(sched)
-            elapsed = time.perf_counter() - t0
-            if elapsed < wall:
-                wall = elapsed
-                layers = tracer.category_seconds()
-            if wall >= 1.0:
-                break
-        workloads[wl.name] = {
-            "wall_seconds": round(wall, 4),
-            "sim_ms": res.time_ms,
-            "messages": res.sim.message_count,
-            "layers": {k: round(v, 4) for k, v in sorted(layers.items())},
-        }
+        if wl.name == name:
+            break
+    else:
+        raise ValueError(f"unknown perf workload {name!r}")
+    # Short workloads are re-run and the minimum kept: scheduler
+    # noise on sub-second timings easily exceeds any regression
+    # threshold, while the minute-scale sweeps stay single-shot.
+    # Five reps, not three — the batched engine shrank the quick
+    # workloads to tens of milliseconds, where a min-of-3 still
+    # carries enough jitter to trip a 25 % CI threshold.
+    wall = float("inf")
+    layers: Dict[str, float] = {}
+    for rep in range(5):
+        tracer = Tracer()
+        t0 = time.perf_counter()
+        with tracer.span("build", category="build"):
+            sched = wl.build()
+        with tracer.span("execute", category="execute"):
+            res = wl.execute(sched)
+        elapsed = time.perf_counter() - t0
+        if elapsed < wall:
+            wall = elapsed
+            layers = tracer.category_seconds()
+        if wall >= 1.0:
+            break
+    return name, {
+        "wall_seconds": round(wall, 4),
+        "sim_ms": res.time_ms,
+        "messages": res.sim.message_count,
+        "layers": {k: round(v, 4) for k, v in sorted(layers.items())},
+    }
+
+
+def run_perf(
+    quick: bool = False,
+    progress: "Callable[[str], None] | None" = None,
+    jobs: int = 0,
+) -> Dict[str, object]:
+    """Time every canonical workload; returns the BENCH document.
+
+    ``jobs`` fans workloads out over a process pool (``jobs=0`` = the
+    sequential reference behavior).  Parallel replicas share cores, so
+    individual wall timings are noisier than a sequential run — use
+    ``jobs`` to cut regeneration latency, and compare like with like
+    (sequential baseline vs sequential current) when the numbers feed
+    ``perfcmp`` at a tight threshold.  ``sim_ms`` and ``messages`` are
+    deterministic at any job count.
+    """
+    from .replicate import replicate
+
+    _warm_up()
+    specs = [(wl.name, quick) for wl in perf_workloads(quick)]
+
+    def _report(item: "Tuple[str, Dict[str, object]]") -> None:
         if progress is not None:
+            name, row = item
             progress(
-                f"{wl.name:<24} {wall:8.2f}s wall   "
-                f"{res.time_ms:10.3f} sim-ms"
+                f"{name:<24} {row['wall_seconds']:8.2f}s wall   "
+                f"{row['sim_ms']:10.3f} sim-ms"
             )
+
+    rows = replicate(_time_workload, specs, jobs=jobs, progress=_report)
     return {
         "schema": BENCH_SCHEMA,
         "scale": "quick" if quick else "full",
         "kernel": kernel_description(),
-        "workloads": workloads,
+        "workloads": {name: row for name, row in rows},
     }
 
 

@@ -19,13 +19,28 @@ perf harness) and ``repro-bench-service/*`` (the scheduling-service
 bench) — but baseline and current must come from the *same* family;
 the ``sim_ms`` drift check applies only where the field exists.
 
+Both documents must also declare the *same* ``"scale"`` (``"quick"`` vs
+``"full"``): a quick run judged against a full baseline (or vice versa)
+compares different workload sweeps under different rep counts and is
+meaningless — that mismatch, or a document missing the ``scale`` field
+entirely (an artifact written by an older harness, or clobbered by a
+smoke run), is a hard error, not a warning.
+
 Workloads present in only one file are listed per name *and* counted in
-the summary line, but never judged as regressions, so a baseline
-captured at full scale can be compared against a ``--quick`` run (the
-intersection is what is judged).  A workload whose baseline wall time is
-zero or negative is a hard error — such a baseline can never flag a
-regression, so silently accepting it would turn the comparison into a
-no-op.
+the summary line, but never judged as regressions (the intersection is
+what is judged).  A workload whose baseline wall time is zero or
+negative is a hard error — such a baseline can never flag a regression,
+so silently accepting it would turn the comparison into a no-op.
+
+A regression must clear the relative ``threshold`` *and* an absolute
+``min_delta`` floor (default 0.05 s).  The batched engine shrank the
+quick workloads to single-digit milliseconds, where between-process
+scheduler noise alone is 30-80 % of the wall time — a purely relative
+threshold there flags noise, not regressions.  The floor is far below
+any change worth acting on (a genuine order-of-magnitude engine
+regression moves even a 10 ms workload past it, and full-scale
+workloads dwarf it), so it suppresses only the noise band.  Pass
+``--min-delta 0`` to restore the pure-relative behavior.
 """
 
 from __future__ import annotations
@@ -39,6 +54,10 @@ __all__ = ["PerfDelta", "PerfComparison", "load_bench", "compare_benches", "rend
 
 #: Default relative wall-clock slack before a workload counts as regressed.
 DEFAULT_THRESHOLD = 0.10
+
+#: Default absolute wall-clock floor (seconds): deltas below this are
+#: scheduler noise on millisecond-scale workloads, whatever the ratio.
+DEFAULT_MIN_DELTA = 0.05
 
 
 #: BENCH schema families perfcmp understands.  Every family's workloads
@@ -82,6 +101,7 @@ class PerfComparison:
     """Full comparison of two BENCH documents."""
 
     threshold: float
+    min_delta: float = DEFAULT_MIN_DELTA
     deltas: List[PerfDelta] = field(default_factory=list)
     only_baseline: List[str] = field(default_factory=list)
     only_current: List[str] = field(default_factory=list)
@@ -103,19 +123,42 @@ def compare_benches(
     baseline: Dict[str, object],
     current: Dict[str, object],
     threshold: float = DEFAULT_THRESHOLD,
+    min_delta: float = DEFAULT_MIN_DELTA,
 ) -> PerfComparison:
     """Compare per-workload wall times; see the module docstring."""
     if threshold <= 0:
         raise ValueError(f"threshold must be positive, got {threshold}")
+    if min_delta < 0:
+        raise ValueError(f"min_delta must be non-negative, got {min_delta}")
     if _schema_family(baseline) != _schema_family(current):
         raise ValueError(
             f"schema mismatch: baseline {baseline.get('schema')!r} vs "
             f"current {current.get('schema')!r}; comparing a sim bench "
             "against a service bench is meaningless"
         )
+    b_scale, c_scale = baseline.get("scale"), current.get("scale")
+    if b_scale is None or c_scale is None:
+        # An artifact without the field predates the scale stamp or was
+        # clobbered by a harness that dropped it; judging it silently
+        # is how a quick smoke run overwrites a full baseline unnoticed.
+        missing = " and ".join(
+            role
+            for role, scale in (("baseline", b_scale), ("current", c_scale))
+            if scale is None
+        )
+        raise ValueError(
+            f"{missing} BENCH document missing the 'scale' field; "
+            "regenerate the artifact with the current harness"
+        )
+    if b_scale != c_scale:
+        raise ValueError(
+            f"scale mismatch: baseline is {b_scale!r} but current is "
+            f"{c_scale!r}; quick and full runs time different sweeps and "
+            "must not be judged against each other"
+        )
     base_wl: Dict[str, dict] = baseline["workloads"]  # type: ignore[assignment]
     cur_wl: Dict[str, dict] = current["workloads"]  # type: ignore[assignment]
-    cmp = PerfComparison(threshold=threshold)
+    cmp = PerfComparison(threshold=threshold, min_delta=min_delta)
     cmp.only_baseline = sorted(set(base_wl) - set(cur_wl))
     cmp.only_current = sorted(set(cur_wl) - set(base_wl))
     for name in (n for n in cur_wl if n in base_wl):
@@ -137,7 +180,7 @@ def compare_benches(
                 baseline_s=base_s,
                 current_s=cur_s,
                 ratio=ratio,
-                regressed=ratio > threshold,
+                regressed=ratio > threshold and (cur_s - base_s) > min_delta,
                 sim_drift=b.get("sim_ms") != c.get("sim_ms"),
             )
         )
@@ -153,6 +196,8 @@ def render_comparison(cmp: PerfComparison) -> str:
         verdict = "ok"
         if d.regressed:
             verdict = f"REGRESSED (> {cmp.threshold:.0%})"
+        elif d.ratio > cmp.threshold:
+            verdict = f"ok (within {cmp.min_delta:g}s noise floor)"
         if d.sim_drift:
             verdict += " SIM-DRIFT"
         lines.append(

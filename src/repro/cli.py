@@ -555,20 +555,23 @@ def cmd_serve_bench(args: argparse.Namespace) -> None:
 
     Serves a stream of scheduling requests through the content-addressed
     cache / warm-start / single-flight tiers of :mod:`repro.service` and
-    writes ``BENCH_service.json`` (schema ``repro-bench-service/1``)
-    plus ``results/service_bench.txt``.  ``--requests/--corpus/--skew/
+    writes the scale-routed BENCH document (schema
+    ``repro-bench-service/1``): full runs go to ``BENCH_service.json``,
+    ``--quick``/custom runs to the ``BENCH_service_quick.json`` side
+    path so a smoke run can never clobber the committed full-scale
+    artifact (``--force`` overrides the guard).  A text table lands in
+    ``results/service_bench.txt``.  ``--requests/--corpus/--skew/
     --arrival/--jobs`` shape the workload; ``--quick`` is the CI smoke
     scale.  Exits 1 when any served schedule fails the linter or the
     cache never hits — a serving layer that rebuilds everything (or
     serves garbage) is broken, however fast.
     """
-    import json as _json
-
     from .service import (
         ARRIVAL_PROCESSES,
         arrival_names,
         render_service_bench,
         run_service_bench,
+        write_service_bench,
     )
 
     if args.arrival not in ARRIVAL_PROCESSES:
@@ -593,8 +596,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> None:
         requests=args.requests,
         progress=print,
     )
-    out = Path("BENCH_service.json")
-    out.write_text(_json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    try:
+        out = write_service_bench(bench, force=args.force)
+    except ValueError as exc:
+        raise CLIError(str(exc))
     report = render_service_bench(bench)
     results = Path("results")
     results.mkdir(exist_ok=True)
@@ -620,12 +625,16 @@ def cmd_perf(args: argparse.Namespace) -> None:
     """Time the canonical hot-path workloads; write BENCH_sim.json.
 
     ``--quick`` shrinks the exchange sweep for smoke runs; ``--bench-out``
-    moves the JSON (default ``BENCH_sim.json`` in the current directory).
+    moves the JSON (default ``BENCH_sim.json`` in the current directory);
+    ``--jobs N`` fans workloads out over N worker processes (timings get
+    noisier — compare like with like when feeding ``perfcmp``).
     A text rendering also lands in ``results/perf_hotpath.txt``.
     """
     from .analysis.perf import render_report, run_perf, write_bench
 
-    bench = run_perf(quick=args.quick, progress=print)
+    if args.jobs < 0:
+        raise CLIError(f"--jobs must be >= 0, got {args.jobs}")
+    bench = run_perf(quick=args.quick, progress=print, jobs=args.jobs)
     out = Path(args.bench_out)
     write_bench(bench, out)
     report = render_report(bench)
@@ -643,8 +652,10 @@ def cmd_perfcmp(args: argparse.Namespace) -> None:
     Compares ``--baseline`` (default the committed
     ``benchmarks/BENCH_baseline.json``) against ``--current`` (default
     ``BENCH_sim.json``); workloads slower by more than ``--threshold``
-    (fraction, default 0.10) fail the run, as does any simulated-time
-    drift.
+    (fraction, default 0.10) *and* more than ``--min-delta`` absolute
+    seconds fail the run, as does any simulated-time drift.  The
+    absolute floor keeps millisecond-scale quick workloads from failing
+    on scheduler noise; ``--min-delta 0`` disables it.
     """
     from .analysis.perfcmp import compare_benches, load_bench, render_comparison
 
@@ -659,7 +670,9 @@ def cmd_perfcmp(args: argparse.Namespace) -> None:
     baseline = _load(args.baseline, "baseline")
     current = _load(args.current, "current")
     try:
-        cmp = compare_benches(baseline, current, threshold=args.threshold)
+        cmp = compare_benches(
+            baseline, current, threshold=args.threshold, min_delta=args.min_delta
+        )
     except ValueError as exc:
         raise CLIError(str(exc))
     print(render_comparison(cmp))
@@ -910,8 +923,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0.10,
         help="relative wall-clock slack before `perfcmp` fails (default 0.10)",
     )
+    perf_group.add_argument(
+        "--min-delta",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="absolute wall-clock floor below which `perfcmp` treats a "
+        "delta as scheduler noise regardless of ratio (default 0.05)",
+    )
     service_group = parser.add_argument_group(
-        "scheduling service (`serve-bench`; `--jobs` also serves `chaos`)"
+        "scheduling service (`serve-bench`; `--jobs` also serves `chaos`/`perf`)"
     )
     service_group.add_argument(
         "--requests",
@@ -945,7 +966,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=0,
         metavar="N",
-        help="worker processes for cold builds / chaos runs (0 = inline)",
+        help="worker processes for cold builds / chaos runs / perf "
+        "workloads (0 = inline)",
+    )
+    service_group.add_argument(
+        "--force",
+        action="store_true",
+        help="let `serve-bench` overwrite a full-scale BENCH_service.json "
+        "from a non-full run",
     )
     validate_group = parser.add_argument_group(
         "schedule validation (`validate` / `conformance`)"

@@ -15,46 +15,42 @@
 #include <stdint.h>
 #include <math.h>
 
-int max_min_fill(
+/* Round loop shared by max_min_fill and fluid_recompute.  The caller
+ * has already initialized remaining_cap (effective link caps), counts
+ * (per-link active-flow counts), rates (0), cap_left (flow caps) and
+ * active (1), and collected the distinct links the flows touch into
+ * touched[0..ntouched).  Only touched links are ever read through an
+ * active flow's path, so all per-link work iterates the touched list
+ * instead of all nlinks (the NumPy path computes full-length arrays;
+ * untouched entries are never read, so the rates stay bit-identical).
+ * On success every flow froze exactly once, so counts — incremented
+ * per path entry up front and decremented per path entry on freeze —
+ * has returned to all zeros. */
+static int fill_rounds(
     int64_t nflows,
-    int64_t nlinks,
-    const double *link_caps,      /* effective caps, length nlinks */
-    const int64_t *flow_ptr,      /* length nflows + 1 */
-    const int64_t *flow_links,    /* length flow_ptr[nflows] */
-    const double *flow_caps,      /* length nflows */
-    const double *sat_thresh,     /* length nlinks */
-    const double *cap_thresh,     /* length nflows */
-    double *rates,                /* out, length nflows */
-    double *remaining_cap,        /* work, length nlinks */
-    int64_t *counts,              /* work, length nlinks */
-    double *link_incr,            /* work, length nlinks */
-    double *cap_left,             /* work, length nflows */
-    uint8_t *active               /* work, length nflows */
+    const int64_t *flow_ptr,
+    const int64_t *flow_links,
+    const int64_t *touched,
+    int64_t ntouched,
+    const double *sat_thresh,
+    const double *cap_thresh,
+    double *rates,
+    double *remaining_cap,
+    int64_t *counts,
+    double *link_incr,
+    double *cap_left,
+    uint8_t *active
 ) {
-    int64_t f, l, s, round_;
+    int64_t f, l, s, i, round_;
     int64_t remaining = nflows;
-
-    for (l = 0; l < nlinks; l++) {
-        remaining_cap[l] = link_caps[l];
-        counts[l] = 0;
-    }
-    for (s = 0; s < flow_ptr[nflows]; s++) {
-        counts[flow_links[s]]++;
-    }
-    for (f = 0; f < nflows; f++) {
-        rates[f] = 0.0;
-        cap_left[f] = flow_caps[f];
-        active[f] = 1;
-    }
 
     for (round_ = 0; round_ <= nflows; round_++) {
         if (remaining == 0) {
             return 0;
         }
-        /* Allowable uniform rate increment through each link.  Links
-         * with no active flow are never read by an active flow's path,
-         * so their value is irrelevant (NumPy path sets them to inf). */
-        for (l = 0; l < nlinks; l++) {
+        /* Allowable uniform rate increment through each link. */
+        for (i = 0; i < ntouched; i++) {
+            l = touched[i];
             if (counts[l] > 0) {
                 link_incr[l] = remaining_cap[l] / (double)counts[l];
             } else {
@@ -90,7 +86,8 @@ int max_min_fill(
         }
         /* counts == 0 links would subtract exactly 0.0: skipping them is
          * bit-neutral (x - 0.0 == x for every IEEE double). */
-        for (l = 0; l < nlinks; l++) {
+        for (i = 0; i < ntouched; i++) {
+            l = touched[i];
             if (counts[l] > 0) {
                 remaining_cap[l] -= (double)counts[l] * delta;
             }
@@ -127,4 +124,307 @@ int max_min_fill(
         }
     }
     return remaining == 0 ? 0 : 3;
+}
+
+int max_min_fill(
+    int64_t nflows,
+    int64_t nlinks,
+    const double *link_caps,      /* effective caps, length nlinks */
+    const int64_t *flow_ptr,      /* length nflows + 1 */
+    const int64_t *flow_links,    /* length flow_ptr[nflows] */
+    const double *flow_caps,      /* length nflows */
+    const double *sat_thresh,     /* length nlinks */
+    const double *cap_thresh,     /* length nflows */
+    double *rates,                /* out, length nflows */
+    double *remaining_cap,        /* work, length nlinks */
+    int64_t *counts,              /* work, length nlinks */
+    double *link_incr,            /* work, length nlinks */
+    double *cap_left,             /* work, length nflows */
+    uint8_t *active,              /* work, length nflows */
+    int64_t *touched              /* work, length nlinks */
+) {
+    int64_t f, l, s, ntouched = 0;
+
+    /* Cold entry point: counts may hold garbage, so zero it fully. */
+    for (l = 0; l < nlinks; l++) {
+        counts[l] = 0;
+    }
+    for (s = 0; s < flow_ptr[nflows]; s++) {
+        l = flow_links[s];
+        if (counts[l]++ == 0) {
+            touched[ntouched++] = l;
+        }
+    }
+    for (s = 0; s < ntouched; s++) {
+        l = touched[s];
+        remaining_cap[l] = link_caps[l];
+    }
+    for (f = 0; f < nflows; f++) {
+        rates[f] = 0.0;
+        cap_left[f] = flow_caps[f];
+        active[f] = 1;
+    }
+    return fill_rounds(nflows, flow_ptr, flow_links, touched, ntouched,
+                       sat_thresh, cap_thresh, rates, remaining_cap, counts,
+                       link_incr, cap_left, active);
+}
+
+/* Fused rate reallocation: per-link flow counts, switch-contention
+ * penalty, freeze thresholds and the progressive fill in one call.
+ * Mirrors FluidNetwork._recompute + max_min_rates (check=False) with
+ * the same operation order on the same doubles:
+ *
+ *   counts  = bincount(flow_links)
+ *   penalty = min(max(counts - 1, 0) * contention_c + 1.0, contention_cap)
+ *   eff     = link_caps / penalty            (skipped when c <= 0)
+ *   eff     = eff * link_scales[l]           (when scales != NULL)
+ *   sat     = eff * 1e-12 + 1e-15
+ *   capt    = flow_caps * 1e-12 + 1e-15
+ *
+ * then fills.  1e-12 is bandwidth._REL_EPS.  Returns the fill rc. */
+int fluid_recompute(
+    int64_t nflows,
+    int64_t nlinks,
+    double contention_c,
+    double contention_cap,
+    const double *link_caps,      /* raw caps, length nlinks */
+    const double *link_scales,    /* length nlinks, or NULL (healthy) */
+    const int64_t *flow_ptr,      /* length nflows + 1 */
+    const int64_t *flow_links,    /* length flow_ptr[nflows] */
+    const double *flow_caps,      /* length nflows */
+    double *rates,                /* out, length nflows */
+    double *sat_thresh,           /* work, length nlinks */
+    double *cap_thresh,           /* work, length nflows */
+    double *remaining_cap,        /* work, length nlinks */
+    int64_t *counts,              /* work, length nlinks */
+    double *link_incr,            /* work, length nlinks */
+    double *cap_left,             /* work, length nflows */
+    uint8_t *active,              /* work, length nflows */
+    int64_t *touched              /* work, length nlinks */
+) {
+    int64_t f, l, s, i, ntouched = 0;
+    int rc;
+
+    /* Hot entry point: relies on the all-zero counts invariant (the
+     * workspace allocates counts zeroed; every fill restores it), so
+     * only the links on this wave's paths are ever visited — the rest
+     * of the per-link arrays hold stale values that nothing reads. */
+    for (s = 0; s < flow_ptr[nflows]; s++) {
+        l = flow_links[s];
+        if (counts[l]++ == 0) {
+            touched[ntouched++] = l;
+        }
+    }
+    for (i = 0; i < ntouched; i++) {
+        l = touched[i];
+        double cap = link_caps[l];
+        if (contention_c > 0.0) {
+            int64_t pen = counts[l] - 1;
+            if (pen < 0) {
+                pen = 0;
+            }
+            double p = (double)pen * contention_c;
+            p = p + 1.0;
+            if (p > contention_cap) {
+                p = contention_cap;
+            }
+            cap = cap / p;
+        }
+        if (link_scales != 0) {
+            cap = cap * link_scales[l];
+        }
+        remaining_cap[l] = cap;
+        sat_thresh[l] = cap * 1e-12 + 1e-15;
+    }
+    for (f = 0; f < nflows; f++) {
+        cap_thresh[f] = flow_caps[f] * 1e-12 + 1e-15;
+        rates[f] = 0.0;
+        cap_left[f] = flow_caps[f];
+        active[f] = 1;
+    }
+    rc = fill_rounds(nflows, flow_ptr, flow_links, touched, ntouched,
+                     sat_thresh, cap_thresh, rates, remaining_cap, counts,
+                     link_incr, cap_left, active);
+    if (rc != 0) {
+        /* Failure aborts the run in the caller, but restore the counts
+         * invariant anyway in case the workspace outlives the error. */
+        for (i = 0; i < ntouched; i++) {
+            counts[touched[i]] = 0;
+        }
+    }
+    return rc;
+}
+
+/* Drain all flows by dt at their current rates, clamping at zero —
+ * the C twin of advance_to's `wire -= rate*dt; maximum(wire, 0)`. */
+void fluid_advance(
+    int64_t nflows,
+    double dt,
+    double *wire,
+    const double *rate
+) {
+    int64_t f;
+    for (f = 0; f < nflows; f++) {
+        double w = wire[f] - rate[f] * dt;
+        wire[f] = w > 0.0 ? w : 0.0;
+    }
+}
+
+/* Earliest-completion scan: done flows first, stalls second, else the
+ * minimum of wire/rate — identical to the NumPy three-pass scan.
+ * Returns 0 (best_out holds seconds-from-now), 1 (a flow is already
+ * done), or 2 (a flow has zero rate: the caller raises the stall). */
+int fluid_scan(
+    int64_t nflows,
+    double done_eps,
+    const double *wire,
+    const double *rate,
+    double *best_out
+) {
+    int64_t f;
+    for (f = 0; f < nflows; f++) {
+        if (wire[f] <= done_eps) {
+            return 1;
+        }
+    }
+    for (f = 0; f < nflows; f++) {
+        if (rate[f] <= 0.0) {
+            return 2;
+        }
+    }
+    double best = INFINITY;
+    for (f = 0; f < nflows; f++) {
+        double v = wire[f] / rate[f];
+        if (v < best) {
+            best = v;
+        }
+    }
+    *best_out = best;
+    return 0;
+}
+
+/* Advance by dt, mark every drained flow, and compact the slot arrays
+ * and the CSR incidence in place (insertion order preserved — the
+ * same data movement _compact performs).  Completed slot indices
+ * (pre-compaction, ascending) are written to done_out; returns how
+ * many completed.  The caller compacts the object-dtype key column
+ * itself and flips the dirty/memo flags. */
+int64_t fluid_retire(
+    int64_t nflows,
+    double dt,
+    double done_eps,
+    double *wire,
+    double *rate,
+    double *rate_cap,
+    double *started,
+    int64_t *payload,
+    int64_t *srcs,
+    int64_t *dsts,
+    int64_t *csr_links,
+    int64_t *ptr,                 /* length nflows + 1 */
+    int64_t *done_out             /* out, capacity >= nflows */
+) {
+    int64_t f, s, ndone = 0;
+
+    if (dt > 0.0) {
+        for (f = 0; f < nflows; f++) {
+            double w = wire[f] - rate[f] * dt;
+            wire[f] = w > 0.0 ? w : 0.0;
+        }
+    }
+    for (f = 0; f < nflows; f++) {
+        if (wire[f] <= done_eps) {
+            done_out[ndone++] = f;
+        }
+    }
+    if (ndone == 0) {
+        return 0;
+    }
+    int64_t w = 0;
+    int64_t links_w = 0;
+    for (f = 0; f < nflows; f++) {
+        if (wire[f] <= done_eps) {
+            continue;
+        }
+        if (w != f) {
+            wire[w] = wire[f];
+            rate[w] = rate[f];
+            rate_cap[w] = rate_cap[f];
+            started[w] = started[f];
+            payload[w] = payload[f];
+            srcs[w] = srcs[f];
+            dsts[w] = dsts[f];
+        }
+        for (s = ptr[f]; s < ptr[f + 1]; s++) {
+            csr_links[links_w++] = csr_links[s];
+        }
+        w++;
+        ptr[w] = links_w;
+    }
+    return ndone;
+}
+
+/* ------------------------------------------------------------------
+ * Pointer-table entry points.
+ *
+ * The hot wrappers in repro.machine.contention call into this file
+ * ~2x per simulated message; at 18 ctypes arguments the per-argument
+ * conversion overhead rivals the kernel itself.  These variants take
+ * one table of raw pointers (built once per buffer (re)allocation on
+ * the Python side) so each call converts four or five scalars only.
+ * The table layout is fixed:
+ *
+ *   [0] link_caps   [1] link_scales (or NULL)  [2] flow_ptr
+ *   [3] flow_links  [4] flow_caps (rate caps)  [5] rates
+ *   [6] sat_thresh  [7] cap_thresh  [8] remaining_cap  [9] counts
+ *   [10] link_incr  [11] cap_left   [12] active        [13] touched
+ *   [14] wire       [15] best_out   [16] started       [17] payload
+ *   [18] srcs       [19] dsts       [20] done_out
+ *
+ * Each variant delegates to the positional function above, so the
+ * IEEE-754 operation sequence is unchanged by construction. */
+
+int fluid_recompute_tab(
+    int64_t nflows, int64_t nlinks,
+    double contention_c, double contention_cap, void **p
+) {
+    return fluid_recompute(
+        nflows, nlinks, contention_c, contention_cap,
+        (const double *)p[0], (const double *)p[1],
+        (const int64_t *)p[2], (const int64_t *)p[3],
+        (const double *)p[4], (double *)p[5], (double *)p[6],
+        (double *)p[7], (double *)p[8], (int64_t *)p[9],
+        (double *)p[10], (double *)p[11], (uint8_t *)p[12],
+        (int64_t *)p[13]);
+}
+
+/* Fused recompute + earliest-completion scan for the arm path.
+ * Returns the scan rc (0: best_out written, 1: a flow already done,
+ * 2: stall) on success, or -recompute_rc on allocation failure. */
+int fluid_recompute_scan(
+    int64_t nflows, int64_t nlinks,
+    double contention_c, double contention_cap,
+    double done_eps, void **p
+) {
+    int rc = fluid_recompute_tab(nflows, nlinks, contention_c,
+                                 contention_cap, p);
+    if (rc != 0) {
+        return -rc;
+    }
+    return fluid_scan(nflows, done_eps, (const double *)p[14],
+                      (const double *)p[5], (double *)p[15]);
+}
+
+int64_t fluid_retire_tab(
+    int64_t nflows, double dt, double done_eps, void **p
+) {
+    return fluid_retire(
+        nflows, dt, done_eps, (double *)p[14], (double *)p[5],
+        (double *)p[4], (double *)p[16], (int64_t *)p[17],
+        (int64_t *)p[18], (int64_t *)p[19], (int64_t *)p[3],
+        (int64_t *)p[2], (int64_t *)p[20]);
+}
+
+void fluid_advance_tab(int64_t nflows, double dt, void **p) {
+    fluid_advance(nflows, dt, (double *)p[14], (const double *)p[5]);
 }

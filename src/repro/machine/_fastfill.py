@@ -33,7 +33,7 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["kernel", "kernel_description"]
+__all__ = ["kernel", "step_kernel", "kernel_description"]
 
 _SOURCE = Path(__file__).with_name("_fastfill.c")
 _BUILD_DIR = Path(__file__).with_name("_fastfill_build")
@@ -84,8 +84,53 @@ def _compile() -> Optional[Path]:
     return so_path
 
 
+class StepKernel:
+    """The batched event-core entry points of the shared object.
+
+    ``recompute`` fuses per-link counting, the switch-contention
+    penalty, the freeze thresholds and the progressive fill into one
+    call; ``advance`` drains flows by a time delta; ``scan`` finds the
+    earliest completion; ``retire`` drains, removes and compacts
+    completed flows.  All four are bit-identical to the NumPy
+    expressions they replace (see ``_fastfill.c``).
+    """
+
+    def __init__(self, lib: ctypes.CDLL):
+        i64, f64, ptr = ctypes.c_int64, ctypes.c_double, ctypes.c_void_p
+        self.recompute = lib.fluid_recompute
+        self.recompute.restype = ctypes.c_int
+        self.recompute.argtypes = [i64, i64, f64, f64] + [ptr] * 14
+        self.advance = lib.fluid_advance
+        self.advance.restype = None
+        self.advance.argtypes = [i64, f64, ptr, ptr]
+        self.scan = lib.fluid_scan
+        self.scan.restype = ctypes.c_int
+        self.scan.argtypes = [i64, f64, ptr, ptr, ptr]
+        self.retire = lib.fluid_retire
+        self.retire.restype = ctypes.c_int64
+        self.retire.argtypes = [i64, f64, f64] + [ptr] * 10
+        # Pointer-table variants: one prebuilt table argument instead
+        # of 10-18 per-call pointer conversions (see _fastfill.c for
+        # the fixed table layout).
+        self.recompute_tab = lib.fluid_recompute_tab
+        self.recompute_tab.restype = ctypes.c_int
+        self.recompute_tab.argtypes = [i64, i64, f64, f64, ptr]
+        self.recompute_scan = lib.fluid_recompute_scan
+        self.recompute_scan.restype = ctypes.c_int
+        self.recompute_scan.argtypes = [i64, i64, f64, f64, f64, ptr]
+        self.retire_tab = lib.fluid_retire_tab
+        self.retire_tab.restype = ctypes.c_int64
+        self.retire_tab.argtypes = [i64, f64, f64, ptr]
+        self.advance_tab = lib.fluid_advance_tab
+        self.advance_tab.restype = None
+        self.advance_tab.argtypes = [i64, f64, ptr]
+
+
+_step_kernel: "Optional[StepKernel]" = None
+
+
 def _load() -> Optional[ctypes.CDLL]:
-    global _kernel_state
+    global _kernel_state, _step_kernel
     if os.environ.get("REPRO_NO_FASTFILL"):
         _kernel_state = "disabled (REPRO_NO_FASTFILL)"
         return None
@@ -96,6 +141,7 @@ def _load() -> Optional[ctypes.CDLL]:
     try:
         lib = ctypes.CDLL(str(so_path))
         fn = lib.max_min_fill
+        step = StepKernel(lib)
     except (OSError, AttributeError):
         _kernel_state = "unavailable (load failed)"
         return None
@@ -105,8 +151,9 @@ def _load() -> Optional[ctypes.CDLL]:
     # ``arr.ctypes.data`` of C-contiguous arrays of the right dtype
     # (bandwidth.max_min_rates guarantees this).
     fn.restype = ctypes.c_int
-    fn.argtypes = [ctypes.c_int64, ctypes.c_int64] + [ctypes.c_void_p] * 12
+    fn.argtypes = [ctypes.c_int64, ctypes.c_int64] + [ctypes.c_void_p] * 13
     _kernel_state = f"loaded ({so_path.name})"
+    _step_kernel = step
     return fn
 
 
@@ -116,6 +163,12 @@ def kernel():
     if _kernel_state == "unloaded":
         _kernel = _load()
     return _kernel
+
+
+def step_kernel() -> "Optional[StepKernel]":
+    """The batched :class:`StepKernel`, or None (NumPy fallback)."""
+    kernel()
+    return _step_kernel
 
 
 def kernel_description() -> str:

@@ -50,9 +50,14 @@ class AllocationWorkspace:
     def __init__(self, nlinks: int):
         self.nlinks = nlinks
         self.remaining = np.empty(nlinks)
-        self.counts = np.empty(nlinks, dtype=np.int64)
+        # The C kernels keep counts at all-zero between calls (every
+        # fill decrements what it incremented), letting the hot fused
+        # path skip the O(nlinks) re-zeroing — so start it zeroed.
+        self.counts = np.zeros(nlinks, dtype=np.int64)
         self.link_incr = np.empty(nlinks)
         self.sat_thresh = np.empty(nlinks)
+        #: Distinct links on the current wave's paths (C kernel work).
+        self.touched = np.empty(nlinks, dtype=np.int64)
         self._fcap = 0
         self.cap_left = np.empty(0)
         self.cap_thresh = np.empty(0)
@@ -65,18 +70,19 @@ class AllocationWorkspace:
             self.cap_left = np.empty(self._fcap)
             self.cap_thresh = np.empty(self._fcap)
             self.active = np.empty(self._fcap, dtype=np.uint8)
-        # Raw data pointers for the ctypes kernel call, refreshed only
-        # when a buffer is reallocated (ndarray.ctypes costs ~1us per
-        # access, which adds up over ~10^5 calls per run).
-        self.ptrs = (
-            self.sat_thresh.ctypes.data,
-            self.cap_thresh.ctypes.data,
-            self.remaining.ctypes.data,
-            self.counts.ctypes.data,
-            self.link_incr.ctypes.data,
-            self.cap_left.ctypes.data,
-            self.active.ctypes.data,
-        )
+            # Raw data pointers for the ctypes kernel call, refreshed
+            # only when a buffer is reallocated (ndarray.ctypes costs
+            # ~1us per access, which adds up over ~10^5 calls per run).
+            self.ptrs = (
+                self.sat_thresh.ctypes.data,
+                self.cap_thresh.ctypes.data,
+                self.remaining.ctypes.data,
+                self.counts.ctypes.data,
+                self.link_incr.ctypes.data,
+                self.cap_left.ctypes.data,
+                self.active.ctypes.data,
+                self.touched.ctypes.data,
+            )
 
 
 def max_min_rates(
@@ -192,7 +198,7 @@ def max_min_rates(
         out = np.empty(nflows)
     kern = _fastfill.kernel()
     if kern is not None:
-        sat_p, capt_p, rem_p, cnt_p, incr_p, left_p, act_p = ws.ptrs
+        sat_p, capt_p, rem_p, cnt_p, incr_p, left_p, act_p, tch_p = ws.ptrs
         rc = kern(
             nflows,
             nlinks,
@@ -208,6 +214,7 @@ def max_min_rates(
             incr_p,
             left_p,
             act_p,
+            tch_p,
         )
         if rc == 1:
             raise RuntimeError("unbounded flow: a path has no finite constraint")

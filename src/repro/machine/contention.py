@@ -35,12 +35,15 @@ original per-flow-object implementation.
 
 from __future__ import annotations
 
+import ctypes
 import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
+from . import _fastfill
 from .bandwidth import AllocationWorkspace, max_min_rates
 from .fattree import FatTree, LinkId
 from .params import wire_bytes
@@ -143,6 +146,36 @@ class FluidNetwork:
         self._csr_cap = 4 * self._cap
         self._csr_links = np.zeros(self._csr_cap, dtype=np.int64)
         self._ptr = np.zeros(self._cap + 1, dtype=np.int64)
+        #: Completed-slot index buffer for the C retire kernel.
+        self._done_idx = np.empty(self._cap, dtype=np.int64)
+
+        # Batched C event-core kernels (None -> NumPy fallback) plus the
+        # raw data pointers they consume.  Pointers are cached and only
+        # refreshed when an array is reallocated (_grow_slots/_grow_csr);
+        # ndarray.ctypes costs ~1us per access, which dominates the
+        # kernels themselves at ~10^5 calls per run.
+        self._step = _fastfill.step_kernel()
+        self._nlinks = nlinks
+        self._cc = float(tree.params.switch_contention)
+        self._ccap = float(tree.params.contention_cap)
+        self._p_caps = self._link_caps.ctypes.data
+        self._p_scales = (
+            self._link_scales.ctypes.data
+            if self._link_scales is not None
+            else 0
+        )
+        self._best_c = ctypes.c_double()
+        self._p_best = ctypes.addressof(self._best_c)
+        self._wire_cache: Dict[int, Tuple[float, float]] = {}
+        #: Rate cap by route level; a path of 2k links peaks at level k,
+        #: so add_flow reads caps from here instead of the tree's
+        #: per-(src, dst) cache (same floats: level_bandwidth is pure).
+        self._level_bw = [0.0] + [
+            tree.params.level_bandwidth(lvl)
+            for lvl in range(1, tree.levels + 1)
+        ]
+        self._refresh_slot_ptrs()
+        self._p_csr = self._csr_links.ctypes.data
 
         # Reused per-recompute workspaces (contention penalty pipeline
         # plus the progressive-filling buffers shared with max_min_rates).
@@ -150,6 +183,14 @@ class FluidNetwork:
         self._penalty = np.zeros(nlinks)
         self._eff_caps = np.zeros(nlinks)
         self._alloc_ws = AllocationWorkspace(nlinks)
+        # One shared pointer table for the *_tab kernel entry points
+        # (fixed layout documented in _fastfill.c); rebuilt only when a
+        # backing array is reallocated.  Each hot call then converts a
+        # handful of scalars instead of 10-18 pointer arguments.
+        self._ptab = (ctypes.c_void_p * 21)()
+        self._p_tab = ctypes.addressof(self._ptab)
+        self._ws_ptrs: Optional[tuple] = None
+        self._refresh_ptab()
 
         #: Memoized absolute time of the next completion; valid while the
         #: flow set and rates are unchanged (completion instants are
@@ -176,6 +217,40 @@ class FluidNetwork:
     def _path_indices(self, src: int, dst: int) -> np.ndarray:
         return self.tree.path_indices(src, dst)
 
+    def _refresh_slot_ptrs(self) -> None:
+        self._p_wire = self._wire.ctypes.data
+        self._p_rate = self._rate.ctypes.data
+        self._p_rate_cap = self._rate_cap.ctypes.data
+        self._p_started = self._started.ctypes.data
+        self._p_payload = self._payload.ctypes.data
+        self._p_srcs = self._srcs.ctypes.data
+        self._p_dsts = self._dsts.ctypes.data
+        self._p_ptr = self._ptr.ctypes.data
+        self._p_done = self._done_idx.ctypes.data
+        if hasattr(self, "_ptab"):
+            self._refresh_ptab()
+
+    def _refresh_ptab(self) -> None:
+        """Rebuild the kernel pointer table (layout: see _fastfill.c)."""
+        ws = self._alloc_ws
+        self._ws_ptrs = ws.ptrs
+        tab = self._ptab
+        tab[0] = self._p_caps
+        tab[1] = self._p_scales or None
+        tab[2] = self._p_ptr
+        tab[3] = self._p_csr
+        tab[4] = self._p_rate_cap
+        tab[5] = self._p_rate
+        for i, p in enumerate(ws.ptrs):
+            tab[6 + i] = p
+        tab[14] = self._p_wire
+        tab[15] = self._p_best
+        tab[16] = self._p_started
+        tab[17] = self._p_payload
+        tab[18] = self._p_srcs
+        tab[19] = self._p_dsts
+        tab[20] = self._p_done
+
     def _grow_slots(self, need: int) -> None:
         new_cap = max(2 * self._cap, need, _MIN_SLOTS)
         for name in (
@@ -195,7 +270,9 @@ class FluidNetwork:
         ptr = np.zeros(new_cap + 1, dtype=np.int64)
         ptr[: self._n + 1] = self._ptr[: self._n + 1]
         self._ptr = ptr
+        self._done_idx = np.empty(new_cap, dtype=np.int64)
         self._cap = new_cap
+        self._refresh_slot_ptrs()
 
     def _grow_csr(self, need: int) -> None:
         new_cap = max(2 * self._csr_cap, need)
@@ -204,6 +281,8 @@ class FluidNetwork:
         fresh[:used] = self._csr_links[:used]
         self._csr_links = fresh
         self._csr_cap = new_cap
+        self._p_csr = self._csr_links.ctypes.data
+        self._refresh_ptab()
 
     # ------------------------------------------------------------------
     def add_flow(self, key: Hashable, src: int, dst: int, payload: int) -> None:
@@ -215,14 +294,20 @@ class FluidNetwork:
         """
         if key in self._key_set:
             raise ValueError(f"duplicate flow key: {key!r}")
-        wire = float(wire_bytes(payload))
+        cached = self._wire_cache.get(payload)
+        if cached is None:
+            # Wire size and sqrt(packet count) depend only on the payload
+            # size; exchanges reuse a handful of sizes ~10^5 times.
+            w = float(wire_bytes(payload))
+            cached = (w, math.sqrt(w / 20.0))
+            self._wire_cache[payload] = cached
+        wire, sqrt_packets = cached
         jitter = self.tree.params.routing_jitter
         if jitter > 0:
             # Random-routing variance: relative inflation ~ j*|Z|/sqrt(p)
             # over p packets (conflicts average out for long messages).
-            packets = wire / 20.0
             z = abs(self._rng.standard_normal())
-            wire *= 1.0 + jitter * z / math.sqrt(packets)
+            wire *= 1.0 + jitter * z / sqrt_packets
         path = self._path_indices(src, dst)
         slot = self._n
         if slot + 1 > self._cap:
@@ -234,7 +319,7 @@ class FluidNetwork:
         self._ptr[slot + 1] = used + len(path)
         self._wire[slot] = wire
         self._rate[slot] = 0.0
-        self._rate_cap[slot] = self.tree.message_rate_cap(src, dst)
+        self._rate_cap[slot] = self._level_bw[len(path) >> 1]
         self._started[slot] = self._now
         self._payload[slot] = payload
         self._srcs[slot] = src
@@ -260,9 +345,12 @@ class FluidNetwork:
         if dt > 0 and self._n:
             if self._dirty:
                 self._recompute()
-            wire = self._wire[: self._n]
-            wire -= self._rate[: self._n] * dt
-            np.maximum(wire, 0.0, out=wire)
+            if self._step is not None:
+                self._step.advance_tab(self._n, dt, self._p_tab)
+            else:
+                wire = self._wire[: self._n]
+                wire -= self._rate[: self._n] * dt
+                np.maximum(wire, 0.0, out=wire)
         self._now = max(self._now, t)
 
     def earliest_completion(self) -> Optional[float]:
@@ -273,9 +361,46 @@ class FluidNetwork:
         (impossible on a healthy network: max-min allocations are
         strictly positive).
         """
-        if self._dirty:
-            self._recompute()
         n = self._n
+        if self._dirty:
+            if n and self._step is not None and self.observer is None:
+                # Fused C path for the engine's arm: reallocation and
+                # completion scan in one call (same operations in the
+                # same order as _recompute + scan, see _fastfill.c).
+                obs.count("net.allocations")
+                ws = self._alloc_ws
+                ws.ensure_flows(n)
+                if ws.ptrs is not self._ws_ptrs:
+                    self._refresh_ptab()
+                rc = self._step.recompute_scan(
+                    n,
+                    self._nlinks,
+                    self._cc,
+                    self._ccap,
+                    _DONE_EPS,
+                    self._p_tab,
+                )
+                if rc < 0:
+                    raise RuntimeError(
+                        "unbounded flow: a path has no finite constraint"
+                        if rc == -1
+                        else (
+                            "progressive filling made no progress"
+                            if rc == -2
+                            else "max-min allocation failed to converge"
+                        )
+                    )
+                self._dirty = False
+                self._next_completion = None
+                if rc == 1:
+                    return self._now
+                if rc == 0:
+                    self._next_completion = self._now + self._best_c.value
+                    return self._next_completion
+                # rc == 2: a flow stalled — fall through to the NumPy
+                # scan below, which assembles the NetworkStallError.
+            else:
+                self._recompute()
         if n == 0:
             return None
         if self._next_completion is not None:
@@ -284,6 +409,17 @@ class FluidNetwork:
             # caller overshot) reads as finishing "now", as it would on
             # a fresh scan.
             return max(self._next_completion, self._now)
+        if self._step is not None:
+            rc = self._step.scan(
+                n, _DONE_EPS, self._p_wire, self._p_rate, self._p_best
+            )
+            if rc == 1:
+                return self._now
+            if rc == 0:
+                self._next_completion = self._now + self._best_c.value
+                return self._next_completion
+            # rc == 2: a flow stalled — fall through to the NumPy scan,
+            # which assembles the detailed NetworkStallError.
         wire = self._wire[:n]
         rate = self._rate[:n]
         # Done-flows first, zero rates second — consistently, in one pass.
@@ -301,6 +437,50 @@ class FluidNetwork:
         best = float((wire / rate).min())
         self._next_completion = self._now + best
         return self._next_completion
+
+    def pop_completed_keys(self, t: float) -> List[Hashable]:
+        """Advance to ``t`` and retire every finished flow, keys only.
+
+        The engine's hot path: equivalent to
+        ``[f.key for f in self.pop_completed(t)]`` (same drain, same
+        retire condition, same compaction) without materializing
+        :class:`FlowState` records.  Drain, completion scan and
+        compaction run in one C kernel call when available.
+        """
+        n = self._n
+        sk = self._step
+        if n == 0 or sk is None:
+            return [f.key for f in self.pop_completed(t)]
+        if t < self._now - 1e-12:
+            raise ValueError(f"time moved backwards: {t} < {self._now}")
+        dt = t - self._now
+        if dt > 0 and self._dirty:
+            self._recompute()
+        ndone = sk.retire_tab(
+            n, dt if dt > 0 else 0.0, _DONE_EPS, self._p_tab
+        )
+        if t > self._now:
+            self._now = t
+        if ndone == 0:
+            return []
+        # The kernel compacted the numeric columns and the CSR; the
+        # object-dtype key column is compacted here, in the same order.
+        keys = self._keys
+        if ndone == 1:
+            i = int(self._done_idx[0])
+            done = [keys[i]]
+            keys[i : n - 1] = keys[i + 1 : n]
+        else:
+            idx = self._done_idx[:ndone]
+            done = [keys[int(i)] for i in idx]
+            keep = np.ones(n, dtype=bool)
+            keep[idx] = False
+            keys[: n - ndone] = keys[:n][keep]
+        self._key_set.difference_update(done)
+        self._n = n - ndone
+        self._dirty = True
+        self._next_completion = None
+        return done
 
     def pop_completed(self, t: float) -> List[FlowState]:
         """Advance to ``t`` and remove every flow that has finished."""
@@ -363,6 +543,32 @@ class FluidNetwork:
     # ------------------------------------------------------------------
     def _recompute(self) -> None:
         n = self._n
+        if n and self._step is not None and self.observer is None:
+            # Fused C path: per-link counts, contention penalty, freeze
+            # thresholds and the progressive fill in one call — the same
+            # operations in the same order as the NumPy pipeline below,
+            # so rates stay bit-identical (see _fastfill.c).
+            obs.count("net.allocations")
+            ws = self._alloc_ws
+            ws.ensure_flows(n)
+            if ws.ptrs is not self._ws_ptrs:
+                self._refresh_ptab()
+            rc = self._step.recompute_tab(
+                n, self._nlinks, self._cc, self._ccap, self._p_tab
+            )
+            if rc == 1:
+                raise RuntimeError(
+                    "unbounded flow: a path has no finite constraint"
+                )
+            if rc:  # pragma: no cover - defensive, mirrors bandwidth.py
+                raise RuntimeError(
+                    "progressive filling made no progress"
+                    if rc == 2
+                    else "max-min allocation failed to converge"
+                )
+            self._dirty = False
+            self._next_completion = None
+            return
         if n:
             used = int(self._ptr[n])
             flow_links = self._csr_links[:used]

@@ -86,6 +86,16 @@ class FatTree:
         )
         caps.setflags(write=False)
         self._link_caps_array = caps
+        # Dense-index bases of the regular link layout: within one
+        # (direction, level) block the node ids are contiguous from 0,
+        # so index(("up", level, node)) == up_base[level] + node.
+        # path_indices builds routes by this arithmetic instead of
+        # string-tuple construction plus dict lookups per hop.
+        self._up_base = [0] * (self.levels + 1)
+        self._down_base = [0] * (self.levels + 1)
+        for level in range(1, self.levels + 1):
+            self._up_base[level] = self._link_index[("up", level, 0)]
+            self._down_base[level] = self._link_index[("down", level, 0)]
         # Cross-run caches: FatTree instances are shared via
         # :func:`fat_tree_for`, so routes derived during one simulation
         # are reused by every later run on the same partition.
@@ -153,10 +163,23 @@ class FatTree:
         """
         cached = self._path_idx_cache.get((src, dst))
         if cached is None:
-            cached = np.array(
-                [self._link_index[l] for l in self.path(src, dst)],
-                dtype=np.int64,
-            )
+            if src == dst:
+                raise ValueError(f"no self-path: src == dst == {src}")
+            self.config._check_rank(src)
+            self.config._check_rank(dst)
+            s, d, top = src, dst, 0
+            while s != d:
+                s //= FAT_TREE_ARITY
+                d //= FAT_TREE_ARITY
+                top += 1
+            cached = np.empty(2 * top, dtype=np.int64)
+            up_base, down_base = self._up_base, self._down_base
+            s, d = src, dst
+            for level in range(1, top + 1):
+                cached[level - 1] = up_base[level] + s
+                cached[2 * top - level] = down_base[level] + d
+                s //= FAT_TREE_ARITY
+                d //= FAT_TREE_ARITY
             cached.setflags(write=False)
             self._path_idx_cache[(src, dst)] = cached
         return cached

@@ -46,6 +46,7 @@ from .driver import (
     request_stream,
     run_service_bench,
     run_service_cell,
+    write_service_bench,
     zipf_mix,
 )
 from .keys import (
@@ -78,6 +79,7 @@ __all__ = [
     "request_stream",
     "run_service_bench",
     "run_service_cell",
+    "write_service_bench",
     "zipf_mix",
     "KEY_VERSION",
     "ScheduleKey",

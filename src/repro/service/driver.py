@@ -19,6 +19,7 @@ The JSON document (schema ``repro-bench-service/1``)::
 
     {
       "schema": "repro-bench-service/1",
+      "scale": "full" | "quick" | "custom",
       "workloads": {
         "zipf_n16_s1.1_poisson": {
           "wall_seconds": ...,         # serving wall clock
@@ -40,7 +41,9 @@ serving layer must never ship.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -62,6 +65,7 @@ __all__ = [
     "drive_workload",
     "run_service_bench",
     "render_service_bench",
+    "write_service_bench",
 ]
 
 SERVICE_SCHEMA = "repro-bench-service/1"
@@ -346,6 +350,11 @@ def run_service_bench(
         if quick
         else ((8, 64, 24000), (16, 64, 24000))
     )
+    # Resolve scale before the loop below rebinds corpus_size/requests.
+    if corpus_size is not None or requests is not None:
+        scale = "custom"
+    else:
+        scale = "quick" if quick else "full"
     cells = tuple(
         (n, corpus_size or c, requests or r) for n, c, r in cells
     )
@@ -368,7 +377,46 @@ def run_service_bench(
             seed=seed,
             progress=progress,
         )
-    return {"schema": SERVICE_SCHEMA, "workloads": workloads}
+    return {"schema": SERVICE_SCHEMA, "scale": scale, "workloads": workloads}
+
+
+def write_service_bench(
+    bench: Dict[str, object],
+    path=None,
+    root=None,
+    force: bool = False,
+):
+    """Persist one service BENCH document to its scale-appropriate path.
+
+    Quick and custom runs land in ``BENCH_service_quick.json`` so a CI
+    smoke run can never clobber the committed full-scale artifact; a
+    full run replaces ``BENCH_service.json``.  Passing ``path``
+    overrides the routing, but overwriting an existing full-scale
+    artifact with a non-full document still refuses unless ``force``
+    (the exact accident the side path exists to prevent).  Returns the
+    path written.
+    """
+    scale = bench.get("scale")
+    if path is None:
+        name = (
+            "BENCH_service.json"
+            if scale == "full"
+            else "BENCH_service_quick.json"
+        )
+        path = Path(root or ".") / name
+    path = Path(path)
+    if path.exists() and scale != "full" and not force:
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict) and existing.get("scale") == "full":
+            raise ValueError(
+                f"refusing to overwrite the full-scale artifact {path} "
+                f"with a {scale!r} run; use --force to override"
+            )
+    path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def render_service_bench(bench: Dict[str, object]) -> str:

@@ -28,8 +28,10 @@ give identical timelines.
 
 from __future__ import annotations
 
+import gc
 import itertools
 import operator
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -100,7 +102,7 @@ class SimResult:
         return sum(self.wait_times)
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlight:
     send: PostedSend
     recv: PostedRecv
@@ -147,6 +149,12 @@ class Engine:
         self.net = FluidNetwork(
             self.tree, seed=seed, link_scales=self.faults.link_scales
         )
+        #: Bulk completion pop, resolved once: substitute network
+        #: implementations (the equivalence tests' reference network)
+        #: may only provide the per-FlowState pop_completed.
+        self._pop_completed_keys = getattr(
+            self.net, "pop_completed_keys", None
+        ) or (lambda t: [f.key for f in self.net.pop_completed(t)])
         self.tracer = tracer
         #: Cause dict for the resume that will close a rank's open op;
         #: set just before scheduling the resume, popped in _resume.
@@ -159,6 +167,9 @@ class Engine:
                 tracer.link_util = LinkUtilization(self.tree)
             self.net.observer = tracer.link_util.record
         self.costs = NodeCostModel(self.params)
+        # Hoisted per-message software costs (frozen params, hot path).
+        self._send_setup = self.costs.send_setup()
+        self._recv_service = self.costs.recv_service()
         self.control = ControlNetwork(self.params)
         self.queue = EventQueue()
         self.rendezvous = RendezvousTable()
@@ -173,6 +184,15 @@ class Engine:
         self._attempts: Dict[Tuple[int, int, int], int] = {}
         self.procs: List[Process] = []
         self._flow_seq = itertools.count()
+        #: True when the flow set changed since the last arm — the arm
+        #: in the drain loop is skipped otherwise (the armed completion
+        #: instant is memoized and still valid).  Superseded armed
+        #: events stay in the heap as stale no-ops on purpose: their
+        #: *times* still define drain instants, and a live completion
+        #: within ``_TIME_ATOL`` of such an instant must retire at the
+        #: stale instant's timestamp to stay byte-identical with the
+        #: reference engine.
+        self._net_changed = False
         self._net_gen = 0
         self._in_flight: Dict[int, _InFlight] = {}
         self._barrier_waiting: List[Process] = []
@@ -189,6 +209,9 @@ class Engine:
         #: Optional hook called as ``on_death(rank, now)`` right after a
         #: rank is torn down (the resilience layer's failure detector).
         self.on_death: Optional[Callable[[int, float], None]] = None
+        #: Batched per-instant drain (the default); the env knob selects
+        #: the reference one-pop-per-event drain for equivalence tests.
+        self._batched_drain = not os.environ.get("REPRO_SINGLE_POP_DRAIN")
 
     # ==================================================================
     # Public API
@@ -205,22 +228,52 @@ class Engine:
         for rank, (at, detect) in sorted(self.faults.failure_times().items()):
             self._schedule(at, lambda r=rank, d=detect: self._kill_rank(r, d))
 
-        while self.queue:
-            # Drain every event at the current instant (including cascades
-            # triggered by the handlers themselves) before touching the
-            # network: synchronized waves then cost one rate reallocation.
-            t = self.queue.peek_time()
-            assert t is not None
-            if t < self.now - 1e-9:
-                raise RuntimeError(f"event in the past: {t} < {self.now}")
-            self.now = max(self.now, t)
-            while self.queue:
-                nxt = self.queue.peek_time()
-                if nxt is None or nxt > self.now + _TIME_ATOL:
-                    break
-                _, cb = self.queue.pop()
-                cb()
-            self._arm_network_event()
+        queue = self.queue
+        heap = queue._heap  # hot loop: peeks inline, pops via pop_batch
+        batched = self._batched_drain
+        # The loop allocates heavily (events, lambdas, in-flight records)
+        # but creates no cycles the collector could free mid-run; pausing
+        # generational GC avoids repeated full-heap scans over the
+        # long-lived schedule/trace structures.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap:
+                t = heap[0][0]
+                if t < self.now - 1e-9:
+                    raise RuntimeError(
+                        f"event in the past: {t} < {self.now}"
+                    )
+                if t > self.now:
+                    self.now = t
+                threshold = self.now + _TIME_ATOL
+                # Drain every event at the current instant (including
+                # cascades triggered by the handlers themselves) before
+                # touching the network: synchronized waves then cost one
+                # rate reallocation.  Events are pulled in equal-time
+                # batches (EventQueue.pop_batch) rather than one
+                # peek/pop per event; a batch is an equal-time run, so
+                # heap order — (time, seq), FIFO among simultaneous
+                # events — is preserved exactly, and cascades scheduled
+                # by the batch land in a later batch of the same instant.
+                if batched:
+                    while heap and heap[0][0] <= threshold:
+                        _, batch = queue.pop_batch()
+                        for cb in batch:
+                            cb()
+                else:
+                    # Reference single-pop drain
+                    # (REPRO_SINGLE_POP_DRAIN=1): kept for the
+                    # batched-vs-single equivalence regression test, not
+                    # used in production.
+                    while heap and heap[0][0] <= threshold:
+                        _, cb = queue.pop()
+                        cb()
+                self._arm_network_event()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         unfinished = [
             p
@@ -308,11 +361,25 @@ class Engine:
             self._trace_op_begin(proc, request)
         if isinstance(request, Send):
             proc.state = ProcState.BLOCKED_SEND
-            proc.waiting_on = f"send to {request.dst} ({request.nbytes}B)"
+            # The request object doubles as the wait description; the
+            # deadlock report formats it lazily (hot path: no f-string).
+            proc.waiting_on = request
             self._check_dst(proc, request.dst)
             self._schedule(
-                self.now + self.costs.send_setup() * self._overhead_slow[proc.rank],
+                self.now + self._send_setup * self._overhead_slow[proc.rank],
                 lambda: self._post_send(proc, request),
+            )
+        elif isinstance(request, Recv):
+            proc.state = ProcState.BLOCKED_RECV
+            proc.waiting_on = request
+            self._post_recv(proc, request)
+        elif isinstance(request, Delay):
+            proc.state = ProcState.DELAYED
+            proc.waiting_on = request
+            # Stragglers stretch local work (compute, pack/unpack).
+            self._schedule(
+                self.now + request.seconds * self._compute_slow[proc.rank],
+                lambda: self._resume(proc, None),
             )
         elif isinstance(request, Isend):
             self._check_dst(proc, request.dst)
@@ -320,7 +387,7 @@ class Engine:
             # The sender pays the software setup, then proceeds; the
             # message completes (and the handle flips) on its own.
             self._schedule(
-                self.now + self.costs.send_setup() * self._overhead_slow[proc.rank],
+                self.now + self._send_setup * self._overhead_slow[proc.rank],
                 lambda: self._post_isend(proc, request, handle),
             )
         elif isinstance(request, Wait):
@@ -335,19 +402,6 @@ class Engine:
                         f"two processes waiting on isend #{handle.seq}"
                     )
                 self._waiters[handle.seq] = proc
-        elif isinstance(request, Recv):
-            proc.state = ProcState.BLOCKED_RECV
-            src = "ANY" if request.src < 0 else request.src
-            proc.waiting_on = f"recv from {src}"
-            self._post_recv(proc, request)
-        elif isinstance(request, Delay):
-            proc.state = ProcState.DELAYED
-            proc.waiting_on = f"delay {request.seconds:.2e}s"
-            # Stragglers stretch local work (compute, pack/unpack).
-            self._schedule(
-                self.now + request.seconds * self._compute_slow[proc.rank],
-                lambda: self._resume(proc, None),
-            )
         elif isinstance(request, Barrier):
             proc.state = ProcState.BLOCKED_BARRIER
             proc.waiting_on = "barrier"
@@ -521,8 +575,10 @@ class Engine:
 
     def _flow_begin(self, key: int) -> None:
         inf = self._in_flight[key]
+        send = inf.send
         self.net.advance_to(self.now)
-        self.net.add_flow(key, inf.send.src, inf.send.dst, inf.send.nbytes)
+        self.net.add_flow(key, send.src, send.dst, send.nbytes)
+        self._net_changed = True
 
     def _flow_complete(self, key: int) -> None:
         inf = self._in_flight.pop(key)
@@ -569,26 +625,30 @@ class Engine:
                 self._op_causes[inf.sender.rank] = _cause("send", self.now)
             self._schedule(self.now, lambda: self._resume(inf.sender, None))
         # Receiver pays its software service time, then gets the payload.
-        done_at = self.now + self.costs.recv_service() * self._overhead_slow[
+        done_at = self.now + self._recv_service * self._overhead_slow[
             inf.send.dst
         ]
         if trc is not None:
             self._op_causes[inf.receiver.rank] = _cause("recv", done_at)
             trc.metrics.counter("sim.bytes_delivered").inc(inf.send.nbytes)
         payload = inf.send.payload
-        self._schedule(done_at, lambda: self._resume(inf.receiver, payload))
-        self.trace.add_message(
-            MessageRecord(
-                src=inf.send.src,
-                dst=inf.send.dst,
-                nbytes=inf.send.nbytes,
-                tag=inf.send.tag,
-                send_posted=inf.send.posted_at,
-                matched_at=inf.matched_at,
-                delivered_at=done_at,
-                route_level=self.tree.route_level(inf.send.src, inf.send.dst),
+        receiver = inf.receiver
+        self._schedule(done_at, lambda: self._resume(receiver, payload))
+        if self.trace is not NULL_TRACE:
+            self.trace.add_message(
+                MessageRecord(
+                    src=inf.send.src,
+                    dst=inf.send.dst,
+                    nbytes=inf.send.nbytes,
+                    tag=inf.send.tag,
+                    send_posted=inf.send.posted_at,
+                    matched_at=inf.matched_at,
+                    delivered_at=done_at,
+                    route_level=self.tree.route_level(
+                        inf.send.src, inf.send.dst
+                    ),
+                )
             )
-        )
 
     def _drop_message(self, inf: _InFlight) -> None:
         """A transfer whose data was lost in flight (fault injection).
@@ -767,9 +827,16 @@ class Engine:
             self._schedule(self.now, lambda: self._resume(waiter, None))
 
     def _arm_network_event(self) -> None:
-        # Called after every drained instant; the fluid network memoizes
-        # the next completion instant, so re-arming when nothing changed
-        # on the network is O(1).
+        # Called after every drained instant.  When no flow was added or
+        # retired since the last arm, the armed event (if any) is still
+        # valid — its completion instant is memoized and unchanged — so
+        # the re-arm is skipped entirely instead of invalidating and
+        # re-pushing an identical event every instant.  Superseded
+        # events are left in the heap and skipped by generation number
+        # when popped; see __init__ for why their times must survive.
+        if not self._net_changed:
+            return
+        self._net_changed = False
         self._net_gen += 1
         if self.net.active_count == 0:
             return
@@ -782,8 +849,11 @@ class Engine:
     def _net_check(self, gen: int) -> None:
         if gen != self._net_gen:
             return  # stale: flow set changed since this was armed
-        for flow in self.net.pop_completed(self.now):
-            self._flow_complete(flow.key)
+        keys = self._pop_completed_keys(self.now)
+        if keys:
+            self._net_changed = True
+            for key in keys:
+                self._flow_complete(key)
 
     # ==================================================================
     # Control-network collectives
@@ -857,12 +927,27 @@ class Engine:
             raise RuntimeError(f"unknown collective kind: {kind}")
 
     # ==================================================================
+    @staticmethod
+    def _describe_wait(waiting_on: Any) -> str:
+        """Format a lazily stored wait description for the report."""
+        if isinstance(waiting_on, Send):
+            return f"send to {waiting_on.dst} ({waiting_on.nbytes}B)"
+        if isinstance(waiting_on, Recv):
+            src = "ANY" if waiting_on.src < 0 else waiting_on.src
+            return f"recv from {src}"
+        if isinstance(waiting_on, Delay):
+            return f"delay {waiting_on.seconds:.2e}s"
+        return str(waiting_on)
+
     def _deadlock_report(self, unfinished: List[Process]) -> str:
         lines = ["simulation deadlocked; blocked ranks:"]
         if self.dead_ranks:
             lines.append(f"  dead ranks: {sorted(self.dead_ranks)}")
         for p in unfinished:
-            lines.append(f"  rank {p.rank}: {p.state.value} ({p.waiting_on})")
+            lines.append(
+                f"  rank {p.rank}: {p.state.value}"
+                f" ({self._describe_wait(p.waiting_on)})"
+            )
         lines.append(f"unmatched: {self.rendezvous.describe_pending()}")
         if self._barrier_waiting:
             ranks = [p.rank for p in self._barrier_waiting]

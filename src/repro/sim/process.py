@@ -211,9 +211,11 @@ class Process:
     state: ProcState = ProcState.READY
     finish_time: Optional[float] = None
     result: Any = None
-    #: Human-readable description of what the process is blocked on,
-    #: reported by deadlock diagnostics.
-    waiting_on: str = ""
+    #: What the process is blocked on — either a short string or the
+    #: blocking request object itself, formatted lazily by the engine's
+    #: deadlock diagnostics (storing the object keeps f-strings off the
+    #: dispatch hot path).
+    waiting_on: Any = ""
     #: Simulated time at which this rank last blocked — used to account
     #: per-rank communication wait time.
     last_event_time: float = 0.0

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.analysis.perfcmp import (
+    DEFAULT_MIN_DELTA,
     DEFAULT_THRESHOLD,
     compare_benches,
     load_bench,
@@ -12,8 +13,8 @@ from repro.analysis.perfcmp import (
 )
 
 
-def bench(workloads):
-    return {"schema": "repro-bench-sim/1", "workloads": workloads}
+def bench(workloads, scale="full"):
+    return {"schema": "repro-bench-sim/1", "scale": scale, "workloads": workloads}
 
 
 def row(wall, sim_ms=100.0, messages=64):
@@ -72,7 +73,8 @@ class TestCompare:
         assert cmp.regressions == []
 
     def test_disjoint_workloads_are_skipped_not_failed(self):
-        # A full-scale baseline vs a --quick run: judge the intersection.
+        # Same-scale docs whose workload sets drifted (a renamed or
+        # retired workload): judge the intersection, report the rest.
         cmp = compare_benches(
             bench({"shared": row(1.0), "full_only": row(9.0)}),
             bench({"shared": row(1.0), "quick_only": row(0.1)}),
@@ -94,6 +96,44 @@ class TestCompare:
     def test_negative_baseline_is_a_hard_error(self):
         with pytest.raises(ValueError, match="w"):
             compare_benches(bench({"w": row(-1.0)}), bench({"w": row(1.0)}))
+
+
+class TestNoiseFloor:
+    """Absolute min-delta floor under the relative threshold.
+
+    Millisecond-scale quick workloads routinely swing 30-80 % between
+    process invocations from scheduler noise alone; a regression must
+    clear both the ratio threshold and the absolute floor."""
+
+    def test_default_floor_value(self):
+        assert DEFAULT_MIN_DELTA == pytest.approx(0.05)
+
+    def test_tiny_workload_noise_is_not_a_regression(self):
+        # +80% on a 40 ms workload is a 32 ms delta — under the floor.
+        cmp = compare_benches(bench({"w": row(0.04)}), bench({"w": row(0.072)}))
+        assert cmp.ok
+        assert cmp.deltas[0].ratio == pytest.approx(0.8)
+
+    def test_gross_regression_on_tiny_workload_still_fails(self):
+        # A 10x blowup clears the floor even from a 10 ms start.
+        cmp = compare_benches(bench({"w": row(0.01)}), bench({"w": row(0.1)}))
+        assert [d.name for d in cmp.regressions] == ["w"]
+
+    def test_zero_floor_restores_pure_relative_behavior(self):
+        base, cur = bench({"w": row(0.01)}), bench({"w": row(0.02)})
+        assert compare_benches(base, cur).ok
+        assert not compare_benches(base, cur, min_delta=0.0).ok
+
+    def test_negative_floor_rejected(self):
+        doc = bench({"w": row(1.0)})
+        with pytest.raises(ValueError, match="min_delta"):
+            compare_benches(doc, doc, min_delta=-0.01)
+
+    def test_render_names_the_floor_for_suppressed_deltas(self):
+        cmp = compare_benches(bench({"w": row(0.04)}), bench({"w": row(0.072)}))
+        text = render_comparison(cmp)
+        assert "noise floor" in text
+        assert text.splitlines()[-1].startswith("OK:")
 
 
 class TestRender:
@@ -155,8 +195,12 @@ class TestLoad:
         with pytest.raises(ValueError, match="schema"):
             load_bench(path)
 
-def service_bench(workloads):
-    return {"schema": "repro-bench-service/1", "workloads": workloads}
+def service_bench(workloads, scale="full"):
+    return {
+        "schema": "repro-bench-service/1",
+        "scale": scale,
+        "workloads": workloads,
+    }
 
 
 def service_row(wall, speedup=6.0, hit_rate=0.9):
@@ -199,4 +243,45 @@ class TestSchemaFamilies:
             compare_benches(
                 service_bench({"w": service_row(0.0)}),
                 service_bench({"w": service_row(1.0)}),
+            )
+
+
+class TestScaleGuard:
+    def test_cross_scale_comparison_is_hard_error(self):
+        # Quick and full runs time different sweeps under different rep
+        # counts; judging one against the other is meaningless.
+        with pytest.raises(ValueError, match="scale mismatch"):
+            compare_benches(
+                bench({"w": row(1.0)}, scale="full"),
+                bench({"w": row(1.0)}, scale="quick"),
+            )
+
+    def test_missing_scale_in_baseline_is_hard_error(self):
+        base = bench({"w": row(1.0)})
+        del base["scale"]
+        with pytest.raises(ValueError, match="baseline.*scale"):
+            compare_benches(base, bench({"w": row(1.0)}))
+
+    def test_missing_scale_in_current_is_hard_error(self):
+        cur = bench({"w": row(1.0)})
+        del cur["scale"]
+        with pytest.raises(ValueError, match="current.*scale"):
+            compare_benches(bench({"w": row(1.0)}), cur)
+
+    def test_missing_scale_in_both_names_both(self):
+        base, cur = bench({"w": row(1.0)}), bench({"w": row(1.0)})
+        del base["scale"]
+        del cur["scale"]
+        with pytest.raises(ValueError, match="baseline and current"):
+            compare_benches(base, cur)
+
+    def test_matching_quick_scales_compare(self):
+        doc = bench({"w": row(1.0)}, scale="quick")
+        assert compare_benches(doc, doc).ok
+
+    def test_service_cross_scale_is_hard_error(self):
+        with pytest.raises(ValueError, match="scale mismatch"):
+            compare_benches(
+                service_bench({"w": service_row(1.0)}, scale="full"),
+                service_bench({"w": service_row(1.0)}, scale="quick"),
             )

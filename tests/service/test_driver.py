@@ -10,7 +10,9 @@ from repro.service import (
     pattern_corpus,
     render_service_bench,
     request_stream,
+    run_service_bench,
     run_service_cell,
+    write_service_bench,
     zipf_mix,
 )
 
@@ -121,3 +123,53 @@ class TestServiceCell:
         text = render_service_bench(bench)
         assert "w0" in text
         assert "speedup" in text
+
+
+def _doc(scale):
+    return {"schema": SERVICE_SCHEMA, "scale": scale, "workloads": {}}
+
+
+class TestScaleStamp:
+    def test_overrides_are_stamped_custom(self):
+        # Explicit overrides mark the document custom, never quick/full.
+        bench = run_service_bench(quick=True, corpus_size=5, requests=20)
+        assert bench["scale"] == "custom"
+
+    def test_preset_quick_scale(self):
+        bench = run_service_bench(quick=True)
+        assert bench["scale"] == "quick"
+
+
+class TestWriteServiceBench:
+    def test_full_goes_to_canonical_path(self, tmp_path):
+        path = write_service_bench(_doc("full"), root=tmp_path)
+        assert path.name == "BENCH_service.json"
+
+    def test_quick_goes_to_side_path(self, tmp_path):
+        path = write_service_bench(_doc("quick"), root=tmp_path)
+        assert path.name == "BENCH_service_quick.json"
+
+    def test_custom_goes_to_side_path(self, tmp_path):
+        path = write_service_bench(_doc("custom"), root=tmp_path)
+        assert path.name == "BENCH_service_quick.json"
+
+    def test_quick_refuses_to_clobber_full_artifact(self, tmp_path):
+        target = write_service_bench(_doc("full"), root=tmp_path)
+        with pytest.raises(ValueError, match="refusing to overwrite"):
+            write_service_bench(_doc("quick"), path=target)
+        # The committed artifact is untouched by the refused write.
+        import json
+
+        assert json.loads(target.read_text())["scale"] == "full"
+
+    def test_force_overrides_the_guard(self, tmp_path):
+        target = write_service_bench(_doc("full"), root=tmp_path)
+        out = write_service_bench(_doc("quick"), path=target, force=True)
+        import json
+
+        assert json.loads(out.read_text())["scale"] == "quick"
+
+    def test_full_may_replace_full(self, tmp_path):
+        target = write_service_bench(_doc("full"), root=tmp_path)
+        out = write_service_bench(_doc("full"), path=target)
+        assert out == target

@@ -172,6 +172,7 @@ class TestPerfcmpRobustness:
 
         doc = {
             "schema": "repro-bench-sim/1",
+            "scale": "full",
             "workloads": {
                 "w": {"wall_seconds": 0.0, "sim_ms": 1.0, "messages": 1}
             },
@@ -189,6 +190,58 @@ class TestPerfcmpRobustness:
         )
         err = capsys.readouterr().err
         assert "non-positive baseline wall time" in err
+        assert "\n" not in err.rstrip("\n")
+
+    def test_cross_scale_exits_2_with_one_line(self, tmp_path, capsys):
+        import json
+
+        doc = {
+            "schema": "repro-bench-sim/1",
+            "scale": "full",
+            "workloads": {
+                "w": {"wall_seconds": 1.0, "sim_ms": 1.0, "messages": 1}
+            },
+        }
+        full = tmp_path / "full.json"
+        full.write_text(json.dumps(doc))
+        doc["scale"] = "quick"
+        quick = tmp_path / "quick.json"
+        quick.write_text(json.dumps(doc))
+        assert (
+            main(
+                ["perfcmp", "--baseline", str(full), "--current", str(quick)]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "scale mismatch" in err
+        assert "\n" not in err.rstrip("\n")
+
+    def test_missing_scale_exits_2_with_one_line(self, tmp_path, capsys):
+        import json
+
+        doc = {
+            "schema": "repro-bench-sim/1",
+            "workloads": {
+                "w": {"wall_seconds": 1.0, "sim_ms": 1.0, "messages": 1}
+            },
+        }
+        unstamped = tmp_path / "unstamped.json"
+        unstamped.write_text(json.dumps(doc))
+        assert (
+            main(
+                [
+                    "perfcmp",
+                    "--baseline",
+                    str(unstamped),
+                    "--current",
+                    str(unstamped),
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "missing the 'scale' field" in err
         assert "\n" not in err.rstrip("\n")
 
 
