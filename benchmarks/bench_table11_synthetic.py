@@ -31,19 +31,29 @@ def test_table11_synthetic(benchmark, emit):
     checks = []
     for (d, s), row in sorted(data.items()):
         ms = {k: v * 1e3 for k, v in row.items()}
+        # The shape claims below are the *paper's* Table 11 statements,
+        # so they compare only the paper's four algorithms; extensions
+        # like the local-search refiner (which beats GS by design) are
+        # still printed but judged by the optgap harness instead.
+        paper_ms = {k: ms[k] for k in IRREGULAR_ORDER if k in ms}
         paper = TABLE11_SYNTHETIC_MS.get((d, s))
         blocks.append((f"{d:.0%} {s}B", ms, paper))
         checks.append(
             check_ratio_at_least(
                 f"linear worst {d:.0%}/{s}B",
-                ms["linear"],
-                max(v for k, v in ms.items() if k != "linear"),
+                paper_ms["linear"],
+                max(v for k, v in paper_ms.items() if k != "linear"),
                 1.0,
             )
         )
         if d < 0.5:
             checks.append(
-                check_order(f"greedy near-best {d:.0%}/{s}B", ms, "greedy", tolerance=0.12)
+                check_order(
+                    f"greedy near-best {d:.0%}/{s}B",
+                    paper_ms,
+                    "greedy",
+                    tolerance=0.12,
+                )
             )
         if d == 0.75:
             checks.append(
@@ -66,7 +76,7 @@ def test_table11_synthetic(benchmark, emit):
 
     table = format_comparison(
         "Table 11: synthetic irregular patterns, 32 processors (ms)",
-        IRREGULAR_ORDER,
+        list(IRREGULAR_ORDER) + ["local"],
         blocks,
     )
     emit("table11_synthetic", table + "\n\n" + summarize(checks))

@@ -34,16 +34,23 @@ def test_table12_real_apps(benchmark, emit):
     checks = []
     for name, row in data.items():
         ms = {k: v * 1e3 for k, v in row.items()}
+        # The shape claims are the *paper's* Table 12 statements, so they
+        # compare only the paper's four algorithms; extensions like the
+        # local-search refiner are still printed but judged by the
+        # optgap harness instead.
+        paper_ms = {k: ms[k] for k in IRREGULAR_ORDER if k in ms}
         paper = TABLE12_REAL_MS.get(name)
         blocks.append((name, ms, paper))
         checks.append(
-            check_order(f"greedy near-best on {name}", ms, "greedy", tolerance=0.15)
+            check_order(
+                f"greedy near-best on {name}", paper_ms, "greedy", tolerance=0.15
+            )
         )
         checks.append(
             check_ratio_at_least(
                 f"linear worst on {name}",
-                ms["linear"],
-                max(v for k, v in ms.items() if k != "linear"),
+                paper_ms["linear"],
+                max(v for k, v in paper_ms.items() if k != "linear"),
                 1.0,
             )
         )
@@ -56,7 +63,7 @@ def test_table12_real_apps(benchmark, emit):
 
     table = format_comparison(
         "Table 12: real application patterns, 32 processors (ms)",
-        IRREGULAR_ORDER,
+        list(IRREGULAR_ORDER) + ["local"],
         blocks,
     )
     stats = "\n".join("  " + wl.describe() for wl in loads.values())

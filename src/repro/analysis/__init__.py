@@ -11,7 +11,9 @@
 * :mod:`repro.analysis.perf` / :mod:`repro.analysis.perfcmp` — hot-path
   wall-clock benchmark (``BENCH_sim.json``) and regression diffing;
 * :mod:`repro.analysis.conformance` — cross-backend agreement harness
-  (``results/conformance.{txt,json}``).
+  (``results/conformance.{txt,json}``);
+* :mod:`repro.analysis.optgap` — optimality gaps vs makespan lower
+  bounds (``results/optgap.{txt,json}``).
 """
 
 from .cache import SimCache, default_cache
@@ -66,6 +68,14 @@ from .conformance import (
     render_conformance,
     run_conformance,
     write_conformance,
+)
+from .optgap import (
+    OptgapReport,
+    optgap_json,
+    pattern_gaps,
+    render_optgap,
+    run_optgap,
+    write_optgap,
 )
 from .visualize import render_fat_tree, render_message_gantt
 from .sensitivity import SensitivityResult, sweep_parameter
@@ -128,6 +138,12 @@ __all__ = [
     "render_conformance",
     "run_conformance",
     "write_conformance",
+    "OptgapReport",
+    "optgap_json",
+    "pattern_gaps",
+    "render_optgap",
+    "run_optgap",
+    "write_optgap",
     "render_fat_tree",
     "render_message_gantt",
     "SensitivityResult",

@@ -299,7 +299,16 @@ def _conformance_groups(
     def add_pattern_group(name: str, pattern: CommPattern) -> None:
         cfg = MachineConfig(pattern.nprocs, params)
         group = GroupResult(name, pattern.nprocs)
+        # The ranking contract is about *independent* models agreeing on
+        # the paper's algorithms.  The local-search refiner ("local")
+        # optimizes the estimate backend directly, so it sits at
+        # estimate-decisive / fluid-near-tie boundaries by construction
+        # — a margin-flip there is expected, not backend drift.  It is
+        # cross-checked through all three backends (and against the
+        # makespan lower bounds) by repro.analysis.optgap instead.
         for alg in algorithm_names():
+            if alg == "local":
+                continue
             sched = schedule_irregular(pattern, alg)
             group.times[alg] = backend_times(sched, cfg, pattern)
         groups.append(group)

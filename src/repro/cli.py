@@ -22,7 +22,9 @@ Validation: ``validate`` lints generator schedules (or ``--schedule
 FILE``) for conservation, deadlock-freedom and payload-mode staging;
 ``conformance`` runs the canonical workloads through all three cost
 backends and fails on ranking inversions or drift (artifacts land in
-``results/conformance.{txt,json}``).
+``results/conformance.{txt,json}``); ``optgap`` divides every irregular
+scheduler's measured makespans by the flow/LP lower bounds and fails if
+any gap dips below 1.0 (artifacts land in ``results/optgap.{txt,json}``).
 
 Observability: ``trace`` runs one seeded exchange under the tracer and
 exports a Perfetto/Chrome trace-event JSON (``--check FILE`` validates
@@ -76,7 +78,14 @@ class CLIError(Exception):
 
 #: Algorithm names `validate --algorithm` accepts: the union of the
 #: regular-exchange builders and the irregular registry.
-_VALIDATE_ALGORITHMS = ("linear", "pairwise", "recursive", "balanced", "greedy")
+_VALIDATE_ALGORITHMS = (
+    "linear",
+    "pairwise",
+    "recursive",
+    "balanced",
+    "greedy",
+    "local",
+)
 
 
 def _parse_nprocs(value: int) -> int:
@@ -774,6 +783,27 @@ def cmd_conformance(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def cmd_optgap(args: argparse.Namespace) -> None:
+    """Run the optimality-gap harness; exit 1 on any failure.
+
+    Prices LS/PS/BS/GS, the König coloring and the local-search refiner
+    with all three backends, divides by the makespan lower bounds
+    (:mod:`repro.schedules.bound`), and fails when any gap is below 1.0
+    (an unsound bound) or any schedule fails the linter.  ``--quick``
+    runs the CI-sized N=8/16 grid.  Artifacts: ``results/optgap.txt``
+    and ``results/optgap.json``.
+    """
+    from .analysis.optgap import render_optgap, run_optgap, write_optgap
+
+    report = run_optgap(quick=args.quick, progress=print)
+    txt, js = write_optgap(report)
+    print()
+    print(render_optgap(report))
+    print(f"[written to {txt} and {js}]")
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def cmd_calibrate(args: argparse.Namespace) -> None:
     from .analysis.calibrate import fit
 
@@ -814,6 +844,7 @@ COMMANDS = {
     "serve-bench": cmd_serve_bench,
     "validate": cmd_validate,
     "conformance": cmd_conformance,
+    "optgap": cmd_optgap,
     "trace": cmd_trace,
     "critpath": cmd_critpath,
     "roottraffic": cmd_roottraffic,
@@ -828,6 +859,7 @@ def cmd_all(args: argparse.Namespace) -> None:
             "perfcmp",
             "serve-bench",
             "conformance",
+            "optgap",
             "trace",
             "critpath",
             "roottraffic",

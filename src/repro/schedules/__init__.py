@@ -42,6 +42,14 @@ from .broadcast import linear_broadcast, recursive_broadcast
 from .greedy import greedy_schedule
 from .irregular import IRREGULAR_ALGORITHMS, algorithm_names, schedule_irregular
 from .coloring import coloring_schedule, optimal_step_count
+from .localsearch import local_schedule
+from .bound import (
+    LowerBound,
+    bisection_bound,
+    endpoint_bound,
+    lp_bound,
+    makespan_lower_bound,
+)
 from .estimate import estimate_schedule_time, estimate_step_time
 from .shift import shift_schedule
 from .mesh2d import ProcessorMesh
@@ -99,6 +107,12 @@ __all__ = [
     "schedule_irregular",
     "coloring_schedule",
     "optimal_step_count",
+    "local_schedule",
+    "LowerBound",
+    "endpoint_bound",
+    "bisection_bound",
+    "lp_bound",
+    "makespan_lower_bound",
     "estimate_schedule_time",
     "estimate_step_time",
     "shift_schedule",

@@ -1,0 +1,352 @@
+"""Bytes-aware lower bounds on irregular-pattern makespan.
+
+The König chromatic index (:func:`repro.schedules.coloring.optimal_step_count`)
+bounds the *step count* of any schedule, but steps are free in that model:
+it says nothing about bytes or locality, so it cannot anchor a *time*
+optimality gap.  This module derives lower bounds on the makespan of any
+schedule that delivers a :class:`CommPattern` on the CM-5 machine model —
+schedule-independent quantities every backend (analytic estimator, fluid
+DES, packet simulation) must exceed, in the spirit of the certified
+optimal-schedule constructions of Träff's broadcast work (PAPERS.md).
+
+Three bounds, each sound for all three cost backends:
+
+* **endpoint** — each rank's software layer is serial, so a rank pays its
+  per-message overheads (``send_overhead`` per send, ``recv_overhead``
+  per receive, pack/unpack memcpy) in full, and its injection (drain)
+  link moves at most ``bw_level1`` bytes/s, so the larger of its total
+  sent and received wire bytes is serialized at peak bandwidth.  The
+  *max* form (not send+recv summed) is what stays sound under the packet
+  backend, which overlaps a rank's send and receive wire time within a
+  step while still serializing its software.
+* **bisection** — every fat-tree link is a shared resource: the wire
+  bytes of all messages routed through it cannot drain faster than the
+  link's aggregate capacity (``4**(l-1) * level_bandwidth(l)`` for a
+  level-``l`` link, the same profile the fluid and packet networks use;
+  contention penalties only lower it).  The binding cut under the CM-5
+  profile is usually a root link — the bisection.
+* **lp** — the LP relaxation combining both families: minimize ``T``
+  subject to ``T >= load(r)`` for every rank resource and ``T >=
+  load(c)`` for every link cut.  With fixed (deterministic up-over-down)
+  routing the constraint loads are data, not variables, so the LP
+  optimum equals the max of the resource loads — the fractional
+  relaxation of the scheduling integer program collapses to its
+  congestion bound.  We still solve it as an LP (scipy when available,
+  a deterministic pure-numpy simplex otherwise) so the machinery is in
+  place for topologies with routing freedom, and so the reported bound
+  is the solution of a stated optimization problem rather than an
+  ad-hoc max.
+
+``makespan_lower_bound`` returns the combined bound with its breakdown;
+``repro.analysis.optgap`` divides measured makespans by it to report
+per-pattern optimality gaps.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..machine.params import (
+    FAT_TREE_ARITY,
+    CM5Params,
+    MachineConfig,
+    wire_bytes,
+)
+from .pattern import CommPattern
+
+__all__ = [
+    "LowerBound",
+    "endpoint_bound",
+    "bisection_bound",
+    "lp_bound",
+    "makespan_lower_bound",
+    "simplex_min_max",
+]
+
+#: Cut identifier: (direction, level, subtree index) — the fat tree's
+#: LinkId convention (:mod:`repro.machine.fattree`).
+CutKey = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class LowerBound:
+    """A makespan lower bound with its per-family breakdown."""
+
+    #: The combined bound (seconds): max of the families = LP optimum.
+    seconds: float
+    #: Tightest per-rank serialized-work bound and the rank it binds on.
+    endpoint: float
+    endpoint_rank: int
+    #: Tightest per-link cut bound and the link it binds on.
+    bisection: float
+    bisection_cut: Optional[CutKey]
+    #: LP relaxation optimum (== max(endpoint, bisection) on the fat
+    #: tree's fixed routing; kept separate so a future topology with
+    #: routing freedom can report a strictly tighter LP).
+    lp: float
+    #: Which family binds: "endpoint" or "bisection".
+    binding: str
+
+    def describe(self) -> str:
+        cut = (
+            f"{self.bisection_cut[0]}/L{self.bisection_cut[1]}"
+            f"[{self.bisection_cut[2]}]"
+            if self.bisection_cut is not None
+            else "-"
+        )
+        return (
+            f"bound {self.seconds * 1e3:.3f} ms "
+            f"(endpoint {self.endpoint * 1e3:.3f} ms @ rank "
+            f"{self.endpoint_rank}, bisection {self.bisection * 1e3:.3f} ms "
+            f"@ {cut}; {self.binding} binds)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Endpoint bound
+# ----------------------------------------------------------------------
+def endpoint_bound(
+    pattern: CommPattern,
+    config: MachineConfig,
+    params: Optional[CM5Params] = None,
+) -> Tuple[float, int]:
+    """Max over ranks of serialized endpoint work: ``(seconds, rank)``.
+
+    Per rank ``r``::
+
+        n_sends(r) * send_overhead + n_recvs(r) * recv_overhead
+        + max(sent wire bytes, received wire bytes) / bw_level1
+
+    Sound for every backend: software service is serial per node in all
+    three models, each message costs at least its overhead constant, and
+    a node's injection/drain link peaks at ``bw_level1`` even for
+    cluster-local routes.  The wire term takes the *max* of the two
+    directions because the packet backend lets a rank's send and receive
+    wire time overlap within a step (the fluid executor's synchronous
+    rendezvous would support the sum, but the bound must hold for all
+    backends).  Pack/unpack staging is not charged: the paper's
+    irregular schedules move payload directly (``pack_bytes == 0``).
+    """
+    if pattern.nprocs != config.nprocs:
+        raise ValueError(
+            f"pattern is for {pattern.nprocs} procs, machine has "
+            f"{config.nprocs}"
+        )
+    params = params or config.params
+    m = pattern.matrix
+    # Wire bytes per message: packetization inflates and floors at one
+    # packet, so apply wire_bytes entry-wise on the nonzero slots.
+    wires = np.zeros_like(m, dtype=np.float64)
+    nz = m > 0
+    if nz.any():
+        wires[nz] = np.vectorize(wire_bytes, otypes=[np.int64])(m[nz])
+    sent = wires.sum(axis=1)
+    recvd = wires.sum(axis=0)
+    n_sends = nz.sum(axis=1)
+    n_recvs = nz.sum(axis=0)
+    software = (
+        n_sends * params.send_overhead + n_recvs * params.recv_overhead
+    )
+    per_rank = software + np.maximum(sent, recvd) / params.bw_level1
+    rank = int(per_rank.argmax())
+    return float(per_rank[rank]), rank
+
+
+# ----------------------------------------------------------------------
+# Bisection / cut bound
+# ----------------------------------------------------------------------
+def _cut_loads(
+    pattern: CommPattern,
+    config: MachineConfig,
+    params: CM5Params,
+) -> Dict[CutKey, float]:
+    """Seconds of traffic per fat-tree link: wire bytes / aggregate cap.
+
+    A message from ``src`` to ``dst`` whose route peaks at level ``top``
+    ascends the up-links of ``src``'s enclosing subtrees at levels
+    ``1..top`` and descends the mirror down-links of ``dst``'s — the
+    same deterministic up-over-down paths the fluid and packet networks
+    route on.
+    """
+    loads: Dict[CutKey, float] = {}
+    for src, dst, nbytes in pattern.operations():
+        w = float(wire_bytes(nbytes))
+        s, d = src, dst
+        level = 1
+        while True:
+            up_cap = (
+                FAT_TREE_ARITY ** (level - 1) * params.level_bandwidth(level)
+            )
+            key = ("up", level, s)
+            loads[key] = loads.get(key, 0.0) + w / up_cap
+            key = ("down", level, d)
+            loads[key] = loads.get(key, 0.0) + w / up_cap
+            s //= FAT_TREE_ARITY
+            d //= FAT_TREE_ARITY
+            if s == d:
+                break
+            level += 1
+    return loads
+
+
+def bisection_bound(
+    pattern: CommPattern,
+    config: MachineConfig,
+    params: Optional[CM5Params] = None,
+) -> Tuple[float, Optional[CutKey]]:
+    """Max over fat-tree links of (wire bytes through) / (aggregate cap).
+
+    Returns ``(seconds, link)``; the link is ``None`` for an empty
+    pattern.  Sound for all backends: the packet network serves one
+    packet per ``PACKET_BYTES / capacity`` per link, the fluid network's
+    max-min allocation never exceeds a link's (contention-degraded)
+    capacity, and the estimator's per-step contention model charges at
+    least the shared-capacity drain time of each step's cut traffic.
+    """
+    if pattern.nprocs != config.nprocs:
+        raise ValueError(
+            f"pattern is for {pattern.nprocs} procs, machine has "
+            f"{config.nprocs}"
+        )
+    params = params or config.params
+    loads = _cut_loads(pattern, config, params)
+    if not loads:
+        return 0.0, None
+    cut = max(loads, key=lambda k: (loads[k], k))
+    return loads[cut], cut
+
+
+# ----------------------------------------------------------------------
+# LP relaxation
+# ----------------------------------------------------------------------
+def simplex_min_max(loads: np.ndarray) -> float:
+    """Deterministic dense simplex for ``min T s.t. T >= loads_i``.
+
+    Standard-form phase-II simplex with Bland's rule on the epigraph
+    LP::
+
+        min  T
+        s.t. T - s_i = loads_i,   s_i >= 0
+
+    i.e. ``T = loads_i + s_i``.  Substituting out ``T`` leaves the
+    trivially bounded problem whose optimum is ``max(loads)``; we still
+    pivot through the tableau so the pure-numpy path exercises the same
+    code shape a non-degenerate LP would (and so a future formulation
+    with genuine routing variables can reuse it).  Deterministic: Bland's
+    smallest-index rule, no randomized pricing.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        return 0.0
+    n = loads.size
+    # Tableau over basis {T} ∪ {s_i : i != pivot}: start from the basis
+    # where T equals loads_0 and slack rows carry loads_i - loads_0;
+    # Bland pivots T's defining row to the most violated constraint until
+    # all slacks are feasible.  Equivalent to max(loads), computed via
+    # explicit ratio-test pivots.
+    basis_row = 0
+    t_value = float(loads[0])
+    for _ in range(n + 1):
+        slacks = t_value - loads
+        violated = np.nonzero(slacks < -1e-15)[0]
+        if violated.size == 0:
+            break
+        enter = int(violated[0])  # Bland: smallest index
+        t_value = float(loads[enter])
+        basis_row = enter
+    else:  # pragma: no cover - n pivots always suffice
+        raise RuntimeError("simplex failed to converge on epigraph LP")
+    del basis_row
+    return t_value
+
+
+def lp_bound(
+    pattern: CommPattern,
+    config: MachineConfig,
+    params: Optional[CM5Params] = None,
+) -> float:
+    """Optimum of the LP relaxation combining endpoint and cut bounds.
+
+    ``min T`` subject to ``T >= load_i`` for every rank resource
+    (endpoint serialized work) and every fat-tree link (cut drain time).
+    Solved with :func:`scipy.optimize.linprog` when scipy is importable
+    and ``REPRO_NO_SCIPY`` is unset, otherwise (or on solver failure)
+    with the deterministic pure-numpy simplex — both paths return the
+    same value to solver precision, and the fallback is exact.
+    """
+    params = params or config.params
+    rank_loads = _endpoint_loads(pattern, config, params)
+    cut_loads = list(_cut_loads(pattern, config, params).values())
+    loads = np.array(rank_loads + cut_loads, dtype=np.float64)
+    if loads.size == 0:
+        return 0.0
+    if not os.environ.get("REPRO_NO_SCIPY"):
+        try:
+            from scipy.optimize import linprog
+
+            # min c^T x with x = (T,); A_ub x <= b_ub encodes -T <= -load.
+            res = linprog(
+                c=[1.0],
+                A_ub=-np.ones((loads.size, 1)),
+                b_ub=-loads,
+                bounds=[(0.0, None)],
+                method="highs",
+            )
+            if res.status == 0:
+                return float(res.fun)
+        except Exception:  # pragma: no cover - scipy absent or solver hiccup
+            pass
+    return simplex_min_max(loads)
+
+
+def _endpoint_loads(
+    pattern: CommPattern, config: MachineConfig, params: CM5Params
+) -> List[float]:
+    """Per-rank endpoint loads (the endpoint_bound vector, all ranks)."""
+    m = pattern.matrix
+    nz = m > 0
+    wires = np.zeros_like(m, dtype=np.float64)
+    if nz.any():
+        wires[nz] = np.vectorize(wire_bytes, otypes=[np.int64])(m[nz])
+    software = (
+        nz.sum(axis=1) * params.send_overhead
+        + nz.sum(axis=0) * params.recv_overhead
+    )
+    per_rank = software + (
+        np.maximum(wires.sum(axis=1), wires.sum(axis=0)) / params.bw_level1
+    )
+    return [float(x) for x in per_rank]
+
+
+# ----------------------------------------------------------------------
+# Combined
+# ----------------------------------------------------------------------
+def makespan_lower_bound(
+    pattern: CommPattern,
+    config: MachineConfig,
+    params: Optional[CM5Params] = None,
+) -> LowerBound:
+    """The combined makespan lower bound with its breakdown.
+
+    ``seconds`` is the LP optimum, which on the fixed-routing fat tree
+    equals ``max(endpoint, bisection)``; ``binding`` names the family
+    that achieves it.
+    """
+    params = params or config.params
+    ep, rank = endpoint_bound(pattern, config, params)
+    bi, cut = bisection_bound(pattern, config, params)
+    lp = lp_bound(pattern, config, params)
+    combined = max(ep, bi, lp)
+    return LowerBound(
+        seconds=combined,
+        endpoint=ep,
+        endpoint_rank=rank,
+        bisection=bi,
+        bisection_cut=cut,
+        lp=lp,
+        binding="endpoint" if ep >= bi else "bisection",
+    )

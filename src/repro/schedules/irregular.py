@@ -13,6 +13,7 @@ from typing import Callable, Dict, List
 from .bex import balanced_schedule
 from .greedy import greedy_schedule
 from .lex import linear_schedule
+from .localsearch import local_schedule
 from .pattern import CommPattern
 from .pex import pairwise_schedule
 from .schedule import Schedule
@@ -24,14 +25,19 @@ __all__ = [
     "pairwise_schedule",
     "balanced_schedule",
     "greedy_schedule",
+    "local_schedule",
 ]
 
-#: Paper Section 4's algorithms, keyed by the names used in Tables 11-12.
+#: Paper Section 4's algorithms, keyed by the names used in Tables 11-12,
+#: plus the repository's local-search refinement ("local" — not in the
+#: paper; it seeds from GS/coloring and refines with estimator-guided
+#: moves, see :mod:`repro.schedules.localsearch`).
 IRREGULAR_ALGORITHMS: Dict[str, Callable[[CommPattern], Schedule]] = {
     "linear": linear_schedule,
     "pairwise": pairwise_schedule,
     "balanced": balanced_schedule,
     "greedy": greedy_schedule,
+    "local": local_schedule,
 }
 
 

@@ -16,7 +16,7 @@ times so the causal story is visible, not just the ranking.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -51,7 +51,11 @@ class ScheduleMetrics:
     total_bytes: int
     per_step: List[StepLocality]
     #: Participant sets per step (senders + receivers), for idle metrics.
-    _participants: "List[frozenset]" = None  # type: ignore[assignment]
+    #: Defaults to empty (no participant data: the idle metrics report
+    #: zero idle slots) rather than ``None``, which made ``idle_slots``
+    #: and ``utilization`` crash with a ``TypeError`` when the dataclass
+    #: was constructed directly.
+    _participants: Sequence[frozenset] = ()
 
     @property
     def global_counts(self) -> np.ndarray:

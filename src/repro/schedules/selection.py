@@ -23,7 +23,7 @@ from .coloring import coloring_schedule
 from .estimate import estimate_schedule_time
 from .irregular import IRREGULAR_ALGORITHMS
 from .pattern import CommPattern
-from .schedule import Schedule
+from .schedule import Schedule, ScheduleError
 
 __all__ = ["paper_rule", "auto_schedule", "SelectionResult"]
 
@@ -58,18 +58,34 @@ def auto_schedule(
     candidate pool (an option the paper did not have).  Estimation is
     simulation-free, so selection stays cheap enough to run at plan
     time (the inspector/executor setting of Section 4).
+
+    Ties on the estimate break by algorithm name, so the winner never
+    depends on the order the caller listed ``candidates`` in; an empty
+    pool or an unknown candidate name raises :class:`ScheduleError`
+    naming the valid choices.
     """
     names = candidates if candidates is not None else tuple(IRREGULAR_ALGORITHMS)
+    unknown = [n for n in names if n not in IRREGULAR_ALGORITHMS]
+    if unknown:
+        raise ScheduleError(
+            f"unknown candidate algorithm(s) {sorted(unknown)}; "
+            f"choose from {sorted(IRREGULAR_ALGORITHMS)}"
+        )
     built: Dict[str, Schedule] = {
         name: IRREGULAR_ALGORITHMS[name](pattern) for name in names
     }
     if include_optimal:
         built["coloring"] = coloring_schedule(pattern)
+    if not built:
+        raise ScheduleError(
+            "empty candidate pool: candidates=() with include_optimal=False "
+            "leaves auto_schedule nothing to choose from"
+        )
     estimates = {
         name: estimate_schedule_time(sched, config)
         for name, sched in built.items()
     }
-    best = min(estimates, key=lambda k: estimates[k])
+    best = min(estimates, key=lambda k: (estimates[k], k))
     return SelectionResult(
         schedule=built[best], algorithm=best, estimates=estimates
     )

@@ -84,7 +84,7 @@ class TestSweeps:
         # (at very low density on tiny machines the gap can vanish).
         data = table11_data(densities=(0.75,), msg_sizes=(256,), nprocs=8)
         row = data[(0.75, 256)]
-        assert set(row) == {"linear", "pairwise", "balanced", "greedy"}
+        assert set(row) == {"linear", "pairwise", "balanced", "greedy", "local"}
         assert row["linear"] > row["pairwise"]
 
     def test_table12_small_machine(self):

@@ -108,7 +108,15 @@ class TestIrregularShapes:
 
     @pytest.fixture(scope="class")
     def table11(self):
-        return table11_data(densities=(0.10, 0.75), msg_sizes=(256,))
+        # The paper's four algorithms only: these are Table 11's own
+        # claims, which the local-search refiner (not in the paper, and
+        # built to beat GS) would trivially falsify.  The optgap harness
+        # is where "local" is judged.
+        return table11_data(
+            densities=(0.10, 0.75),
+            msg_sizes=(256,),
+            algorithms=("linear", "pairwise", "balanced", "greedy"),
+        )
 
     def test_linear_always_worst(self, table11):
         for row in table11.values():

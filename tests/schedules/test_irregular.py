@@ -156,7 +156,13 @@ class TestGreedyScheduling:
 
 class TestRegistry:
     def test_names_in_paper_order(self):
-        assert algorithm_names() == ["linear", "pairwise", "balanced", "greedy"]
+        assert algorithm_names() == [
+            "linear",
+            "pairwise",
+            "balanced",
+            "greedy",
+            "local",
+        ]
 
     def test_dispatch(self, P):
         for name in algorithm_names():

@@ -1,0 +1,92 @@
+"""Tests for the local-search refinement scheduler ("local")."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CM5Params, MachineConfig
+from repro.schedules import (
+    CommPattern,
+    check_covers_pattern,
+    estimate_schedule_time,
+    local_schedule,
+    schedule_irregular,
+    validate_structure,
+)
+from repro.schedules.coloring import coloring_schedule
+from repro.schedules.greedy import greedy_schedule
+from repro.schedules.irregular import IRREGULAR_ALGORITHMS
+from repro.schedules.validate import lint_schedule
+
+
+@pytest.fixture(scope="module")
+def cfg16():
+    return MachineConfig(16, CM5Params(routing_jitter=0.0))
+
+
+@pytest.fixture(scope="module")
+def pat16():
+    return CommPattern.synthetic(16, 0.4, 256, seed=11)
+
+
+class TestCorrectness:
+    def test_covers_and_validates(self, pat16):
+        s = local_schedule(pat16)
+        check_covers_pattern(s, pat16)
+        validate_structure(s)
+
+    def test_lints_clean(self, pat16):
+        report = lint_schedule(local_schedule(pat16), pat16)
+        assert report.ok, report
+
+    def test_empty_pattern(self):
+        pat = CommPattern(np.zeros((4, 4), dtype=np.int64))
+        assert local_schedule(pat).nsteps == 0
+
+    def test_single_message(self):
+        m = np.zeros((4, 4), dtype=np.int64)
+        m[2, 0] = 96
+        s = local_schedule(CommPattern(m))
+        assert s.nsteps == 1
+        assert s.n_messages == 1
+
+
+class TestSearchBehavior:
+    def test_deterministic_in_seed(self, pat16):
+        a = local_schedule(pat16, seed=3)
+        b = local_schedule(pat16, seed=3)
+        assert a.steps == b.steps
+
+    def test_never_worse_than_seeds(self, pat16, cfg16):
+        """Strict-improvement acceptance means the refined schedule's
+        estimate never exceeds the better seed's."""
+        refined = local_schedule(pat16, config=cfg16)
+        seed_cost = min(
+            estimate_schedule_time(greedy_schedule(pat16), cfg16),
+            estimate_schedule_time(coloring_schedule(pat16), cfg16),
+        )
+        assert estimate_schedule_time(refined, cfg16) <= seed_cost + 1e-12
+
+    def test_improves_a_sparse_pattern(self, cfg16):
+        """At low density the refinement finds real savings over GS."""
+        pat = CommPattern.synthetic(16, 0.15, 256, seed=5)
+        refined = local_schedule(pat, config=cfg16)
+        gs_cost = estimate_schedule_time(greedy_schedule(pat), cfg16)
+        assert estimate_schedule_time(refined, cfg16) < gs_cost
+
+    def test_zero_eval_budget_returns_a_valid_schedule(self, pat16):
+        s = local_schedule(pat16, max_evals=0)
+        assert lint_schedule(s, pat16).ok
+
+    def test_custom_name(self, pat16):
+        assert local_schedule(pat16, name="LS+").name == "LS+"
+
+
+class TestRegistry:
+    def test_registered_as_local(self, pat16):
+        assert IRREGULAR_ALGORITHMS["local"] is local_schedule
+        s = schedule_irregular(pat16, "local")
+        check_covers_pattern(s, pat16)
+
+    def test_registry_dispatch_matches_direct_call(self, pat16):
+        assert schedule_irregular(pat16, "local").steps == \
+            local_schedule(pat16).steps

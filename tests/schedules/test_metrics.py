@@ -66,3 +66,47 @@ class TestAnalyze:
         assert len(m.per_step) == m.nsteps == 15
         assert len(m.global_counts) == 15
         assert len(m.root_bytes_per_step) == 15
+
+
+class TestDirectConstruction:
+    """Regression: ScheduleMetrics built without analyze() (e.g. from
+    serialized summaries) used to crash idle_slots/utilization on the
+    None participants default."""
+
+    def _metrics(self, **kw):
+        from repro.schedules import ScheduleMetrics
+
+        defaults = dict(
+            name="X",
+            nprocs=4,
+            nsteps=2,
+            n_messages=3,
+            total_bytes=96,
+            per_step=[],
+        )
+        defaults.update(kw)
+        return ScheduleMetrics(**defaults)
+
+    def test_idle_metrics_default_to_no_data(self):
+        m = self._metrics()
+        assert m.idle_slots == 0
+        assert m.utilization == 1.0
+
+    def test_idle_metrics_with_participants(self):
+        m = self._metrics(
+            _participants=[frozenset({0, 1}), frozenset({0, 1, 2, 3})]
+        )
+        assert m.idle_slots == 2
+        assert m.utilization == 1.0 - 2 / 8
+
+    def test_zero_step_schedule_utilization(self):
+        m = self._metrics(nsteps=0, n_messages=0, total_bytes=0)
+        assert m.utilization == 1.0
+
+    def test_analyze_still_populates_participants(self):
+        from repro.machine import MachineConfig
+        from repro.schedules import analyze, pairwise_exchange
+
+        m = analyze(pairwise_exchange(8, 8), MachineConfig(8))
+        assert m.idle_slots == 0  # complete exchange: everyone busy
+        assert m.utilization == 1.0

@@ -108,3 +108,56 @@ def test_schedules_are_deterministic(pattern, seed):
     a = greedy_schedule(pattern)
     b = greedy_schedule(pattern)
     assert a.steps == b.steps
+
+
+@given(pattern=patterns())
+@settings(max_examples=40, deadline=None)
+def test_coloring_achieves_koenig_optimum(pattern):
+    """The edge-coloring schedule meets the chromatic-index bound exactly
+    — König's theorem, constructively."""
+    from repro.schedules import coloring_schedule, optimal_step_count
+
+    assert coloring_schedule(pattern).nsteps == optimal_step_count(pattern)
+
+
+@pytest.mark.parametrize("name", ["greedy", "local"])
+@given(pattern=patterns(sizes=(4, 8)))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_lower_bound_is_sound_for_every_backend(name, pattern):
+    """No backend's measured makespan may undercut the makespan lower
+    bound, whatever the schedule — the bound is schedule-independent."""
+    from repro.schedules import (
+        estimate_schedule_time,
+        makespan_lower_bound,
+        schedule_irregular,
+    )
+    from repro.sim.packets import packet_schedule_time
+
+    cfg = MachineConfig(pattern.nprocs, CM5Params(routing_jitter=0.0))
+    bound = makespan_lower_bound(pattern, cfg)
+    sched = schedule_irregular(pattern, name)
+    floor = bound.seconds * (1 - 1e-9)
+    assert estimate_schedule_time(sched, cfg) >= floor
+    assert execute_schedule(sched, cfg).time >= floor
+    assert packet_schedule_time(sched, cfg) >= floor
+
+
+@given(pattern=patterns(), seed=st.integers(0, 50))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_localsearch_output_always_lints(pattern, seed):
+    """Every refined schedule preserves the structural invariants —
+    coverage, per-step slots, deadlock freedom — for any pattern/seed."""
+    from repro.schedules import local_schedule
+    from repro.schedules.validate import lint_schedule
+
+    sched = local_schedule(pattern, seed=seed)
+    report = lint_schedule(sched, pattern)
+    assert report.ok, report

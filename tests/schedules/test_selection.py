@@ -41,6 +41,7 @@ class TestAutoSchedule:
             "pairwise",
             "balanced",
             "greedy",
+            "local",
             "coloring",
         }
         assert res.estimated_time == min(res.estimates.values())
@@ -76,6 +77,53 @@ class TestAutoSchedule:
         """At clearly-sparse densities both approaches land on schedules
         of comparable estimated cost (not necessarily the same name)."""
         pat = CommPattern.synthetic(32, 0.10, 256, seed=5)
-        res = auto_schedule(pat, cfg32, include_optimal=False)
+        # Restrict to the paper's candidates: the rule predates the
+        # local-search refiner, which can beat every 1992 option.
+        res = auto_schedule(
+            pat,
+            cfg32,
+            include_optimal=False,
+            candidates=("linear", "pairwise", "balanced", "greedy"),
+        )
         rule = paper_rule(pat)
         assert res.estimates[rule] <= min(res.estimates.values()) * 1.25
+
+
+class TestSelectionRegressions:
+    """Regressions for the selection-path fixes: deterministic tie-break
+    and clear errors instead of a bare ValueError / arbitrary winner."""
+
+    def test_tie_breaks_by_name_not_candidate_order(self, cfg32, monkeypatch):
+        # Force every estimate equal: the winner must be the
+        # lexicographically-smallest name regardless of listing order.
+        import repro.schedules.selection as selection
+
+        monkeypatch.setattr(
+            selection, "estimate_schedule_time", lambda s, c: 1.0
+        )
+        pat = CommPattern.synthetic(32, 0.3, 128, seed=6)
+        for candidates in (
+            ("pairwise", "greedy"),
+            ("greedy", "pairwise"),
+        ):
+            res = auto_schedule(
+                pat, cfg32, include_optimal=False, candidates=candidates
+            )
+            assert res.algorithm == "greedy"
+            assert res.estimates == {"pairwise": 1.0, "greedy": 1.0}
+
+    def test_empty_pool_raises_schedule_error(self, cfg32):
+        from repro.schedules import ScheduleError
+
+        pat = CommPattern.synthetic(32, 0.3, 128, seed=6)
+        with pytest.raises(ScheduleError, match="empty candidate pool"):
+            auto_schedule(
+                pat, cfg32, include_optimal=False, candidates=()
+            )
+
+    def test_unknown_candidate_names_valid_choices(self, cfg32):
+        from repro.schedules import ScheduleError
+
+        pat = CommPattern.synthetic(32, 0.3, 128, seed=6)
+        with pytest.raises(ScheduleError, match="quantum.*choose from"):
+            auto_schedule(pat, cfg32, candidates=("greedy", "quantum"))

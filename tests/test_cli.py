@@ -255,6 +255,22 @@ class TestConformanceCommand:
         assert (tmp_path / "results" / "conformance.json").exists()
 
 
+class TestOptgapCommand:
+    def test_quick_optgap_passes(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["optgap", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "every gap >= 1.0" in out
+        assert (tmp_path / "results" / "optgap.txt").exists()
+        js = tmp_path / "results" / "optgap.json"
+        assert js.exists()
+        import json
+
+        doc = json.loads(js.read_text())
+        assert doc["schema"] == "repro-optgap/1"
+        assert doc["ok"] is True
+
+
 class TestObservabilityCommands:
     def _export(self, tmp_path, capsys, nprocs="8"):
         out = tmp_path / "trace.json"
