@@ -16,8 +16,12 @@ simulated milliseconds).
 
 Both BENCH families are accepted — ``repro-bench-sim/*`` (the hot-path
 perf harness) and ``repro-bench-service/*`` (the scheduling-service
-bench) — but baseline and current must come from the *same* family;
-the ``sim_ms`` drift check applies only where the field exists.
+bench) — but baseline and current must come from the *same* family.
+Different *versions* within a family (``repro-bench-service/1`` vs
+``/2``) compare on the fields both carry: the ``sim_ms`` drift check
+applies only to workloads where *both* documents carry the field, and
+a cross-version or missing-field comparison is noted with one line in
+the report rather than silently judged or rejected.
 
 Both documents must also declare the *same* ``"scale"`` (``"quick"`` vs
 ``"full"``): a quick run judged against a full baseline (or vice versa)
@@ -105,6 +109,9 @@ class PerfComparison:
     deltas: List[PerfDelta] = field(default_factory=list)
     only_baseline: List[str] = field(default_factory=list)
     only_current: List[str] = field(default_factory=list)
+    #: One-line notices (cross-version compare, skipped drift checks) —
+    #: informational, never failures.
+    notes: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[PerfDelta]:
@@ -159,8 +166,15 @@ def compare_benches(
     base_wl: Dict[str, dict] = baseline["workloads"]  # type: ignore[assignment]
     cur_wl: Dict[str, dict] = current["workloads"]  # type: ignore[assignment]
     cmp = PerfComparison(threshold=threshold, min_delta=min_delta)
+    if baseline.get("schema") != current.get("schema"):
+        cmp.notes.append(
+            f"cross-version compare: baseline {baseline.get('schema')!r} "
+            f"vs current {current.get('schema')!r}; judging shared fields "
+            "only"
+        )
     cmp.only_baseline = sorted(set(base_wl) - set(cur_wl))
     cmp.only_current = sorted(set(cur_wl) - set(base_wl))
+    drift_skipped: List[str] = []
     for name in (n for n in cur_wl if n in base_wl):
         b, c = base_wl[name], cur_wl[name]
         base_s = float(b["wall_seconds"])
@@ -174,6 +188,12 @@ def compare_benches(
                 f"{base_s}; recapture the baseline BENCH file"
             )
         ratio = (cur_s - base_s) / base_s
+        # Simulated time must be identical — but only when both sides
+        # recorded it.  One-sided sim_ms (a cross-version compare, or a
+        # field the schema never had) is a skipped check, not a drift.
+        both_sim = "sim_ms" in b and "sim_ms" in c
+        if ("sim_ms" in b) != ("sim_ms" in c):
+            drift_skipped.append(name)
         cmp.deltas.append(
             PerfDelta(
                 name=name,
@@ -181,8 +201,14 @@ def compare_benches(
                 current_s=cur_s,
                 ratio=ratio,
                 regressed=ratio > threshold and (cur_s - base_s) > min_delta,
-                sim_drift=b.get("sim_ms") != c.get("sim_ms"),
+                sim_drift=both_sim and b["sim_ms"] != c["sim_ms"],
             )
+        )
+    if drift_skipped:
+        cmp.notes.append(
+            "sim_ms drift check skipped for "
+            f"{len(drift_skipped)} workload(s) with the field on one "
+            f"side only: {', '.join(sorted(drift_skipped))}"
         )
     return cmp
 
@@ -204,6 +230,8 @@ def render_comparison(cmp: PerfComparison) -> str:
             f"{d.name:<24} {d.baseline_s:9.2f} {d.current_s:9.2f} "
             f"{d.ratio:+7.1%}  {verdict}"
         )
+    for note in cmp.notes:
+        lines.append(f"note: {note}")
     for name in cmp.only_baseline:
         lines.append(f"{name:<24} (baseline only — skipped)")
     for name in cmp.only_current:

@@ -32,7 +32,11 @@ an existing export instead); ``critpath`` walks the simulated critical
 path and attributes it to wire/wait/local/sync time (``--trace FILE``
 analyzes an export); ``roottraffic`` writes the per-step root-link byte
 series behind the BEX-vs-PEX argument; ``gantt --trace FILE`` renders
-an exported trace instead of running.
+an exported trace instead of running; ``metrics`` exposes a traced
+run's metric registry as Prometheus text or a ``repro-metrics/1`` JSON
+snapshot (``--format prom|json``, ``--check`` validates); ``profile``
+attributes the engine hot loop per message (``--mode phases``) or emits
+collapsed-stack flamegraph samples (``--mode sample``).
 
 Exit status: 0 success, 1 check failure (lint / conformance / perfcmp),
 2 usage error (bad ``--algorithm``/``--nprocs``, unreadable files).
@@ -264,6 +268,8 @@ def cmd_trace(args: argparse.Namespace) -> None:
     from .obs import build_perfetto, load_perfetto, write_perfetto
 
     if args.check is not None:
+        if not isinstance(args.check, str):
+            raise CLIError("trace --check needs a FILE to validate")
         try:
             doc = load_perfetto(args.check)
         except ValueError as exc:
@@ -287,6 +293,143 @@ def cmd_trace(args: argparse.Namespace) -> None:
     print(f"{algo} n={nprocs} b={args.nbytes}: {res.time_ms:.3f} ms simulated")
     print(f"[perfetto trace written to {out}: {len(doc['traceEvents'])} events]")
     print("open in https://ui.perfetto.dev or chrome://tracing")
+
+
+def cmd_metrics(args: argparse.Namespace) -> None:
+    """Run one traced exchange and expose its metrics registry.
+
+    ``--format prom`` emits Prometheus text exposition, ``--format
+    json`` the ``repro-metrics/1`` snapshot (the default).  ``--check``
+    validates the emitted document structurally before writing it;
+    ``--check FILE`` instead validates an existing metrics artifact and
+    runs nothing.  ``--out FILE`` writes the document (default stdout).
+    """
+    from .obs import (
+        check_prom,
+        metrics_to_json,
+        render_prom,
+        validate_metrics_json,
+    )
+
+    fmt = "json" if args.format == "perfetto" else args.format
+    if fmt not in ("prom", "json"):
+        raise CLIError(
+            f"unknown --format {fmt!r} for metrics; choose 'prom' or 'json'"
+        )
+    if isinstance(args.check, str):
+        try:
+            text = Path(args.check).read_text()
+        except OSError as exc:
+            raise CLIError(f"cannot read metrics file {args.check}: {exc}")
+        try:
+            if fmt == "prom":
+                metrics, samples = check_prom(text)
+            else:
+                import json as _json
+
+                metrics, samples = validate_metrics_json(_json.loads(text))
+        except ValueError as exc:
+            raise CLIError(f"{args.check}: {exc}")
+        print(f"{args.check}: valid {fmt} exposition, "
+              f"{metrics} metric(s), {samples} sample(s)")
+        return
+
+    algo = args.algorithm or "balanced"
+    nprocs = _parse_nprocs(args.nprocs)
+    tracer, res = _obs_run(algo, nprocs, args.nbytes)
+    meta = {
+        "algorithm": algo,
+        "nprocs": nprocs,
+        "nbytes": args.nbytes,
+        "sim_ms": res.time_ms,
+    }
+    if fmt == "prom":
+        text = render_prom(tracer.metrics)
+        if args.check:
+            metrics, samples = check_prom(text)
+            print(
+                f"# prom exposition valid: {metrics} metric(s), "
+                f"{samples} sample(s)",
+                file=sys.stderr,
+            )
+    else:
+        import json as _json
+
+        doc = metrics_to_json(tracer.metrics, meta=meta)
+        if args.check:
+            validate_metrics_json(doc)
+            print("# json snapshot valid", file=sys.stderr)
+        text = _json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out is not None:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"[metrics written to {out}]")
+    else:
+        print(text, end="")
+
+
+def cmd_profile(args: argparse.Namespace) -> None:
+    """Profile one perf workload's hot loop (`--mode phases|sample`).
+
+    ``phases`` (default) counts interpreter-level calls per engine phase
+    under :func:`sys.setprofile`, prints the per-message attribution
+    table, and exits 1 if the attributed total drifts more than 10 %
+    from a direct plain-counter run — the determinism contract.
+    ``sample`` takes wall-clock stack samples and writes collapsed
+    stacks for flamegraph tools.  ``--workload`` names any perf
+    workload (default ``pex_n256_b512``); ``--out`` overrides the
+    artifact path under ``results/``.
+    """
+    from .obs import prof
+
+    workload = args.workload
+    known = prof.profile_workload_names()
+    if workload not in known:
+        raise CLIError(
+            f"unknown --workload {workload!r}; choose from {', '.join(known)}"
+        )
+    results = Path("results")
+    if args.mode == "phases":
+        print(f"profiling {workload} (phase counters)...")
+        report = prof.run_phase_profile(workload)
+        table = prof.render_phase_table(report)
+        out = Path(args.out or results / f"profile_{workload}.txt")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(table)
+        print(table, end="")
+        print(f"[attribution table written to {out}]")
+        if report.direct_total:
+            delta = abs(report.total - report.direct_total) / report.direct_total
+            if delta > 0.10:
+                print(
+                    f"profile: attributed total drifts {delta:.1%} from the "
+                    "direct count (limit 10%)",
+                    file=sys.stderr,
+                )
+                raise SystemExit(1)
+    elif args.mode == "sample":
+        if args.interval <= 0:
+            raise CLIError(
+                f"--interval must be positive seconds, got {args.interval}"
+            )
+        print(f"profiling {workload} (sampling every {args.interval * 1e3:g} ms)...")
+        lines, taken, wall = prof.run_sampling_profile(
+            workload, interval=args.interval
+        )
+        out = Path(args.out or results / f"flame_{workload}.txt")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text("\n".join(lines) + ("\n" if lines else ""))
+        print(
+            f"{taken} samples over {wall:.1f}s, "
+            f"{len(lines)} distinct stacks"
+        )
+        print(f"[collapsed stacks written to {out}; feed to flamegraph.pl "
+              "or speedscope]")
+    else:
+        raise CLIError(
+            f"unknown --mode {args.mode!r}; choose 'phases' or 'sample'"
+        )
 
 
 def cmd_critpath(args: argparse.Namespace) -> None:
@@ -848,6 +991,8 @@ COMMANDS = {
     "trace": cmd_trace,
     "critpath": cmd_critpath,
     "roottraffic": cmd_roottraffic,
+    "metrics": cmd_metrics,
+    "profile": cmd_profile,
 }
 
 
@@ -864,6 +1009,8 @@ def cmd_all(args: argparse.Namespace) -> None:
             "critpath",
             "roottraffic",
             "chaos",
+            "metrics",
+            "profile",
         ):
             continue  # writes files / needs file args; run explicitly
         print(f"\n===== {name} =====")
@@ -1031,13 +1178,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="lint a saved schedule JSON instead of generator outputs",
     )
     obs_group = parser.add_argument_group(
-        "observability (`trace` / `critpath` / `roottraffic` / `gantt`)"
+        "observability (`trace` / `critpath` / `roottraffic` / `gantt` / "
+        "`metrics` / `profile`)"
     )
     obs_group.add_argument(
         "--format",
         default="perfetto",
         metavar="FMT",
-        help="trace export format for `trace` (only 'perfetto')",
+        help="trace export format for `trace` (only 'perfetto'); "
+        "exposition format for `metrics` ('prom' or 'json', default json)",
     )
     obs_group.add_argument(
         "--out",
@@ -1062,9 +1211,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     obs_group.add_argument(
         "--check",
+        nargs="?",
+        const=True,
         default=None,
         metavar="FILE",
-        help="`trace`: validate FILE against repro-trace/1 instead of running",
+        help="`trace`: validate FILE against repro-trace/1 instead of "
+        "running; `metrics`: bare flag validates the emitted document, "
+        "with FILE validates an existing artifact",
+    )
+    obs_group.add_argument(
+        "--mode",
+        default="phases",
+        metavar="MODE",
+        help="`profile` mode: 'phases' (deterministic per-phase call "
+        "counters) or 'sample' (collapsed-stack flamegraph)",
+    )
+    obs_group.add_argument(
+        "--workload",
+        default="pex_n256_b512",
+        metavar="NAME",
+        help="perf workload for `profile` (default pex_n256_b512)",
+    )
+    obs_group.add_argument(
+        "--interval",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="sampling interval for `profile --mode sample` (default 0.002)",
     )
     args = parser.parse_args(argv)
     try:

@@ -46,6 +46,18 @@ from .root_traffic import (
     write_root_traffic,
 )
 from .span import OpRecord, Span, Tracer
+from .telemetry import (
+    METRIC_NAMES,
+    METRICS_SCHEMA,
+    SERVICE_TIERS,
+    check_prom,
+    merge_state,
+    metric_help,
+    metrics_to_json,
+    registry_state,
+    render_prom,
+    validate_metrics_json,
+)
 
 __all__ = [
     "Span",
@@ -74,6 +86,16 @@ __all__ = [
     "root_traffic_from_trace",
     "render_root_traffic",
     "write_root_traffic",
+    "METRICS_SCHEMA",
+    "METRIC_NAMES",
+    "SERVICE_TIERS",
+    "metric_help",
+    "render_prom",
+    "check_prom",
+    "metrics_to_json",
+    "validate_metrics_json",
+    "registry_state",
+    "merge_state",
     "install",
     "uninstall",
     "tracing",

@@ -15,8 +15,10 @@ argument is about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +28,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "LinkUtilization",
+    "bucket_index",
+    "bucket_bounds",
 ]
 
 
@@ -49,26 +53,172 @@ class Gauge:
         self.value = v
 
 
-@dataclass
-class Histogram:
-    """Streaming summary of observed values (count/sum/min/max)."""
+#: Sub-buckets per power-of-two octave.  Eight slices of the mantissa
+#: give bucket bounds with ratio at most 17/16, so a quantile read off a
+#: bucket midpoint is within ~6 % of the true sample — tight enough for
+#: latency SLOs while keeping a histogram a handful of integers.
+_SUBBUCKETS = 8
 
-    count: int = 0
-    total: float = 0.0
-    minimum: float = field(default=float("inf"))
-    maximum: float = field(default=float("-inf"))
+
+def bucket_index(v: float) -> int:
+    """Deterministic fixed-log bucket index of a positive value.
+
+    ``v = m * 2**e`` with ``m in [0.5, 1)`` (:func:`math.frexp` — exact
+    float decomposition, no logarithms, so the index is bit-stable
+    across platforms); the mantissa selects one of ``_SUBBUCKETS``
+    equal slices of the octave.
+    """
+    m, e = math.frexp(v)
+    return (e << 3) | int((m - 0.5) * 16.0)
+
+
+def bucket_bounds(k: int) -> Tuple[float, float]:
+    """Inclusive-lower / exclusive-upper bounds of bucket ``k``."""
+    e, sub = k >> 3, k & 7
+    return (
+        math.ldexp(0.5 + sub / 16.0, e),
+        math.ldexp(0.5 + (sub + 1) / 16.0, e),
+    )
+
+
+class Histogram:
+    """Streaming log-bucket summary: exact count/sum, p50/p90/p99.
+
+    Observations land in deterministic fixed-log buckets (see
+    :func:`bucket_index`); non-positive values are kept in a dedicated
+    ``zero_count`` bucket that sorts below every log bucket.  The sum is
+    accumulated as an exact :class:`~fractions.Fraction` (floats convert
+    exactly), which makes it *order-independent*: merging two histograms
+    yields bit-identical state to observing the concatenated stream in
+    any order — the property that lets worker processes ship histogram
+    deltas to the parent (:mod:`repro.obs.telemetry`) without the merge
+    order perturbing the serialized bytes.
+    """
+
+    __slots__ = ("count", "minimum", "maximum", "zero_count", "buckets", "_sum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        #: Observations <= 0 (a latency histogram should never see them,
+        #: but a histogram must not silently drop what it is handed).
+        self.zero_count = 0
+        #: bucket index -> observation count.
+        self.buckets: Dict[int, int] = {}
+        self._sum = Fraction(0)
 
     def observe(self, v: float) -> None:
+        v = float(v)
         self.count += 1
-        self.total += v
+        self._sum += Fraction(v)
         if v < self.minimum:
             self.minimum = v
         if v > self.maximum:
             self.maximum = v
+        if v > 0.0:
+            k = bucket_index(v)
+            self.buckets[k] = self.buckets.get(k, 0) + 1
+        else:
+            self.zero_count += 1
+
+    # -- derived views --------------------------------------------------
+    @property
+    def total(self) -> float:
+        return float(self._sum)
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return float(self._sum / self.count) if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate from the bucket counts.
+
+        Exact for the zero bucket and for min/max (``q`` of 0 or 1);
+        otherwise the midpoint of the bucket holding the target rank,
+        clamped to the observed ``[minimum, maximum]``.
+        """
+        if not self.count:
+            return 0.0
+        if q <= 0.0:
+            return self.minimum
+        if q >= 1.0:
+            return self.maximum
+        rank = max(1, math.ceil(q * self.count))
+        cum = self.zero_count
+        if cum >= rank:
+            return self.minimum if self.minimum < 0.0 else 0.0
+        for k in sorted(self.buckets):
+            cum += self.buckets[k]
+            if cum >= rank:
+                lo, hi = bucket_bounds(k)
+                mid = 0.5 * (lo + hi)
+                return min(max(mid, self.minimum), self.maximum)
+        return self.maximum  # pragma: no cover - counts always cover
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    # -- merge / serialization ------------------------------------------
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (exact, order-independent).
+
+        ``merge(h1, h2)`` leaves ``h1`` bit-identical to a histogram
+        that observed both streams back to back: counts and buckets are
+        integers, min/max are order-free, and the exact-fraction sums
+        add associatively.
+        """
+        self.count += other.count
+        self._sum += other._sum
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        self.zero_count += other.zero_count
+        for k, n in other.buckets.items():
+            self.buckets[k] = self.buckets.get(k, 0) + n
+
+    def state(self) -> Dict[str, object]:
+        """Exact JSON-able state (the wire format for worker deltas).
+
+        The sum travels as an integer ``[numerator, denominator]`` pair
+        so a state round-trip loses nothing; bucket keys are stringified
+        in sorted order for byte-stable serialization.
+        """
+        return {
+            "count": self.count,
+            "zero": self.zero_count,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "sum": [self._sum.numerator, self._sum.denominator],
+            "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Histogram":
+        h = cls()
+        h.count = int(state["count"])
+        h.zero_count = int(state["zero"])
+        if state["min"] is not None:
+            h.minimum = float(state["min"])  # type: ignore[arg-type]
+        if state["max"] is not None:
+            h.maximum = float(state["max"])  # type: ignore[arg-type]
+        num, den = state["sum"]  # type: ignore[misc]
+        h._sum = Fraction(int(num), int(den))
+        h.buckets = {
+            int(k): int(n)
+            for k, n in state["buckets"].items()  # type: ignore[union-attr]
+        }
+        return h
 
 
 class MetricsRegistry:
@@ -111,6 +261,9 @@ class MetricsRegistry:
                 "min": h.minimum if h.count else 0.0,
                 "max": h.maximum if h.count else 0.0,
                 "mean": h.mean,
+                "p50": h.p50,
+                "p90": h.p90,
+                "p99": h.p99,
             }
         return out
 

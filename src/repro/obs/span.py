@@ -124,6 +124,30 @@ class Tracer:
         """Wall seconds per span category (outermost spans only)."""
         return dict(self._category_seconds)
 
+    def record_external(
+        self, name: str, category: str, duration: float, **attrs: Any
+    ) -> None:
+        """Record a closed span imported from another process.
+
+        Worker-pool builds trace in the child and ship span deltas back
+        with the result (:mod:`repro.service.scheduler`); the parent
+        replays them here.  The span is parented under the currently
+        open span and backdated to end *now* — child wall clocks are
+        not comparable to ours, only the duration travels.  Category
+        seconds accrue unless an enclosing span of the same category is
+        already counting this interval.
+        """
+        span_id = next(self._ids)
+        parent_id = self._stack[-1][0] if self._stack else None
+        end = self._clock()
+        self.spans.append(
+            Span(span_id, parent_id, name, category, end - duration, end, attrs)
+        )
+        if not any(frame[2] == category for frame in self._stack):
+            self._category_seconds[category] = (
+                self._category_seconds.get(category, 0.0) + duration
+            )
+
     # -- simulated-time rank ops (engine instrumentation) --------------
     def op_begin(self, rank: int, kind: str, t: float, detail: str = "") -> None:
         self._open_ops[rank] = OpRecord(rank=rank, kind=kind, start=t, detail=detail)

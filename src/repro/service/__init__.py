@@ -62,6 +62,7 @@ from .keys import (
 from .pool import WorkerPool
 from .scheduler import Scheduler, ServiceResponse, adapt_schedule
 from .store import ScheduleStore, StoreEntry
+from .tracing import RequestTrace
 
 __all__ = [
     "ARRIVAL_PROCESSES",
@@ -92,6 +93,7 @@ __all__ = [
     "WorkerPool",
     "Scheduler",
     "ServiceResponse",
+    "RequestTrace",
     "adapt_schedule",
     "ScheduleStore",
     "StoreEntry",

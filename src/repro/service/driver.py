@@ -15,10 +15,10 @@ sleeping.  The *naive* baseline rebuilds every request cold through the
 same builder registry, giving an honest schedules/sec speedup for the
 cache + dedup + warm tiers.
 
-The JSON document (schema ``repro-bench-service/1``)::
+The JSON document (schema ``repro-bench-service/2``)::
 
     {
-      "schema": "repro-bench-service/1",
+      "schema": "repro-bench-service/2",
       "scale": "full" | "quick" | "custom",
       "workloads": {
         "zipf_n16_s1.1_poisson": {
@@ -29,10 +29,24 @@ The JSON document (schema ``repro-bench-service/1``)::
           "p50_ms": ..., "p99_ms": ...,  # sojourn times, virtual queue
           "hit_rate": ..., "warm_hit_rate": ...,
           "requests": ..., "corpus": ..., "lint_failures": 0,
-          "counters": {"service.hits": ..., ...}
+          "counters": {"service.hits": ..., ...},
+          "tier_latency_ms": {         # per serving tier (schema /2)
+            "hit": {"count": ..., "p50": ..., "p90": ..., "p99": ...},
+            ...
+          },
+          "sojourn_histogram": {       # virtual-queue sojourn (schema /2)
+            "count": ..., "p50_ms": ..., "p90_ms": ..., "p99_ms": ...,
+            "state": {...}             # exact log-bucket Histogram state
+          }
         }, ...
       }
     }
+
+Schema ``/2`` adds the SLO view — per-tier latency percentiles read
+from the scheduler's tier-labeled histograms and the sojourn-time
+distribution as an exact :class:`~repro.obs.metrics.Histogram` state —
+on top of ``/1``'s shared fields; ``perfcmp`` compares across the two
+versions on the shared fields.
 
 ``repro serve-bench`` drives this and fails (exit 1) when a served
 schedule fails the linter or the hit rate is zero — the regression a
@@ -53,7 +67,7 @@ from ..schedules.irregular import IRREGULAR_ALGORITHMS
 from ..schedules.pattern import CommPattern
 from ..schedules.validate import lint_schedule
 from .arrivals import make_arrivals
-from .scheduler import Scheduler, ServiceResponse
+from .scheduler import SOURCES, Scheduler, ServiceResponse
 from .store import ScheduleStore
 
 __all__ = [
@@ -68,7 +82,7 @@ __all__ = [
     "write_service_bench",
 ]
 
-SERVICE_SCHEMA = "repro-bench-service/1"
+SERVICE_SCHEMA = "repro-bench-service/2"
 
 #: Table 11's synthetic grid: densities x message sizes.
 _DENSITIES = (0.10, 0.25, 0.50, 0.75)
@@ -305,6 +319,22 @@ def run_service_cell(
     service_s = [r.latency for r in responses]
     sojourn = _sojourn_times(arrival, rate, seed, service_s)
     n = len(responses)
+    # The scheduler registry outlives the closed scheduler; the virtual
+    # queue is the driver's, so the driver owns the sojourn histogram.
+    registry = scheduler.metrics
+    sojourn_hist = registry.histogram("service.sojourn_seconds")
+    for v in sojourn:
+        sojourn_hist.observe(v)
+    tier_latency_ms: Dict[str, Dict[str, object]] = {}
+    for tier in SOURCES:
+        h = registry.histograms.get(f"service.latency.{tier}")
+        if h is not None and h.count:
+            tier_latency_ms[tier] = {
+                "count": h.count,
+                "p50": round(h.p50 * 1e3, 4),
+                "p90": round(h.p90 * 1e3, 4),
+                "p99": round(h.p99 * 1e3, 4),
+            }
     hits = counters.get("service.hits", 0) + counters.get(
         "service.inflight_dedup", 0
     )
@@ -325,6 +355,14 @@ def run_service_cell(
         "corpus": len(corpus),
         "lint_failures": lint_failures,
         "counters": counters,
+        "tier_latency_ms": tier_latency_ms,
+        "sojourn_histogram": {
+            "count": sojourn_hist.count,
+            "p50_ms": round(sojourn_hist.p50 * 1e3, 4),
+            "p90_ms": round(sojourn_hist.p90 * 1e3, 4),
+            "p99_ms": round(sojourn_hist.p99 * 1e3, 4),
+            "state": sojourn_hist.state(),
+        },
     }
 
 

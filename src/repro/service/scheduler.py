@@ -40,7 +40,7 @@ import threading
 import time
 import weakref
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -51,6 +51,7 @@ from ..faults.model import FaultModel
 from ..machine.fattree import fat_tree_for
 from ..machine.params import MachineConfig
 from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import merge_state, metrics_to_json, registry_state
 from ..schedules.irregular import IRREGULAR_ALGORITHMS
 from ..schedules.pattern import CommPattern
 from ..schedules.repair import rank_steps
@@ -66,11 +67,21 @@ from .keys import (
 )
 from .pool import WorkerPool
 from .store import ScheduleStore, StoreEntry
+from .tracing import RequestTrace
 
-__all__ = ["ServiceResponse", "Scheduler", "adapt_schedule"]
+__all__ = ["ServiceResponse", "Scheduler", "adapt_schedule", "RequestTrace"]
 
 #: Response provenance values, cheapest tier first.
 SOURCES = ("hit", "isomorphic", "warm", "cold")
+
+#: Tier -> latency histogram, spelled out literally so the frozen
+#: metric-name scan (tests/obs/test_telemetry.py) sees every name.
+_TIER_LATENCY = {
+    "hit": "service.latency.hit",
+    "isomorphic": "service.latency.isomorphic",
+    "warm": "service.latency.warm",
+    "cold": "service.latency.cold",
+}
 
 #: params_fingerprint(None), precomputed for the common no-params call.
 _NO_PARAMS_FP = params_fingerprint(None)
@@ -91,6 +102,8 @@ class ServiceResponse:
     edit_distance: int = 0
     #: True when this thread coalesced onto another thread's build.
     deduped: bool = False
+    #: Stage-by-stage timing; attached by :meth:`Scheduler.request`.
+    trace: Optional[RequestTrace] = None
 
 
 def _build_serialized(
@@ -107,6 +120,37 @@ def _build_serialized(
     builder = IRREGULAR_ALGORITHMS[algorithm]
     schedule = builder(CommPattern(matrix), **params)
     return schedule_to_json(schedule)
+
+
+def _build_with_telemetry(
+    matrix: List[List[int]],
+    algorithm: str,
+    params: Dict[str, object],
+) -> Tuple[str, Dict[str, object]]:
+    """Cold build in a worker process, with its telemetry delta.
+
+    A fresh tracer captures whatever the builder emits through
+    :mod:`repro.obs` in the child, the build wall time lands in
+    ``service.worker_build_seconds``, and the whole registry travels
+    back as an exact :func:`~repro.obs.telemetry.registry_state` plus
+    the build span — so parent-side accounting sees worker time instead
+    of silently dropping it.  Used only when the pool really is a
+    subprocess (``workers > 0``); inline builds hit the parent tracer
+    directly and would double-count through this wrapper.
+    """
+    from ..obs.span import Tracer
+
+    tracer = Tracer()
+    with obs.tracing(tracer):
+        t0 = time.perf_counter()
+        serialized = _build_serialized(matrix, algorithm, params)
+        dt = time.perf_counter() - t0
+    tracer.metrics.histogram("service.worker_build_seconds").observe(dt)
+    delta = {
+        "metrics": registry_state(tracer.metrics),
+        "spans": [(f"worker/build/{algorithm}", "worker", dt)],
+    }
+    return serialized, delta
 
 
 def _relabel(schedule: Schedule, mapping: np.ndarray, name: str) -> Schedule:
@@ -253,6 +297,10 @@ class Scheduler:
         self.memo_limit = memo_limit
         self.metrics = MetricsRegistry()
         self._lock = threading.Lock()
+        #: Per-thread slot holding the RequestTrace of the request this
+        #: thread is currently serving (tier methods record into it
+        #: without threading it through every signature).
+        self._trace_slot = threading.local()
         self._pool: Optional[WorkerPool] = None
         self._inflight: Dict[str, Future] = {}
         #: Relabeled/adapted results memoized by exact pattern digest so
@@ -313,6 +361,45 @@ class Scheduler:
             name: c.value for name, c in sorted(self.metrics.counters.items())
         }
 
+    def metrics_snapshot(
+        self, meta: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """The service registry as a ``repro-metrics/1`` document.
+
+        Counters, tier-latency histograms and stage timings in the
+        exposition schema (:mod:`repro.obs.telemetry`) — mergeable with
+        other processes' snapshots and renderable with ``repro metrics``.
+        """
+        return metrics_to_json(self.metrics, meta=meta)
+
+    def _trace(self) -> Optional[RequestTrace]:
+        """The trace of the request this thread is serving, if any."""
+        return getattr(self._trace_slot, "trace", None)
+
+    def _merge_worker_delta(self, delta: Dict[str, object]) -> None:
+        """Fold a worker process's telemetry delta into parent state.
+
+        The metric state merges into the service registry and (when
+        tracing is on) the active tracer's registry; child spans replay
+        as external spans under the current ``service/build`` span.
+        Merges happen on the owning request's thread right after the
+        pool future resolves, so they are ordered and deterministic for
+        a given request interleaving.
+        """
+        state = delta.get("metrics", {})
+        merge_state(self.metrics, state)  # type: ignore[arg-type]
+        tracer = obs.current()
+        spans = delta.get("spans", ())
+        if tracer is not None:
+            merge_state(tracer.metrics, state)  # type: ignore[arg-type]
+            for name, category, duration in spans:  # type: ignore[misc]
+                tracer.record_external(name, category, duration)
+        trace = self._trace()
+        if trace is not None:
+            trace.worker_build_seconds += sum(
+                duration for _, _, duration in spans  # type: ignore[misc]
+            )
+
     def _memo_put(self, memo: Dict, key, value) -> None:
         """Bounded memo insert: evict oldest entries past ``memo_limit``.
 
@@ -324,6 +411,15 @@ class Scheduler:
             memo[key] = value
             while len(memo) > self.memo_limit:
                 memo.pop(next(iter(memo)))
+
+    def _lint(self, schedule: Schedule, pattern: CommPattern):
+        """Lint with the time charged to the current request's trace."""
+        t0 = time.perf_counter()
+        report = lint_schedule(schedule, pattern)
+        trace = self._trace()
+        if trace is not None:
+            trace.lint_seconds += time.perf_counter() - t0
+        return report
 
     def _deserialize(self, serialized: str) -> Schedule:
         """Parse schedule JSON once per distinct byte string."""
@@ -356,33 +452,52 @@ class Scheduler:
             )
         t0 = time.perf_counter()
         self._count("service.requests")
-        pbytes = pattern.matrix.tobytes()
-        memo_key = (
-            pbytes,
-            algorithm,
-            machine_fingerprint(config),
-            params_fingerprint(params) if params else _NO_PARAMS_FP,
-        )
-        key = self._keys.get(memo_key)
-        if key is None:
-            key = derive_key(
-                pattern,
+        trace = RequestTrace()
+        prev_trace = self._trace()
+        self._trace_slot.trace = trace
+        try:
+            pbytes = pattern.matrix.tobytes()
+            memo_key = (
+                pbytes,
                 algorithm,
-                config,
-                params,
-                canonicalize=self.canonicalize,
+                machine_fingerprint(config),
+                params_fingerprint(params) if params else _NO_PARAMS_FP,
             )
-            self._memo_put(self._keys, memo_key, key)
+            key = self._keys.get(memo_key)
+            if key is None:
+                key = derive_key(
+                    pattern,
+                    algorithm,
+                    config,
+                    params,
+                    canonicalize=self.canonicalize,
+                )
+                self._memo_put(self._keys, memo_key, key)
 
-        response = self._serve_cached(key, pattern, pbytes, config, t0)
-        if response is None:
-            response = self._single_flight(
-                key, pattern, pbytes, config, params, t0
-            )
-        if self.lint_responses:
-            validate_schedule(response.schedule, pattern)
+            response = self._serve_cached(key, pattern, pbytes, config, t0)
+            if response is None:
+                response = self._single_flight(
+                    key, pattern, pbytes, config, params, t0
+                )
+            if self.lint_responses:
+                t_lint = time.perf_counter()
+                validate_schedule(response.schedule, pattern)
+                trace.lint_seconds += time.perf_counter() - t_lint
+        finally:
+            self._trace_slot.trace = prev_trace
+        trace.source = response.source
+        trace.latency = response.latency
+        trace.deduped = response.deduped
+        trace.edit_distance = response.edit_distance
         self._count("service.latency", response.latency)
-        return response
+        self._count(_TIER_LATENCY[response.source], response.latency)
+        if trace.lint_seconds:
+            self._count("service.lint_seconds", trace.lint_seconds)
+        if trace.singleflight_wait:
+            self._count(
+                "service.singleflight_wait_seconds", trace.singleflight_wait
+            )
+        return replace(response, trace=trace)
 
     def request_many(
         self,
@@ -469,7 +584,7 @@ class Scheduler:
             relabeled = _relabel(
                 donor, mapping, f"{_base_name(donor.name)}+iso"
             )
-            report = lint_schedule(relabeled, pattern)
+            report = self._lint(relabeled, pattern)
         if not report.ok:
             self._count("service.iso_rejects")
             return None
@@ -515,7 +630,7 @@ class Scheduler:
                 )
                 if adapted is None:
                     continue
-                report = lint_schedule(adapted, pattern)
+                report = self._lint(adapted, pattern)
             if not report.ok:
                 self._count("service.warm_rejects")
                 continue
@@ -564,7 +679,11 @@ class Scheduler:
                 future = Future()
                 self._inflight[digest] = future
         if not owner:
+            t_wait = time.perf_counter()
             future.result()  # wait for the owner; surfaces its error
+            trace = self._trace()
+            if trace is not None:
+                trace.singleflight_wait += time.perf_counter() - t_wait
             # The owner stores its entry before resolving the future.
             entry = self.store.get(key)
             if entry is not None and entry.pattern_bytes == pbytes:
@@ -610,17 +729,36 @@ class Scheduler:
         params: Optional[Mapping[str, object]],
     ) -> str:
         kwargs = dict(params or {})
+        t_build = time.perf_counter()
         with obs.span(
             f"service/build/{key.algorithm}",
             category="service",
             nprocs=pattern.nprocs,
         ):
-            serialized = self._ensure_pool().submit(
-                _build_serialized,
-                pattern.matrix.tolist(),
-                key.algorithm,
-                kwargs,
-            ).result()
+            pool = self._ensure_pool()
+            if self.workers > 0:
+                # Subprocess build: trace in the child and merge the
+                # shipped delta, so worker time reaches parent metrics.
+                serialized, delta = pool.submit(
+                    _build_with_telemetry,
+                    pattern.matrix.tolist(),
+                    key.algorithm,
+                    kwargs,
+                ).result()
+                self._merge_worker_delta(delta)
+            else:
+                # Inline build: already on this thread, already traced.
+                serialized = pool.submit(
+                    _build_serialized,
+                    pattern.matrix.tolist(),
+                    key.algorithm,
+                    kwargs,
+                ).result()
+        build_dt = time.perf_counter() - t_build
+        trace = self._trace()
+        if trace is not None:
+            trace.build_seconds += build_dt
+        self._count("service.build_seconds", build_dt)
         schedule = schedule_from_json(serialized)
         validate_schedule(schedule, pattern)
         self._memo_put(self._schedules, serialized, schedule)

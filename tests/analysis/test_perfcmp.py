@@ -285,3 +285,60 @@ class TestScaleGuard:
                 service_bench({"w": service_row(1.0)}, scale="full"),
                 service_bench({"w": service_row(1.0)}, scale="quick"),
             )
+
+
+def service_bench_v2(workloads, scale="full"):
+    return {
+        "schema": "repro-bench-service/2",
+        "scale": scale,
+        "workloads": workloads,
+    }
+
+
+class TestCrossVersion:
+    def test_versions_within_family_compare_with_note(self):
+        cmp = compare_benches(
+            service_bench({"w": service_row(1.0)}),
+            service_bench_v2({"w": service_row(1.02)}),
+        )
+        assert cmp.ok
+        assert any("cross-version" in n for n in cmp.notes)
+
+    def test_same_version_emits_no_note(self):
+        doc = service_bench({"w": service_row(1.0)})
+        assert compare_benches(doc, doc).notes == []
+
+    def test_one_sided_sim_ms_is_skipped_not_drifted(self):
+        base = bench({"w": row(1.0)})
+        cur = bench({"w": row(1.0)})
+        del cur["workloads"]["w"]["sim_ms"]
+        cmp = compare_benches(base, cur)
+        assert cmp.ok
+        assert cmp.sim_drifts == []
+        assert any("drift check skipped" in n for n in cmp.notes)
+        assert any("w" in n for n in cmp.notes)
+
+    def test_two_sided_sim_ms_mismatch_still_drifts(self):
+        cmp = compare_benches(
+            bench({"w": row(1.0, sim_ms=100.0)}),
+            bench({"w": row(1.0, sim_ms=101.0)}),
+        )
+        assert not cmp.ok
+        assert [d.name for d in cmp.sim_drifts] == ["w"]
+
+    def test_notes_render_as_lines(self):
+        cmp = compare_benches(
+            service_bench({"w": service_row(1.0)}),
+            service_bench_v2({"w": service_row(1.0)}),
+        )
+        report = render_comparison(cmp)
+        assert "note: cross-version compare" in report
+        assert report.splitlines()[-1].startswith("OK:")
+
+    def test_cross_version_regressions_still_fail(self):
+        cmp = compare_benches(
+            service_bench({"w": service_row(1.0)}),
+            service_bench_v2({"w": service_row(2.0)}),
+        )
+        assert not cmp.ok
+        assert [d.name for d in cmp.regressions] == ["w"]

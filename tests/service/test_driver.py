@@ -173,3 +173,40 @@ class TestWriteServiceBench:
         target = write_service_bench(_doc("full"), root=tmp_path)
         out = write_service_bench(_doc("full"), path=target)
         assert out == target
+
+
+class TestLatencyFields:
+    """Schema /2: per-tier latency percentiles + sojourn histogram."""
+
+    def test_schema_is_version_two(self):
+        assert SERVICE_SCHEMA == "repro-bench-service/2"
+
+    def test_cell_carries_tier_latency_and_sojourn(self):
+        cell = run_service_cell(
+            nprocs=8, corpus_size=10, requests=80, drift=0.1, seed=0
+        )
+        tiers = cell["tier_latency_ms"]
+        # Every tier that served at least one request gets an entry;
+        # a small drifting cell always has colds and hits.
+        assert "cold" in tiers and "hit" in tiers
+        served = sum(t["count"] for t in tiers.values())
+        assert served == 80
+        for stats in tiers.values():
+            assert stats["count"] > 0
+            assert 0 <= stats["p50"] <= stats["p90"] <= stats["p99"]
+
+        soj = cell["sojourn_histogram"]
+        assert soj["count"] == 80
+        assert soj["p50_ms"] <= soj["p90_ms"] <= soj["p99_ms"]
+
+    def test_sojourn_state_reloads_exactly(self):
+        from repro.obs.metrics import Histogram
+
+        cell = run_service_cell(
+            nprocs=8, corpus_size=5, requests=30, drift=0.0, seed=1,
+            measure_naive=False,
+        )
+        state = cell["sojourn_histogram"]["state"]
+        h = Histogram.from_state(state)
+        assert h.count == cell["sojourn_histogram"]["count"]
+        assert h.state() == state

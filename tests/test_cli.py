@@ -423,3 +423,104 @@ class TestChaosCLI:
         assert main([command, "--plan", str(plan), "--quick"]) == 2
         err = capsys.readouterr().err
         assert err.startswith("error:") and "malformed" in err
+
+
+class TestMetricsCommand:
+    def test_prom_exposition_to_file(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        assert (
+            main(
+                ["metrics", "--format", "prom", "--nprocs", "8",
+                 "--nbytes", "128", "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        text = out.read_text()
+        assert "# TYPE sim_messages counter" in text
+        assert main(["metrics", "--format", "prom", "--check", str(out)]) == 0
+        assert "valid prom exposition" in capsys.readouterr().out
+
+    def test_json_snapshot_validates(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert (
+            main(
+                ["metrics", "--format", "json", "--nprocs", "8",
+                 "--nbytes", "128", "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-metrics/1"
+        assert doc["meta"]["nprocs"] == 8
+        assert main(["metrics", "--check", str(out)]) == 0
+
+    def test_bare_check_validates_inline(self, capsys):
+        assert (
+            main(
+                ["metrics", "--format", "prom", "--nprocs", "8",
+                 "--nbytes", "128", "--check"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "prom exposition valid" in captured.err
+
+    def test_check_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.prom"
+        bad.write_text("metric one two\n")
+        assert main(["metrics", "--format", "prom", "--check", str(bad)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_unknown_format_exits_2(self, capsys):
+        assert main(["metrics", "--format", "pprof"]) == 2
+        assert "pprof" in capsys.readouterr().err
+
+    def test_trace_bare_check_needs_file(self, capsys):
+        assert main(["trace", "--check"]) == 2
+        assert "FILE" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_phase_profile_writes_table(self, tmp_path, capsys):
+        out = tmp_path / "profile.txt"
+        assert (
+            main(
+                ["profile", "--workload", "pex_n16_b512",
+                 "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        table = out.read_text()
+        assert "calls/msg" in table
+        assert "dispatch" in table and "queue" in table
+
+    def test_sample_profile_writes_collapsed_stacks(self, tmp_path, capsys):
+        out = tmp_path / "flame.txt"
+        assert (
+            main(
+                ["profile", "--mode", "sample", "--workload", "pex_n16_b512",
+                 "--interval", "0.001", "--out", str(out)]
+            )
+            == 0
+        )
+        assert "samples over" in capsys.readouterr().out
+        for line in out.read_text().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["profile", "--workload", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_bad_interval_exits_2(self, capsys):
+        assert (
+            main(
+                ["profile", "--mode", "sample", "--workload", "pex_n16_b512",
+                 "--interval", "0"]
+            )
+            == 2
+        )
+        assert "interval" in capsys.readouterr().err
