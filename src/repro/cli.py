@@ -773,6 +773,48 @@ def cmd_serve_bench(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def cmd_serve_chaos(args: argparse.Namespace) -> None:
+    """Service chaos campaign: seeded faults vs. the guarded scheduler.
+
+    Each seeded run drives a concurrent request burst through a
+    :class:`~repro.service.Scheduler` armed with a guard (deadlines,
+    retries, breaker, admission control) while injecting worker kills,
+    slow builds, transient failures, disk corruption, and overload —
+    then checks that every request terminates with a response or a
+    structured error, served schedules stay byte-identical to cold
+    builds, and every ``service.guard.*`` counter reconciles exactly
+    with per-request traces.  ``--quick`` runs the CI-sized 14-run
+    campaign (full: 105); ``--runs N`` overrides either;
+    ``--fault-seed`` offsets the scenario seeds.  Results land in
+    ``results/service_chaos.{txt,json}`` plus a merged
+    ``repro-metrics/1`` snapshot in
+    ``results/service_chaos_metrics.json``.
+    """
+    from .service.chaos import (
+        render_service_chaos,
+        run_service_campaign,
+        write_service_chaos,
+    )
+
+    if args.runs is not None and args.runs < 1:
+        raise CLIError(f"--runs must be >= 1, got {args.runs}")
+    report = run_service_campaign(
+        quick=args.quick,
+        runs=args.runs,
+        seed_base=args.fault_seed,
+        progress=print,
+    )
+    txt, js, mx = write_service_chaos(report, "results")
+    print()
+    print(render_service_chaos(report))
+    print(f"[service chaos report written to {txt}, {js} and {mx}]")
+    if not report.ok:
+        raise CLIError(
+            f"{len(report.violations)} of {report.total} service chaos "
+            "runs violated invariants"
+        )
+
+
 def cmd_perf(args: argparse.Namespace) -> None:
     """Time the canonical hot-path workloads; write BENCH_sim.json.
 
@@ -985,6 +1027,7 @@ COMMANDS = {
     "perf": cmd_perf,
     "perfcmp": cmd_perfcmp,
     "serve-bench": cmd_serve_bench,
+    "serve-chaos": cmd_serve_chaos,
     "validate": cmd_validate,
     "conformance": cmd_conformance,
     "optgap": cmd_optgap,
@@ -1003,6 +1046,7 @@ def cmd_all(args: argparse.Namespace) -> None:
             "perf",
             "perfcmp",
             "serve-bench",
+            "serve-chaos",
             "conformance",
             "optgap",
             "trace",
@@ -1147,6 +1191,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="worker processes for cold builds / chaos runs / perf "
         "workloads (0 = inline)",
+    )
+    service_group.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scenario count for `serve-chaos` (default: scale preset)",
     )
     service_group.add_argument(
         "--force",

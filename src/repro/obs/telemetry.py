@@ -86,6 +86,58 @@ METRIC_NAMES: Dict[str, Tuple[str, str]] = {
     "service.store.hit": ("counter", "store lookups that found an entry"),
     "service.store.miss": ("counter", "store lookups that found nothing"),
     "service.store.insert": ("counter", "entries inserted into the store"),
+    "service.store.quarantined": (
+        "counter",
+        "corrupt/forged disk entries moved to corrupt/ at load",
+    ),
+    "service.guard.deadline_exceeded": (
+        "counter",
+        "requests failed with DeadlineExceeded",
+    ),
+    "service.guard.shed": (
+        "counter",
+        "requests rejected by admission control (ServiceOverloaded)",
+    ),
+    "service.guard.worker_crashed": (
+        "counter",
+        "requests failed with WorkerCrashed (failover disabled/exhausted)",
+    ),
+    "service.guard.retries": (
+        "counter",
+        "build attempts retried after a transient failure or crash",
+    ),
+    "service.guard.backoff_seconds": (
+        "counter",
+        "total seconds slept in retry backoff",
+    ),
+    "service.guard.worker_crashes": (
+        "counter",
+        "worker-pool crashes detected mid-build",
+    ),
+    "service.guard.inline_failovers": (
+        "counter",
+        "cold builds failed over from the pool to inline execution",
+    ),
+    "service.guard.breaker_trips": (
+        "counter",
+        "circuit-breaker transitions into the open state",
+    ),
+    "service.guard.breaker_probes": (
+        "counter",
+        "half-open probe builds admitted to the worker tier",
+    ),
+    "service.guard.breaker_state": (
+        "gauge",
+        "breaker state index: 0=closed 1=open 2=half-open",
+    ),
+    "service.guard.admission_wait_seconds": (
+        "counter",
+        "total seconds requests queued at the admission gate",
+    ),
+    "service.guard.chaos_injections": (
+        "counter",
+        "faults injected by a chaos hook (serve-chaos only)",
+    ),
     "service.latency": ("histogram", "end-to-end request latency, all tiers"),
     "service.latency.hit": ("histogram", "request latency served exact-hit"),
     "service.latency.isomorphic": (

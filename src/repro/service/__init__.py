@@ -16,7 +16,12 @@ serving layer:
 * :mod:`repro.service.arrivals` — pluggable arrival-process registry
   (Poisson, bursty, closed-loop);
 * :mod:`repro.service.driver` — Zipf streaming workload driver and the
-  ``BENCH_service.json`` bench (schema ``repro-bench-service/1``).
+  ``BENCH_service.json`` bench (schema ``repro-bench-service/3``);
+* :mod:`repro.service.guard` — reliability guardrails: per-request
+  deadline budgets, seeded-jitter retry backoff, a worker circuit
+  breaker, and admission control / load shedding;
+* :mod:`repro.service.chaos` — the seeded ``serve-chaos`` fault
+  campaign exercising all of the above.
 
 Quick start::
 
@@ -38,6 +43,14 @@ from .arrivals import (
     make_arrivals,
     register_arrival,
 )
+from .chaos import (
+    SERVICE_CHAOS_SCHEMA,
+    ServiceChaosReport,
+    ServiceChaosRun,
+    render_service_chaos,
+    run_service_campaign,
+    write_service_chaos,
+)
 from .driver import (
     SERVICE_SCHEMA,
     drift_variant,
@@ -48,6 +61,20 @@ from .driver import (
     run_service_cell,
     write_service_bench,
     zipf_mix,
+)
+from .guard import (
+    BREAKER_STATES,
+    SHED_POLICIES,
+    AdmissionGate,
+    BackoffPolicy,
+    CircuitBreaker,
+    DeadlineBudget,
+    DeadlineExceeded,
+    GuardConfig,
+    ServiceError,
+    ServiceOverloaded,
+    TransientBuildError,
+    WorkerCrashed,
 )
 from .keys import (
     KEY_VERSION,
@@ -73,6 +100,12 @@ __all__ = [
     "arrival_names",
     "make_arrivals",
     "register_arrival",
+    "SERVICE_CHAOS_SCHEMA",
+    "ServiceChaosReport",
+    "ServiceChaosRun",
+    "render_service_chaos",
+    "run_service_campaign",
+    "write_service_chaos",
     "SERVICE_SCHEMA",
     "drift_variant",
     "pattern_corpus",
@@ -82,6 +115,18 @@ __all__ = [
     "run_service_cell",
     "write_service_bench",
     "zipf_mix",
+    "BREAKER_STATES",
+    "SHED_POLICIES",
+    "AdmissionGate",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "DeadlineExceeded",
+    "GuardConfig",
+    "ServiceError",
+    "ServiceOverloaded",
+    "TransientBuildError",
+    "WorkerCrashed",
     "KEY_VERSION",
     "ScheduleKey",
     "canonical_form",

@@ -15,10 +15,10 @@ sleeping.  The *naive* baseline rebuilds every request cold through the
 same builder registry, giving an honest schedules/sec speedup for the
 cache + dedup + warm tiers.
 
-The JSON document (schema ``repro-bench-service/2``)::
+The JSON document (schema ``repro-bench-service/3``)::
 
     {
-      "schema": "repro-bench-service/2",
+      "schema": "repro-bench-service/3",
       "scale": "full" | "quick" | "custom",
       "workloads": {
         "zipf_n16_s1.1_poisson": {
@@ -37,7 +37,9 @@ The JSON document (schema ``repro-bench-service/2``)::
           "sojourn_histogram": {       # virtual-queue sojourn (schema /2)
             "count": ..., "p50_ms": ..., "p90_ms": ..., "p99_ms": ...,
             "state": {...}             # exact log-bucket Histogram state
-          }
+          },
+          "deadline_miss_rate": 0.0,   # guard view (schema /3)
+          "shed_rate": 0.0
         }, ...
       }
     }
@@ -45,7 +47,12 @@ The JSON document (schema ``repro-bench-service/2``)::
 Schema ``/2`` adds the SLO view — per-tier latency percentiles read
 from the scheduler's tier-labeled histograms and the sojourn-time
 distribution as an exact :class:`~repro.obs.metrics.Histogram` state —
-on top of ``/1``'s shared fields; ``perfcmp`` compares across the two
+on top of ``/1``'s shared fields.  Schema ``/3`` adds the guard view:
+the fraction of offered requests that missed their deadline
+(``deadline_miss_rate``) or were shed by admission control
+(``shed_rate``); both are exactly ``0.0`` when the cell runs without a
+:class:`~repro.service.guard.GuardConfig`, and the serving path is
+byte-identical to ``/2`` in that case.  ``perfcmp`` compares across
 versions on the shared fields.
 
 ``repro serve-bench`` drives this and fails (exit 1) when a served
@@ -67,6 +74,7 @@ from ..schedules.irregular import IRREGULAR_ALGORITHMS
 from ..schedules.pattern import CommPattern
 from ..schedules.validate import lint_schedule
 from .arrivals import make_arrivals
+from .guard import DeadlineExceeded, GuardConfig, ServiceError, ServiceOverloaded
 from .scheduler import SOURCES, Scheduler, ServiceResponse
 from .store import ScheduleStore
 
@@ -82,7 +90,7 @@ __all__ = [
     "write_service_bench",
 ]
 
-SERVICE_SCHEMA = "repro-bench-service/2"
+SERVICE_SCHEMA = "repro-bench-service/3"
 
 #: Table 11's synthetic grid: densities x message sizes.
 _DENSITIES = (0.10, 0.25, 0.50, 0.75)
@@ -245,12 +253,35 @@ def drive_workload(
     algorithm: str,
     config: MachineConfig,
     progress: Optional[Callable[[str], None]] = None,
+    deadline: Optional[float] = None,
+    errors: Optional[List[ServiceError]] = None,
+    served: Optional[List[Tuple[str, CommPattern]]] = None,
 ) -> Tuple[List[ServiceResponse], float]:
-    """Serve the request stream; returns responses and serving wall."""
+    """Serve the request stream; returns responses and serving wall.
+
+    When ``errors`` is given, structured :class:`ServiceError` failures
+    (deadline misses, shed requests, crashes) are collected there
+    instead of propagating — the bench keeps serving the rest of the
+    stream and reports miss/shed rates.  Without it, any guard failure
+    raises (the pre-guard contract).  ``served``, when given, receives
+    the stream entry of each successful response in order, so callers
+    can pair responses with patterns even after drops.
+    """
     responses: List[ServiceResponse] = []
     t0 = time.perf_counter()
-    for i, (_, pattern) in enumerate(stream):
-        responses.append(scheduler.request(pattern, algorithm, config))
+    for i, entry in enumerate(stream):
+        try:
+            responses.append(
+                scheduler.request(
+                    entry[1], algorithm, config, deadline=deadline
+                )
+            )
+            if served is not None:
+                served.append(entry)
+        except ServiceError as exc:
+            if errors is None:
+                raise
+            errors.append(exc)
         if progress is not None and (i + 1) % 1000 == 0:
             progress(f"  served {i + 1}/{len(stream)} requests")
     return responses, time.perf_counter() - t0
@@ -287,28 +318,52 @@ def run_service_cell(
     measure_naive: bool = True,
     store: Optional[ScheduleStore] = None,
     progress: Optional[Callable[[str], None]] = None,
+    guard: Optional[GuardConfig] = None,
+    deadline: Optional[float] = None,
 ) -> Dict[str, object]:
-    """One bench cell: corpus -> Zipf stream -> scheduler -> metrics."""
+    """One bench cell: corpus -> Zipf stream -> scheduler -> metrics.
+
+    ``guard``/``deadline`` arm the reliability guardrails for the cell;
+    the default (both None) serves exactly as before and reports
+    ``deadline_miss_rate`` / ``shed_rate`` of 0.0.
+    """
     corpus = pattern_corpus(
         nprocs, corpus_size, seed=seed, include_apps=include_apps
     )
     mix = zipf_mix(requests, len(corpus), skew, seed=seed)
     stream = request_stream(corpus, mix, drift=drift, seed=seed)
     config = MachineConfig(nprocs)
+    if deadline is not None and guard is None:
+        guard = GuardConfig()  # a deadline needs the guard machinery
+    errors: List[ServiceError] = []
+    served: List[Tuple[str, CommPattern]] = []
+    guarded = guard is not None
     with Scheduler(
-        store=store, workers=workers, warm_edit_limit=warm_edit_limit
+        store=store,
+        workers=workers,
+        warm_edit_limit=warm_edit_limit,
+        guard=guard,
     ) as scheduler:
         responses, wall = drive_workload(
-            scheduler, stream, algorithm, config, progress
+            scheduler,
+            stream,
+            algorithm,
+            config,
+            progress,
+            deadline=deadline,
+            errors=errors if guarded else None,
+            served=served if guarded else None,
         )
         counters = scheduler.stats()
+    if not guarded:
+        served = stream
 
     lint_failures = 0
     # Memoized per (schedule, pattern) *pair* — the same serialized
     # schedule can legitimately pair with distinct patterns (dedup over
     # isomorphic traffic), and each pairing needs its own verdict.
     seen: Dict[Tuple[str, bytes], bool] = {}
-    for resp, (_, pattern) in zip(responses, stream):
+    for resp, (_, pattern) in zip(responses, served):
         pair = (resp.serialized, pattern.matrix.tobytes())
         ok = seen.get(pair)
         if ok is None:
@@ -342,6 +397,9 @@ def run_service_cell(
         "service.iso_hits", 0
     )
     naive = _naive_wall(stream, algorithm) if measure_naive else 0.0
+    offered = len(stream)
+    misses = sum(isinstance(e, DeadlineExceeded) for e in errors)
+    sheds = sum(isinstance(e, ServiceOverloaded) for e in errors)
     return {
         "wall_seconds": round(wall, 4),
         "naive_wall_seconds": round(naive, 4),
@@ -363,6 +421,8 @@ def run_service_cell(
             "p99_ms": round(sojourn_hist.p99 * 1e3, 4),
             "state": sojourn_hist.state(),
         },
+        "deadline_miss_rate": round(misses / offered, 4) if offered else 0.0,
+        "shed_rate": round(sheds / offered, 4) if offered else 0.0,
     }
 
 
@@ -377,11 +437,15 @@ def run_service_bench(
     corpus_size: Optional[int] = None,
     requests: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    guard: Optional[GuardConfig] = None,
+    deadline: Optional[float] = None,
 ) -> Dict[str, object]:
     """The canonical service bench: Zipf mix at N in {8, 16}.
 
     ``quick`` shrinks corpus and request counts to CI scale;
     ``corpus_size`` / ``requests`` override the per-cell defaults.
+    The committed artifact runs unguarded (``guard=None``) — arming
+    ``guard``/``deadline`` is for SLO experiments, not the baseline.
     """
     cells = (
         ((8, 50, 400), (16, 50, 400))
@@ -414,6 +478,8 @@ def run_service_bench(
             workers=workers,
             seed=seed,
             progress=progress,
+            guard=guard,
+            deadline=deadline,
         )
     return {"schema": SERVICE_SCHEMA, "scale": scale, "workloads": workloads}
 

@@ -52,6 +52,24 @@ class WorkerPool:
             self._executor.shutdown(wait=True)
             self._executor = None
 
+    def respawn(self) -> None:
+        """Replace the executor after a worker crash.
+
+        A :class:`concurrent.futures.process.BrokenProcessPool` poisons
+        the whole executor — every subsequent submit fails instantly.
+        Recovery is a swap: discard the broken executor without waiting
+        on it (its workers are already dead) and stand up a fresh one.
+        Inline pools (``jobs == 0``) have no executor and nothing to do.
+        """
+        if self.jobs <= 0:
+            return
+        old, self._executor = self._executor, None
+        if old is not None:
+            old.shutdown(wait=False)
+        self._executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs
+        )
+
     # ------------------------------------------------------------------
     def submit(self, fn: Callable[..., R], *args) -> "concurrent.futures.Future[R]":
         """One task; inline mode returns an already-resolved future."""

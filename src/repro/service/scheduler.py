@@ -36,10 +36,12 @@ a bench can report rates without installing a tracer.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import weakref
-from concurrent.futures import Future
+from concurrent.futures import BrokenExecutor, Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -65,6 +67,19 @@ from .keys import (
     machine_fingerprint,
     params_fingerprint,
 )
+from .guard import (
+    BREAKER_STATES,
+    AdmissionGate,
+    BackoffPolicy,
+    CircuitBreaker,
+    DeadlineBudget,
+    DeadlineExceeded,
+    GuardConfig,
+    ServiceError,
+    ServiceOverloaded,
+    TransientBuildError,
+    WorkerCrashed,
+)
 from .pool import WorkerPool
 from .store import ScheduleStore, StoreEntry
 from .tracing import RequestTrace
@@ -83,8 +98,30 @@ _TIER_LATENCY = {
     "cold": "service.latency.cold",
 }
 
+#: ``ServiceError.counter`` -> frozen outcome-counter name, spelled as
+#: literals so the frozen-name scan (tests/obs/test_telemetry.py) sees
+#: them.  :meth:`Scheduler.request` bumps exactly one per failed
+#: request — the reconciliation contract the chaos harness checks.
+_OUTCOME_COUNTERS = {
+    "deadline_exceeded": "service.guard.deadline_exceeded",
+    "shed": "service.guard.shed",
+    "worker_crashed": "service.guard.worker_crashed",
+}
+
 #: params_fingerprint(None), precomputed for the common no-params call.
 _NO_PARAMS_FP = params_fingerprint(None)
+
+
+def _crash_worker() -> None:
+    """Kill the worker process that picks this job up (chaos injection).
+
+    ``os._exit`` skips every cleanup handler — to the parent this is
+    indistinguishable from a SIGKILLed or OOM-killed worker: the pool
+    breaks and the pending future raises ``BrokenProcessPool``.  Only
+    ever submitted to a real subprocess pool (``workers > 0``); the
+    inline pool would take the parent down with it.
+    """
+    os._exit(13)
 
 
 @dataclass(frozen=True)
@@ -276,6 +313,16 @@ class Scheduler:
     service under drifting traffic sheds stale memo entries instead of
     growing without bound — memos are pure latency devices; the store
     remains the durable tier.
+
+    ``guard`` (a :class:`~repro.service.guard.GuardConfig`) opts into
+    the overload-and-failure protection layer: per-request deadline
+    budgets, bounded seeded-backoff retries around worker crashes, a
+    circuit breaker over the worker tier, and admission control in
+    front of the cold-build tier.  ``guard=None`` (the default) keeps
+    the exact unguarded code path — zero cost when off — except for one
+    unconditional safety net: a worker crash always respawns the pool
+    and fails the build over to an inline rebuild, so single-flight
+    waiters get a result instead of a poisoned executor.
     """
 
     def __init__(
@@ -286,6 +333,7 @@ class Scheduler:
         canonicalize: bool = True,
         lint_responses: bool = False,
         memo_limit: int = 4096,
+        guard: Optional[GuardConfig] = None,
     ):
         if memo_limit < 1:
             raise ValueError(f"memo_limit must be >= 1, got {memo_limit}")
@@ -295,8 +343,31 @@ class Scheduler:
         self.canonicalize = canonicalize
         self.lint_responses = lint_responses
         self.memo_limit = memo_limit
+        self.guard = guard
         self.metrics = MetricsRegistry()
         self._lock = threading.Lock()
+        self._backoff: Optional[BackoffPolicy] = None
+        self._breaker: Optional[CircuitBreaker] = None
+        self._gate: Optional[AdmissionGate] = None
+        if guard is not None:
+            self._backoff = BackoffPolicy.from_config(guard)
+            self._breaker = CircuitBreaker(
+                failure_threshold=guard.breaker_threshold,
+                cooldown=guard.breaker_cooldown,
+                clock=guard.clock,
+                on_transition=self._on_breaker_transition,
+                on_probe=lambda: self._count("service.guard.breaker_probes"),
+            )
+            if guard.admission_capacity is not None:
+                self._gate = AdmissionGate(
+                    capacity=guard.admission_capacity,
+                    queue_limit=guard.admission_queue,
+                    policy=guard.shed_policy,
+                    clock=guard.clock,
+                )
+        #: Per-thread DeadlineBudget of the request being served (only
+        #: populated when a guard is configured).
+        self._budget_slot = threading.local()
         #: Per-thread slot holding the RequestTrace of the request this
         #: thread is currently serving (tier methods record into it
         #: without threading it through every signature).
@@ -376,6 +447,44 @@ class Scheduler:
         """The trace of the request this thread is serving, if any."""
         return getattr(self._trace_slot, "trace", None)
 
+    def _budget(self) -> Optional[DeadlineBudget]:
+        """The deadline budget of this thread's current request."""
+        return getattr(self._budget_slot, "budget", None)
+
+    def _on_breaker_transition(self, state: str) -> None:
+        """Mirror breaker state into the gauge; count trips."""
+        idx = float(BREAKER_STATES.index(state))
+        self.metrics.gauge("service.guard.breaker_state").set(idx)
+        tracer = obs.current()
+        if tracer is not None:
+            tracer.metrics.gauge("service.guard.breaker_state").set(idx)
+        if state == "open":
+            self._count("service.guard.breaker_trips")
+
+    def _fail(
+        self, exc: ServiceError, trace: RequestTrace, t0: float
+    ) -> ServiceError:
+        """Finalize a failed request: trace, outcome counter, fresh error.
+
+        Always returns a *clone*: a single-flight owner's error instance
+        is shared by every waiter (it rides the future), so annotating
+        it in place would let concurrent requests clobber each other's
+        traces.  Exactly one outcome counter fires per failed request —
+        the reconciliation contract the chaos harness checks.
+        """
+        err = exc.clone()
+        trace.source = "error"
+        trace.latency = time.perf_counter() - t0
+        if isinstance(err, ServiceOverloaded):
+            trace.shed_reason = str(err.fields.get("shed_reason", ""))
+        if self._breaker is not None:
+            trace.breaker_state = self._breaker.state
+        err.trace = trace
+        name = _OUTCOME_COUNTERS.get(err.counter)
+        if name is not None:
+            self._count(name)
+        return err
+
     def _merge_worker_delta(self, delta: Dict[str, object]) -> None:
         """Fold a worker process's telemetry delta into parent state.
 
@@ -436,8 +545,14 @@ class Scheduler:
         algorithm: str,
         config: Optional[MachineConfig] = None,
         params: Optional[Mapping[str, object]] = None,
+        deadline: Optional[float] = None,
     ) -> ServiceResponse:
-        """Serve one schedule, consulting every tier (see module doc)."""
+        """Serve one schedule, consulting every tier (see module doc).
+
+        ``deadline`` (seconds, guarded schedulers only) overrides the
+        guard's default per-request budget; when the budget runs out the
+        request fails with :class:`DeadlineExceeded` instead of waiting.
+        """
         if algorithm not in IRREGULAR_ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; choose from "
@@ -453,6 +568,16 @@ class Scheduler:
         t0 = time.perf_counter()
         self._count("service.requests")
         trace = RequestTrace()
+        guard = self.guard
+        budget: Optional[DeadlineBudget] = None
+        prev_budget: Optional[DeadlineBudget] = None
+        if guard is not None:
+            effective = deadline if deadline is not None else guard.deadline
+            budget = DeadlineBudget(effective, clock=guard.clock)
+            if effective is not None:
+                trace.deadline = effective
+            prev_budget = self._budget()
+            self._budget_slot.budget = budget
         prev_trace = self._trace()
         self._trace_slot.trace = trace
         try:
@@ -483,12 +608,18 @@ class Scheduler:
                 t_lint = time.perf_counter()
                 validate_schedule(response.schedule, pattern)
                 trace.lint_seconds += time.perf_counter() - t_lint
+        except ServiceError as exc:
+            raise self._fail(exc, trace, t0) from exc
         finally:
             self._trace_slot.trace = prev_trace
+            if guard is not None:
+                self._budget_slot.budget = prev_budget
         trace.source = response.source
         trace.latency = response.latency
         trace.deduped = response.deduped
         trace.edit_distance = response.edit_distance
+        if self._breaker is not None:
+            trace.breaker_state = self._breaker.state
         self._count("service.latency", response.latency)
         self._count(_TIER_LATENCY[response.source], response.latency)
         if trace.lint_seconds:
@@ -504,10 +635,11 @@ class Scheduler:
         requests: List[Tuple[CommPattern, str]],
         config: Optional[MachineConfig] = None,
         params: Optional[Mapping[str, object]] = None,
+        deadline: Optional[float] = None,
     ) -> List[ServiceResponse]:
         """Serve a batch in order (identical keys coalesce via the store)."""
         return [
-            self.request(pattern, algorithm, config, params)
+            self.request(pattern, algorithm, config, params, deadline=deadline)
             for pattern, algorithm in requests
         ]
 
@@ -680,7 +812,23 @@ class Scheduler:
                 self._inflight[digest] = future
         if not owner:
             t_wait = time.perf_counter()
-            future.result()  # wait for the owner; surfaces its error
+            budget = self._budget()
+            if budget is not None and budget.budget is not None:
+                # Deadline-bounded wait on the owner.  The wait itself
+                # runs on real time while the budget runs on the
+                # guard's (possibly injected) clock, so a timeout is
+                # re-checked against the budget before giving up.
+                while True:
+                    rem = budget.remaining()
+                    if rem is not None and rem <= 0.0:
+                        budget.check("wait")
+                    try:
+                        future.result(timeout=rem)
+                        break
+                    except FuturesTimeoutError:
+                        continue
+            else:
+                future.result()  # wait for the owner; surfaces its error
             trace = self._trace()
             if trace is not None:
                 trace.singleflight_wait += time.perf_counter() - t_wait
@@ -728,6 +876,34 @@ class Scheduler:
         config: MachineConfig,
         params: Optional[Mapping[str, object]],
     ) -> str:
+        gate = self._gate
+        if gate is None:
+            return self._cold_build_inner(key, pattern, config, params)
+        # Admission happens on the single-flight *owner* only: waiters
+        # coalesce for free, so the gate bounds concurrent builds, not
+        # concurrent requests.  A shed/expired owner propagates its
+        # structured error to every waiter through the in-flight future.
+        budget = self._budget()
+        t_adm = time.perf_counter()
+        gate.acquire(budget)
+        wait = time.perf_counter() - t_adm
+        trace = self._trace()
+        if trace is not None:
+            trace.admission_wait += wait
+        self._count("service.guard.admission_wait_seconds", wait)
+        t_held = time.perf_counter()
+        try:
+            return self._cold_build_inner(key, pattern, config, params)
+        finally:
+            gate.release(build_seconds=time.perf_counter() - t_held)
+
+    def _cold_build_inner(
+        self,
+        key: ScheduleKey,
+        pattern: CommPattern,
+        config: MachineConfig,
+        params: Optional[Mapping[str, object]],
+    ) -> str:
         kwargs = dict(params or {})
         t_build = time.perf_counter()
         with obs.span(
@@ -735,25 +911,10 @@ class Scheduler:
             category="service",
             nprocs=pattern.nprocs,
         ):
-            pool = self._ensure_pool()
-            if self.workers > 0:
-                # Subprocess build: trace in the child and merge the
-                # shipped delta, so worker time reaches parent metrics.
-                serialized, delta = pool.submit(
-                    _build_with_telemetry,
-                    pattern.matrix.tolist(),
-                    key.algorithm,
-                    kwargs,
-                ).result()
-                self._merge_worker_delta(delta)
+            if self.guard is not None:
+                serialized = self._guarded_build(key, pattern, kwargs)
             else:
-                # Inline build: already on this thread, already traced.
-                serialized = pool.submit(
-                    _build_serialized,
-                    pattern.matrix.tolist(),
-                    key.algorithm,
-                    kwargs,
-                ).result()
+                serialized = self._plain_build(key, pattern, kwargs)
         build_dt = time.perf_counter() - t_build
         trace = self._trace()
         if trace is not None:
@@ -779,3 +940,178 @@ class Scheduler:
             )
         )
         return serialized
+
+    # ------------------------------------------------------------------
+    def _plain_build(
+        self,
+        key: ScheduleKey,
+        pattern: CommPattern,
+        kwargs: Dict[str, object],
+    ) -> str:
+        """Unguarded worker/inline build (the pre-guard fast path).
+
+        Byte-identical to the original cold build except for one
+        unconditional safety net: a worker crash respawns the pool and
+        fails over to an inline rebuild, so single-flight waiters get a
+        result and later requests get a working executor instead of a
+        poisoned one.
+        """
+        pool = self._ensure_pool()
+        matrix = pattern.matrix.tolist()
+        if self.workers > 0:
+            # Subprocess build: trace in the child and merge the
+            # shipped delta, so worker time reaches parent metrics.
+            try:
+                serialized, delta = pool.submit(
+                    _build_with_telemetry, matrix, key.algorithm, kwargs
+                ).result()
+            except BrokenExecutor:
+                self._count("service.guard.worker_crashes")
+                trace = self._trace()
+                if trace is not None:
+                    trace.worker_crashes += 1
+                    trace.inline_failover = True
+                pool.respawn()
+                self._count("service.guard.inline_failovers")
+                return _build_serialized(matrix, key.algorithm, kwargs)
+            self._merge_worker_delta(delta)
+            return serialized
+        # Inline build: already on this thread, already traced.
+        return pool.submit(
+            _build_serialized, matrix, key.algorithm, kwargs
+        ).result()
+
+    def _chaos_action(self, attempt: int) -> Tuple[Optional[str], float]:
+        """Consult the guard's chaos port; ``(None, 0.0)`` when quiet."""
+        guard = self.guard
+        if guard is None or guard.chaos_hook is None:
+            return None, 0.0
+        injected = guard.chaos_hook("build", attempt)
+        if injected is None:
+            return None, 0.0
+        action, value = injected
+        self._count("service.guard.chaos_injections")
+        return action, float(value)
+
+    def _exhausted(
+        self,
+        exc: BaseException,
+        attempts: int,
+        matrix: List[List[int]],
+        key: ScheduleKey,
+        kwargs: Dict[str, object],
+    ) -> str:
+        """Retries exhausted: inline failover or structured surrender."""
+        guard = self.guard
+        assert guard is not None
+        if guard.inline_failover:
+            self._count("service.guard.inline_failovers")
+            trace = self._trace()
+            if trace is not None:
+                trace.inline_failover = True
+            return _build_serialized(matrix, key.algorithm, kwargs)
+        raise WorkerCrashed(
+            f"cold build failed after {attempts} attempt(s) "
+            f"({type(exc).__name__})",
+            attempts=attempts,
+            breaker_state=(
+                self._breaker.state if self._breaker is not None else ""
+            ),
+        ) from exc
+
+    def _guarded_build(
+        self,
+        key: ScheduleKey,
+        pattern: CommPattern,
+        kwargs: Dict[str, object],
+    ) -> str:
+        """Cold build under the full guard.
+
+        One loop iteration is one attempt: consult the chaos port,
+        honor the deadline, then build on the worker tier when the
+        breaker allows it (inline otherwise).  Worker crashes feed the
+        breaker, respawn the pool and retry after a seeded backoff;
+        exhausted retries fail over inline (or surface
+        :class:`WorkerCrashed` when ``inline_failover=False``).
+        """
+        guard = self.guard
+        breaker = self._breaker
+        backoff = self._backoff
+        assert guard is not None
+        assert breaker is not None and backoff is not None
+        budget = self._budget()
+        trace = self._trace()
+        matrix = pattern.matrix.tolist()
+        attempt = 0
+        while True:
+            if budget is not None:
+                budget.check("build")
+            action, value = self._chaos_action(attempt)
+            try:
+                if action == "fail_transient":
+                    raise TransientBuildError(
+                        f"injected transient build failure "
+                        f"(attempt {attempt})"
+                    )
+                if action == "slow_build":
+                    guard.sleep(value)
+                    if budget is not None:
+                        budget.check("build")
+                # allow_worker may claim the single half-open probe
+                # slot, so nothing below may exit without reaching
+                # record_success/record_failure — every worker outcome
+                # resolves the probe.
+                use_worker = self.workers > 0 and breaker.allow_worker()
+                if use_worker:
+                    pool = self._ensure_pool()
+                    try:
+                        if action == "kill_worker":
+                            pool.submit(_crash_worker).result()
+                        serialized, delta = pool.submit(
+                            _build_with_telemetry,
+                            matrix,
+                            key.algorithm,
+                            kwargs,
+                        ).result()
+                    except BrokenExecutor:
+                        breaker.record_failure()
+                        self._count("service.guard.worker_crashes")
+                        if trace is not None:
+                            trace.worker_crashes += 1
+                        pool.respawn()
+                        raise
+                    except BaseException:
+                        # The worker ran the job and returned a builder
+                        # error: the tier is healthy, the build is not.
+                        breaker.record_success()
+                        raise
+                    breaker.record_success()
+                    self._merge_worker_delta(delta)
+                    return serialized
+                return _build_serialized(matrix, key.algorithm, kwargs)
+            except (BrokenExecutor, TransientBuildError) as exc:
+                attempt += 1
+                if attempt > guard.max_retries:
+                    return self._exhausted(
+                        exc, attempt, matrix, key, kwargs
+                    )
+                delay = backoff.delay(attempt)
+                if budget is not None:
+                    rem = budget.remaining()
+                    if rem is not None and delay >= rem:
+                        # Sleeping through the deadline cannot help;
+                        # fail now with the backoff stage on record.
+                        raise DeadlineExceeded(
+                            f"deadline of {budget.budget:.6g}s cannot "
+                            f"cover a {delay:.6g}s backoff before "
+                            f"retry {attempt}",
+                            deadline=budget.budget,
+                            elapsed=round(budget.elapsed(), 6),
+                            stage="backoff",
+                        ) from exc
+                if trace is not None:
+                    trace.retries += 1
+                    trace.backoff_seconds += delay
+                self._count("service.guard.retries")
+                self._count("service.guard.backoff_seconds", delay)
+                guard.sleep(delay)

@@ -10,8 +10,12 @@ comparison.
 
 The disk tier is one JSON file per entry under the store directory,
 written atomically (unique temp file + ``os.replace``) so a crashed run
-never truncates an entry; corrupt or alien files are skipped with a
-one-line warning, never trusted.  Hit/miss traffic is reported through
+never truncates an entry; a partial write torn by a crash lives only in
+a ``.tmp`` file the loader's ``*.json`` glob never matches.  Corrupt or
+forged files are **quarantined** — moved to a ``corrupt/`` sibling
+directory and counted (``service.store.quarantined``,
+:attr:`ScheduleStore.quarantined`) — never trusted and never silently
+reloaded on the next start.  Hit/miss traffic is reported through
 ``repro.obs`` counters (``service.store.*``).
 """
 
@@ -110,6 +114,8 @@ class ScheduleStore:
         #: near-miss scan of the warm-start path.
         self._buckets: Dict[Tuple[str, str, str, int], List[str]] = {}
         self._path = Path(path) if path is not None else None
+        #: Corrupt/forged disk entries moved to ``corrupt/`` at load.
+        self.quarantined = 0
         if self._path is not None and self._path.is_dir():
             self._load_disk()
 
@@ -123,23 +129,49 @@ class ScheduleStore:
             digest
         )
 
+    def _quarantine(self, p: Path) -> None:
+        """Move a corrupt/forged file aside instead of trusting it.
+
+        Quarantined files land under ``<store>/corrupt/`` with their
+        original name (a collision keeps both under a numbered suffix),
+        outside the loader's ``*.json`` glob — so the evidence survives
+        for inspection but can never be served, and the next start does
+        not re-warn about the same file forever.
+        """
+        assert self._path is not None
+        self.quarantined += 1
+        obs.count("service.store.quarantined")
+        qdir = self._path / "corrupt"
+        dest = qdir / p.name
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            n = 1
+            while dest.exists():
+                dest = qdir / f"{p.name}.{n}"
+                n += 1
+            os.replace(p, dest)
+        except OSError:
+            # Read-only store or the file vanished: it stays counted
+            # and untrusted either way.
+            pass
+
     def _load_disk(self) -> None:
         assert self._path is not None
-        dropped = 0
         for p in sorted(self._path.glob("*.json")):
             try:
                 entry = StoreEntry.from_json(p.read_text())
             except (OSError, ValueError, KeyError, TypeError):
-                dropped += 1
+                self._quarantine(p)
                 continue
             if entry.key.digest != p.stem:
-                dropped += 1  # renamed/forged file: content must name itself
+                self._quarantine(p)  # renamed/forged: content must name itself
                 continue
             self._index(p.stem, entry)
-        if dropped:
+        if self.quarantined:
             print(
-                f"warning: schedule store {self._path}: skipped {dropped} "
-                "corrupt entr(y/ies)",
+                f"warning: schedule store {self._path}: quarantined "
+                f"{self.quarantined} corrupt entr(y/ies) under "
+                f"{self._path / 'corrupt'}",
                 file=sys.stderr,
             )
 

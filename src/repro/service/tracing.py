@@ -57,6 +57,24 @@ class RequestTrace:
     deduped: bool = False
     #: Warm-start edit distance (0 for other tiers).
     edit_distance: int = 0
+    #: Deadline budget in seconds (0.0 when the request had none).
+    deadline: float = 0.0
+    #: Time spent queued at the admission gate before the cold build.
+    admission_wait: float = 0.0
+    #: Build retries actually performed (crash or transient failure).
+    retries: int = 0
+    #: Total backoff sleep between retries.
+    backoff_seconds: float = 0.0
+    #: Worker-process crashes this request's build absorbed.
+    worker_crashes: int = 0
+    #: True when the worker tier was abandoned and the schedule was
+    #: rebuilt inline so waiters still got a result.
+    inline_failover: bool = False
+    #: Why admission shed this request ("" when it was not shed).
+    shed_reason: str = ""
+    #: Circuit-breaker state observed when the request finished
+    #: ("" when the scheduler has no guard).
+    breaker_state: str = ""
 
     def to_json(self) -> Dict[str, object]:
         """Flat JSON view (stable key order) for logs and tests."""
@@ -70,4 +88,12 @@ class RequestTrace:
             "lint_seconds": self.lint_seconds,
             "deduped": self.deduped,
             "edit_distance": self.edit_distance,
+            "deadline": self.deadline,
+            "admission_wait": self.admission_wait,
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "worker_crashes": self.worker_crashes,
+            "inline_failover": self.inline_failover,
+            "shed_reason": self.shed_reason,
+            "breaker_state": self.breaker_state,
         }

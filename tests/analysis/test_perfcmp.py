@@ -342,3 +342,48 @@ class TestCrossVersion:
         )
         assert not cmp.ok
         assert [d.name for d in cmp.regressions] == ["w"]
+
+
+def service_bench_v3(workloads, scale="full"):
+    return {
+        "schema": "repro-bench-service/3",
+        "scale": scale,
+        "workloads": workloads,
+    }
+
+
+def service_row_v3(wall, miss_rate=0.0, shed_rate=0.0):
+    row = service_row(wall)
+    row["deadline_miss_rate"] = miss_rate
+    row["shed_rate"] = shed_rate
+    return row
+
+
+class TestServiceV3:
+    """A /2 baseline compares against a /3 current on shared fields;
+    the guard-only fields (deadline_miss_rate, shed_rate) on one side
+    never trip a drift or an error."""
+
+    def test_v2_vs_v3_compares_on_shared_fields(self):
+        cmp = compare_benches(
+            service_bench_v2({"w": service_row(1.0)}),
+            service_bench_v3({"w": service_row_v3(1.02)}),
+        )
+        assert cmp.ok
+        assert any("cross-version" in n for n in cmp.notes)
+
+    def test_v2_vs_v3_regression_still_detected(self):
+        cmp = compare_benches(
+            service_bench_v2({"w": service_row(1.0)}),
+            service_bench_v3({"w": service_row_v3(1.8)}),
+        )
+        assert not cmp.ok
+        assert [d.name for d in cmp.regressions] == ["w"]
+
+    def test_v3_vs_v3_guard_fields_ignored_by_drift_check(self):
+        cmp = compare_benches(
+            service_bench_v3({"w": service_row_v3(1.0, miss_rate=0.0)}),
+            service_bench_v3({"w": service_row_v3(1.0, miss_rate=0.4)}),
+        )
+        assert cmp.ok
+        assert cmp.sim_drifts == []

@@ -178,8 +178,8 @@ class TestWriteServiceBench:
 class TestLatencyFields:
     """Schema /2: per-tier latency percentiles + sojourn histogram."""
 
-    def test_schema_is_version_two(self):
-        assert SERVICE_SCHEMA == "repro-bench-service/2"
+    def test_schema_is_version_three(self):
+        assert SERVICE_SCHEMA == "repro-bench-service/3"
 
     def test_cell_carries_tier_latency_and_sojourn(self):
         cell = run_service_cell(
@@ -210,3 +210,53 @@ class TestLatencyFields:
         h = Histogram.from_state(state)
         assert h.count == cell["sojourn_histogram"]["count"]
         assert h.state() == state
+
+
+class TestGuardFields:
+    """Schema /3: deadline-miss and shed rates per cell."""
+
+    def test_unguarded_cell_reports_exact_zero_rates(self):
+        cell = run_service_cell(
+            nprocs=8, corpus_size=5, requests=20, drift=0.0, seed=2,
+            measure_naive=False,
+        )
+        assert cell["deadline_miss_rate"] == 0.0
+        assert cell["shed_rate"] == 0.0
+        assert cell["requests"] == 20
+
+    def test_hopeless_deadline_cell_reports_misses_not_crashes(self):
+        cell = run_service_cell(
+            nprocs=8, corpus_size=5, requests=20, drift=0.0, seed=3,
+            measure_naive=False, deadline=1e-9,
+        )
+        # Every offered request misses the (absurd) deadline; the cell
+        # still terminates with a complete accounting.
+        assert cell["deadline_miss_rate"] == 1.0
+        assert cell["shed_rate"] == 0.0
+        assert cell["requests"] == 0
+        assert cell["lint_failures"] == 0
+
+    def test_guarded_no_fault_cell_matches_unguarded_counters(self):
+        from repro.service import GuardConfig
+
+        plain = run_service_cell(
+            nprocs=8, corpus_size=5, requests=30, drift=0.1, seed=4,
+            measure_naive=False,
+        )
+        guarded = run_service_cell(
+            nprocs=8, corpus_size=5, requests=30, drift=0.1, seed=4,
+            measure_naive=False, guard=GuardConfig(admission_capacity=8),
+        )
+        assert guarded["deadline_miss_rate"] == 0.0
+        assert guarded["shed_rate"] == 0.0
+        # Tier traffic is identical: the guard is zero-cost when idle.
+        for key in ("service.hits", "service.warm_hits", "service.cold_builds"):
+            assert guarded["counters"][key] == plain["counters"][key]
+
+    def test_rates_survive_the_render(self):
+        cell = run_service_cell(
+            nprocs=8, corpus_size=5, requests=10, drift=0.0, seed=5,
+            measure_naive=False,
+        )
+        bench = {"schema": SERVICE_SCHEMA, "workloads": {"w0": cell}}
+        render_service_bench(bench)  # rates must not break the report

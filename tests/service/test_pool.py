@@ -1,0 +1,124 @@
+"""Worker pool: inline/process modes, respawn, crash recovery.
+
+The load-bearing regression here is the waiter hang: before the guard
+work, a worker process dying mid-build poisoned the executor
+(``BrokenProcessPool``) and the single-flight owner's exception path
+could leave dedup waiters blocked forever.  These tests kill a child
+deterministically and assert every caller still gets an answer.
+"""
+
+import os
+import threading
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.schedules import CommPattern
+from repro.service import GuardConfig, Scheduler, WorkerPool
+
+
+def pattern(n=8, seed=3):
+    return CommPattern.synthetic(n, 0.4, 512, seed=seed)
+
+
+def _square(x):
+    return x * x
+
+
+def _die():
+    os._exit(13)  # simulates a segfaulting/OOM-killed worker
+
+
+class TestRespawn:
+    def test_inline_pool_respawn_is_a_noop(self):
+        pool = WorkerPool(jobs=0)
+        with pool:
+            pool.respawn()
+            assert pool.submit(_square, 3).result() == 9
+
+    def test_respawn_replaces_a_broken_executor(self):
+        with WorkerPool(jobs=1) as pool:
+            assert pool.submit(_square, 2).result() == 4
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(_die).result()
+            # The poisoned executor fails every subsequent submit ...
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(_square, 3).result()
+            # ... until respawn swaps in a fresh one.
+            pool.respawn()
+            assert pool.submit(_square, 3).result() == 9
+
+
+class TestSchedulerCrashRecovery:
+    def test_unguarded_scheduler_fails_over_inline_and_respawns(self):
+        """Crash safety is unconditional — no GuardConfig required."""
+        with Scheduler(workers=1) as sched:
+            # Prime the executor, then kill its only worker.
+            sched.request(pattern(seed=1), "greedy")
+            sched._pool.submit(_die).exception()
+            resp = sched.request(pattern(seed=2), "greedy")
+            assert resp.source == "cold"
+            assert resp.trace.inline_failover
+            assert resp.trace.worker_crashes == 1
+            stats = sched.stats()
+            assert stats["service.guard.worker_crashes"] == 1
+            assert stats["service.guard.inline_failovers"] == 1
+            # The pool was respawned: the next cold build uses a worker.
+            after = sched.request(pattern(seed=4), "greedy")
+            assert after.trace.worker_build_seconds > 0
+
+    def test_guarded_kill_mid_build_retries_on_respawned_pool(self):
+        guard = GuardConfig(
+            max_retries=2,
+            backoff_base=0.001,
+            backoff_cap=0.002,
+            chaos_hook=lambda stage, attempt: (
+                ("kill_worker", 0.0) if attempt == 0 else None
+            ),
+        )
+        with Scheduler(workers=1, guard=guard) as sched:
+            resp = sched.request(pattern(seed=5), "greedy")
+            assert resp.source == "cold"
+            assert resp.trace.worker_crashes == 1
+            assert resp.trace.retries == 1
+            assert not resp.trace.inline_failover  # retry succeeded
+            assert resp.trace.worker_build_seconds > 0
+
+    def test_kill_mid_build_leaves_no_waiter_hanging(self):
+        """Deterministic regression: child killed mid-build while other
+        threads wait on the single-flight future — everyone must get
+        the same bytes, nobody may hang."""
+        n_threads = 6
+        guard = GuardConfig(
+            max_retries=1,
+            backoff_base=0.001,
+            backoff_cap=0.002,
+            chaos_hook=lambda stage, attempt: (
+                ("kill_worker", 0.0) if attempt == 0 else None
+            ),
+        )
+        with Scheduler(workers=1, guard=guard) as sched:
+            barrier = threading.Barrier(n_threads)
+            responses = [None] * n_threads
+            errors = []
+
+            def worker(i):
+                try:
+                    barrier.wait()
+                    responses[i] = sched.request(pattern(seed=6), "greedy")
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            hung = [t for t in threads if t.is_alive()]
+            assert not hung, f"{len(hung)} waiter thread(s) hung"
+            assert not errors, errors
+            assert all(r is not None for r in responses)
+            assert len({r.serialized for r in responses}) == 1

@@ -218,3 +218,237 @@ class TestErrors:
         with Scheduler() as sched:
             with pytest.raises(ValueError, match="nodes"):
                 sched.request(pattern(8), "greedy", MachineConfig(16))
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestGuardIntegration:
+    def test_guarded_no_fault_serves_identical_bytes(self):
+        """Arming the guard with generous limits must be invisible."""
+        from repro.service import GuardConfig
+
+        plain = {}
+        with Scheduler() as sched:
+            for seed in range(3):
+                plain[seed] = sched.request(pattern(seed=seed), "greedy")
+        guard = GuardConfig(deadline=60.0, admission_capacity=4)
+        with Scheduler(guard=guard) as sched:
+            for seed in range(3):
+                resp = sched.request(pattern(seed=seed), "greedy")
+                assert resp.serialized == plain[seed].serialized
+
+    def test_deadline_exceeded_is_structured_and_counted(self):
+        from repro.service import DeadlineExceeded, GuardConfig
+
+        clock = _FakeClock()
+        guard = GuardConfig(
+            clock=clock,
+            sleep=clock.advance,
+            chaos_hook=lambda stage, attempt: ("slow_build", 10.0),
+        )
+        with Scheduler(guard=guard) as sched:
+            with pytest.raises(DeadlineExceeded) as exc:
+                sched.request(pattern(seed=11), "greedy", deadline=1.0)
+            err = exc.value
+            assert err.fields["stage"] == "build"
+            assert err.fields["deadline"] == 1.0
+            assert err.trace is not None
+            assert err.trace.source == "error"
+            assert err.trace.deadline == 1.0
+            stats = sched.stats()
+            assert stats["service.guard.deadline_exceeded"] == 1
+            assert stats["service.requests"] == 1
+
+    def test_transient_fault_is_retried_then_served(self):
+        from repro.service import GuardConfig
+
+        guard = GuardConfig(
+            max_retries=2,
+            backoff_base=0.001,
+            backoff_cap=0.002,
+            chaos_hook=lambda stage, attempt: (
+                ("fail_transient", 0.0) if attempt == 0 else None
+            ),
+        )
+        with Scheduler(guard=guard) as sched:
+            resp = sched.request(pattern(seed=12), "greedy")
+            assert resp.source == "cold"
+            assert resp.trace.retries == 1
+            assert resp.trace.backoff_seconds > 0
+            stats = sched.stats()
+            assert stats["service.guard.retries"] == 1
+            assert stats["service.guard.chaos_injections"] == 1
+            assert lint_schedule(resp.schedule, pattern(seed=12)).ok
+
+    def test_exhausted_retries_surface_worker_crashed_when_asked(self):
+        from repro.service import GuardConfig, WorkerCrashed
+
+        guard = GuardConfig(
+            max_retries=1,
+            backoff_base=0.001,
+            backoff_cap=0.002,
+            inline_failover=False,
+            chaos_hook=lambda stage, attempt: ("fail_transient", 0.0),
+        )
+        with Scheduler(guard=guard) as sched:
+            with pytest.raises(WorkerCrashed) as exc:
+                sched.request(pattern(seed=13), "greedy")
+            assert exc.value.fields["attempts"] == 2  # initial + 1 retry
+            assert exc.value.trace is not None
+            stats = sched.stats()
+            assert stats["service.guard.worker_crashed"] == 1
+            assert stats["service.guard.retries"] == 1
+
+    def test_breaker_trip_degrade_and_probe_recovery(self):
+        from repro.service import GuardConfig
+
+        clock = _FakeClock()
+        kills = {"n": 0}
+
+        def hook(stage, attempt):
+            if stage == "build" and kills["n"] < 2:
+                kills["n"] += 1
+                return ("kill_worker", 0.0)
+            return None
+
+        guard = GuardConfig(
+            max_retries=1,
+            backoff_base=0.001,
+            backoff_cap=0.002,
+            breaker_threshold=2,
+            breaker_cooldown=5.0,
+            clock=clock,
+            chaos_hook=hook,
+        )
+        with Scheduler(workers=1, guard=guard) as sched:
+            # Two kills exhaust the retries, trip the breaker, and the
+            # request survives by inline failover.
+            a = sched.request(pattern(seed=14), "greedy")
+            assert a.trace.worker_crashes == 2
+            assert a.trace.inline_failover
+            assert sched._breaker.state == "open"
+            # Open breaker: cold builds degrade inline, no more crashes.
+            b = sched.request(pattern(seed=15), "greedy")
+            assert b.trace.breaker_state == "open"
+            assert b.trace.worker_crashes == 0
+            # Cooldown passes; the next cold build is the probe, the
+            # hook has gone quiet, and the breaker closes again.
+            clock.advance(5.0)
+            c = sched.request(pattern(seed=16), "greedy")
+            assert c.trace.worker_build_seconds > 0
+            assert sched._breaker.state == "closed"
+            stats = sched.stats()
+            assert stats["service.guard.worker_crashes"] == 2
+            assert stats["service.guard.breaker_trips"] == 1
+            assert stats["service.guard.breaker_probes"] == 1
+            assert stats["service.guard.inline_failovers"] == 1
+
+    def test_shed_requests_reconcile_with_the_counter(self):
+        import time as _time
+
+        from repro.service import GuardConfig, ServiceOverloaded
+
+        guard = GuardConfig(
+            admission_capacity=1,
+            admission_queue=0,
+            chaos_hook=lambda stage, attempt: ("slow_build", 0.2),
+            sleep=_time.sleep,
+        )
+        n_threads = 4
+        with Scheduler(guard=guard) as sched:
+            barrier = threading.Barrier(n_threads)
+            oks, errs = [], []
+
+            def worker(i):
+                barrier.wait()
+                try:
+                    oks.append(sched.request(pattern(seed=20 + i), "greedy"))
+                except ServiceOverloaded as exc:
+                    errs.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert len(oks) + len(errs) == n_threads
+            assert errs, "expected at least one shed request"
+            for exc in errs:
+                assert exc.fields["shed_reason"] == "reject_newest"
+                assert exc.trace is not None
+                assert exc.trace.shed_reason == "reject_newest"
+            assert sched.stats()["service.guard.shed"] == len(errs)
+
+
+class TestGuardLifecycle:
+    def test_finalizer_backstop_shuts_the_respawned_pool(self):
+        """Satellite: the weakref.finalize backstop must still cover the
+        pool after a breaker trip respawned its executor."""
+        import gc
+
+        from repro.service import GuardConfig
+
+        guard = GuardConfig(
+            max_retries=0,
+            breaker_threshold=1,
+            chaos_hook=lambda stage, attempt: (
+                ("kill_worker", 0.0) if attempt == 0 else None
+            ),
+        )
+        sched = Scheduler(workers=1, guard=guard)
+        resp = sched.request(pattern(seed=17), "greedy")
+        assert resp.trace.inline_failover
+        assert sched._breaker.state == "open"
+        pool = sched._pool
+        assert pool is not None and pool._executor is not None
+        del sched, resp
+        # The broken executor's manager thread may briefly pin the
+        # scheduler through its shutdown frames; give gc a few passes.
+        import time
+
+        for _ in range(20):
+            gc.collect()
+            if pool._executor is None:
+                break
+            time.sleep(0.05)
+        # The finalizer held the pool (not the scheduler) and shut down
+        # the *respawned* executor — no leaked worker processes.
+        assert pool._executor is None
+
+    def test_memo_limit_eviction_while_breaker_open(self):
+        """Satellite: memo eviction under an open breaker must stay
+        correct — evicted patterns re-serve from the store."""
+        from repro.service import GuardConfig
+
+        clock = _FakeClock()
+        guard = GuardConfig(
+            max_retries=0,
+            breaker_threshold=1,
+            breaker_cooldown=1e9,
+            clock=clock,
+            chaos_hook=lambda stage, attempt: (
+                ("kill_worker", 0.0) if attempt == 0 else None
+            ),
+        )
+        with Scheduler(workers=1, memo_limit=2, guard=guard) as sched:
+            first = sched.request(pattern(seed=0), "greedy")
+            assert sched._breaker.state == "open"
+            for seed in range(1, 5):
+                sched.request(pattern(seed=seed), "greedy")
+            assert len(sched._schedules) <= 2
+            assert len(sched._keys) <= 2
+            again = sched.request(pattern(seed=0), "greedy")
+            assert again.source == "hit"
+            assert again.serialized == first.serialized

@@ -57,16 +57,17 @@ class TestDiskTier:
         store.put(entry)
         assert (tmp_path / f"{entry.key.digest}.json").exists()
 
-    def test_corrupt_file_skipped_with_warning(self, tmp_path, capsys):
+    def test_corrupt_file_quarantined_with_warning(self, tmp_path, capsys):
         store = ScheduleStore(tmp_path)
         store.put(make_entry())
         bad = tmp_path / ("0" * 64 + ".json")
         bad.write_text("{not json")
         fresh = ScheduleStore(tmp_path)
         assert len(fresh) == 1
-        assert "skipped 1" in capsys.readouterr().err
+        assert fresh.quarantined == 1
+        assert "quarantined 1" in capsys.readouterr().err
 
-    def test_renamed_file_rejected(self, tmp_path, capsys):
+    def test_renamed_file_quarantined(self, tmp_path, capsys):
         store = ScheduleStore(tmp_path)
         entry = make_entry()
         store.put(entry)
@@ -74,12 +75,95 @@ class TestDiskTier:
         (tmp_path / ("f" * 64 + ".json")).write_text(entry.to_json())
         fresh = ScheduleStore(tmp_path)
         assert len(fresh) == 1
-        assert "skipped 1" in capsys.readouterr().err
+        assert fresh.quarantined == 1
+        assert "quarantined 1" in capsys.readouterr().err
 
     def test_no_temp_litter_after_put(self, tmp_path):
         store = ScheduleStore(tmp_path)
         store.put(make_entry())
         assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestQuarantine:
+    def test_corrupt_entries_move_to_corrupt_dir(self, tmp_path, capsys):
+        store = ScheduleStore(tmp_path)
+        store.put(make_entry())
+        (tmp_path / ("0" * 64 + ".json")).write_text("{not json")
+        fresh = ScheduleStore(tmp_path)
+        capsys.readouterr()
+        # The evidence survives, aside — never in the serving glob.
+        qdir = tmp_path / "corrupt"
+        assert [p.name for p in qdir.iterdir()] == ["0" * 64 + ".json"]
+        assert not (tmp_path / ("0" * 64 + ".json")).exists()
+        # A third start sees a clean directory: no re-warn, no recount.
+        third = ScheduleStore(tmp_path)
+        assert third.quarantined == 0
+        assert len(third) == 1
+        assert capsys.readouterr().err == ""
+
+    def test_quarantine_counter_emitted(self, tmp_path, capsys):
+        from repro import obs
+
+        store = ScheduleStore(tmp_path)
+        store.put(make_entry())
+        (tmp_path / ("1" * 64 + ".json")).write_text("[]")
+        (tmp_path / ("2" * 64 + ".json")).write_text("{not json")
+        with obs.tracing() as tracer:
+            fresh = ScheduleStore(tmp_path)
+        capsys.readouterr()
+        assert fresh.quarantined == 2
+        counter = tracer.metrics.counters["service.store.quarantined"]
+        assert counter.value == 2
+
+    def test_quarantine_name_collisions_keep_both(self, tmp_path, capsys):
+        store = ScheduleStore(tmp_path)
+        store.put(make_entry())
+        name = "3" * 64 + ".json"
+        (tmp_path / name).write_text("{not json")
+        ScheduleStore(tmp_path)
+        (tmp_path / name).write_text("{not json either}")
+        ScheduleStore(tmp_path)
+        capsys.readouterr()
+        qdir = tmp_path / "corrupt"
+        assert sorted(p.name for p in qdir.iterdir()) == [name, f"{name}.1"]
+
+    def test_torn_partial_write_is_invisible(self, tmp_path, capsys):
+        """A crash mid-write leaves only a ``.tmp`` file, which must be
+        neither served nor quarantined on the next start."""
+        store = ScheduleStore(tmp_path)
+        entry = make_entry()
+        store.put(entry)
+        # Simulate the torn write: a mkstemp-style temp file holding a
+        # truncated prefix of a real entry (os.replace never ran).
+        torn = tmp_path / f".{entry.key.digest[:12]}-abc123.tmp"
+        torn.write_text(entry.to_json()[:37])
+        fresh = ScheduleStore(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.quarantined == 0
+        assert torn.exists()  # left alone for crash forensics
+        assert capsys.readouterr().err == ""
+
+    def test_crashing_write_leaves_store_loadable(self, tmp_path, monkeypatch):
+        """Kill the write between temp-file fill and os.replace: the
+        final entry file must not exist and the reload must be clean."""
+        import os as _os
+
+        store = ScheduleStore(tmp_path)
+        store.put(make_entry(seed=1))
+        entry = make_entry(seed=2)
+        real_replace = _os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr("repro.service.store.os.replace", exploding_replace)
+        with pytest.raises(OSError):
+            store.put(entry)
+        monkeypatch.setattr("repro.service.store.os.replace", real_replace)
+        assert not (tmp_path / f"{entry.key.digest}.json").exists()
+        fresh = ScheduleStore(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.quarantined == 0
 
 
 class TestNearMisses:

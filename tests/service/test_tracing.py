@@ -71,6 +71,14 @@ class TestTraceTiers:
             "lint_seconds",
             "deduped",
             "edit_distance",
+            "deadline",
+            "admission_wait",
+            "retries",
+            "backoff_seconds",
+            "worker_crashes",
+            "inline_failover",
+            "shed_reason",
+            "breaker_state",
         ]
         assert doc["source"] == "cold"
 
